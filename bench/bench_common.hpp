@@ -1,0 +1,100 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction benches.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/benchmark_apps.hpp"
+#include "baselines/platform_models.hpp"
+#include "baselines/stack_model.hpp"
+#include "hwgen/generator.hpp"
+
+namespace orianna::bench {
+
+/**
+ * Resource budget in the scale of the paper's ZC706 board (Zynq-7045:
+ * 218.6k LUT, 437.2k FF, 545 BRAM36, 900 DSP), derated to a routable
+ * ~60% utilization.
+ */
+inline hw::Resources
+zc706Budget()
+{
+    return {131000, 262000, 327, 540};
+}
+
+/** Default mission seed for the latency/energy benches. */
+constexpr unsigned kBenchSeed = 5;
+
+/** One application's measured frame on every platform. */
+struct AppMeasurement
+{
+    std::string name;
+    double armSeconds = 0.0;
+    double intelSeconds = 0.0;
+    double oriannaSwSeconds = 0.0;
+    double gpuSeconds = 0.0;
+    double ioSeconds = 0.0;
+    double oooSeconds = 0.0;
+    double armEnergyJ = 0.0;
+    double intelEnergyJ = 0.0;
+    double gpuEnergyJ = 0.0;
+    double ioEnergyJ = 0.0;
+    double oooEnergyJ = 0.0;
+    hw::AcceleratorConfig oooConfig;
+    hw::SimResult oooResult;
+};
+
+/**
+ * Measure one application frame (one Gauss-Newton step of every
+ * algorithm) on every platform, with the accelerator generated under
+ * the ZC706 budget.
+ */
+inline AppMeasurement
+measureApp(apps::AppKind kind, unsigned seed = kBenchSeed)
+{
+    apps::BenchmarkApp bench = apps::buildApp(kind, seed);
+    const auto work = bench.app.frameWork();
+
+    AppMeasurement m;
+    m.name = apps::appName(kind);
+
+    auto gen = hwgen::generate(work, zc706Budget(),
+                               hwgen::Objective::AvgLatency, true);
+    m.oooConfig = gen.config;
+    m.oooResult = gen.result;
+    m.oooSeconds = gen.result.seconds();
+    m.oooEnergyJ = gen.result.totalEnergyJ();
+
+    hw::AcceleratorConfig io_config = gen.config;
+    io_config.outOfOrder = false;
+    io_config.name = "orianna-io";
+    const hw::SimResult io = hw::simulate(work, io_config);
+    m.ioSeconds = io.seconds();
+    m.ioEnergyJ = io.totalEnergyJ();
+
+    const auto arm = baselines::runOnCpu(baselines::arm(), work);
+    const auto intel = baselines::runOnCpu(baselines::intel(), work);
+    const auto sw = baselines::runOnCpu(baselines::oriannaSw(), work);
+    const auto gpu = baselines::runOnGpu(baselines::embeddedGpu(), work);
+    m.armSeconds = arm.seconds;
+    m.intelSeconds = intel.seconds;
+    m.oriannaSwSeconds = sw.seconds;
+    m.gpuSeconds = gpu.seconds;
+    m.armEnergyJ = arm.energyJ;
+    m.intelEnergyJ = intel.energyJ;
+    m.gpuEnergyJ = gpu.energyJ;
+    return m;
+}
+
+/** Print a horizontal rule sized to the bench tables. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace orianna::bench

@@ -1,0 +1,54 @@
+// Reproduces Fig. 13: frame-latency speedup of every platform over
+// the ARM baseline, per application and on average.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace orianna;
+    using orianna::bench::AppMeasurement;
+
+    std::printf("Fig. 13: speedup over ARM (higher is better)\n");
+    orianna::bench::rule(92);
+    std::printf("%-14s %8s %8s %10s %8s %12s %12s\n", "Application",
+                "ARM", "Intel", "OriannaSW", "GPU", "Orianna-IO",
+                "Orianna-OoO");
+
+    double geo[6] = {1, 1, 1, 1, 1, 1};
+    int count = 0;
+    for (apps::AppKind kind : apps::allApps()) {
+        const AppMeasurement m = orianna::bench::measureApp(kind);
+        const double values[6] = {
+            1.0,
+            m.armSeconds / m.intelSeconds,
+            m.armSeconds / m.oriannaSwSeconds,
+            m.armSeconds / m.gpuSeconds,
+            m.armSeconds / m.ioSeconds,
+            m.armSeconds / m.oooSeconds,
+        };
+        std::printf("%-14s %8.2f %8.2f %10.2f %8.2f %12.2f %12.2f\n",
+                    m.name.c_str(), values[0], values[1], values[2],
+                    values[3], values[4], values[5]);
+        for (int i = 0; i < 6; ++i)
+            geo[i] *= values[i];
+        ++count;
+    }
+    for (double &g : geo)
+        g = std::pow(g, 1.0 / count);
+    orianna::bench::rule(92);
+    std::printf("%-14s %8.2f %8.2f %10.2f %8.2f %12.2f %12.2f\n",
+                "geomean", geo[0], geo[1], geo[2], geo[3], geo[4],
+                geo[5]);
+    std::printf("paper: Orianna-OoO 53.5x over ARM, 6.5x over Intel, "
+                "28.6x over GPU, 6.3x over Orianna-IO;\n"
+                "Orianna-SW gains <10%% over Intel.\n");
+    std::printf("measured: OoO %.1fx over ARM, %.1fx over Intel, "
+                "%.1fx over GPU, %.1fx over IO; SW gain %.1f%%.\n",
+                geo[5], geo[5] / geo[1], geo[5] / geo[3],
+                geo[5] / geo[4], 100.0 * (geo[2] / geo[1] - 1.0));
+    return 0;
+}

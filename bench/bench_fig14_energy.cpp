@@ -1,0 +1,50 @@
+// Reproduces Fig. 14: frame-energy reduction relative to the ARM
+// baseline, per application and on average.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace orianna;
+    using orianna::bench::AppMeasurement;
+
+    std::printf("Fig. 14: energy reduction vs ARM (higher is better)\n");
+    orianna::bench::rule(92);
+    std::printf("%-14s %8s %8s %8s %12s %12s\n", "Application", "ARM",
+                "Intel", "GPU", "Orianna-IO", "Orianna-OoO");
+
+    double geo[5] = {1, 1, 1, 1, 1};
+    int count = 0;
+    for (apps::AppKind kind : apps::allApps()) {
+        const AppMeasurement m = orianna::bench::measureApp(kind);
+        const double values[5] = {
+            1.0,
+            m.armEnergyJ / m.intelEnergyJ,
+            m.armEnergyJ / m.gpuEnergyJ,
+            m.armEnergyJ / m.ioEnergyJ,
+            m.armEnergyJ / m.oooEnergyJ,
+        };
+        std::printf("%-14s %8.2f %8.2f %8.2f %12.2f %12.2f\n",
+                    m.name.c_str(), values[0], values[1], values[2],
+                    values[3], values[4]);
+        for (int i = 0; i < 5; ++i)
+            geo[i] *= values[i];
+        ++count;
+    }
+    for (double &g : geo)
+        g = std::pow(g, 1.0 / count);
+    orianna::bench::rule(92);
+    std::printf("%-14s %8.2f %8.2f %8.2f %12.2f %12.2f\n", "geomean",
+                geo[0], geo[1], geo[2], geo[3], geo[4]);
+    std::printf("paper: Orianna-OoO reduces energy 3.4x vs ARM, 15.1x "
+                "vs Intel, 12.3x vs GPU, 2.2x vs IO.\n");
+    std::printf("measured: %.1fx vs ARM, %.1fx vs Intel, %.1fx vs GPU, "
+                "%.1fx vs IO.\n",
+                geo[4], geo[4] / geo[1], geo[4] / geo[2],
+                geo[4] / geo[3]);
+    return 0;
+}

@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks of the kernels the accelerator
+// templates model: small matrix products, QR, back substitution and
+// the Lie-group primitives of Tbl. 3.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "lie/pose.hpp"
+#include "lie/se3.hpp"
+#include "matrix/qr.hpp"
+
+namespace {
+
+using orianna::lie::Pose;
+using orianna::mat::Matrix;
+using orianna::mat::Vector;
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Matrix out(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            out(i, j) = dist(rng);
+    return out;
+}
+
+Vector
+randomVector(std::size_t n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Vector out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = dist(rng);
+    return out;
+}
+
+void
+BM_MatMul(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomMatrix(n, n, 1);
+    const Matrix b = randomMatrix(n, n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_MatMul)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
+
+void
+BM_HouseholderQr(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomMatrix(2 * n, n, 3);
+    const Vector b = randomVector(2 * n, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(orianna::mat::householderQr(a, b));
+}
+BENCHMARK(BM_HouseholderQr)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
+
+void
+BM_GivensQr(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomMatrix(2 * n, n, 5);
+    const Vector b = randomVector(2 * n, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(orianna::mat::givensQr(a, b));
+}
+BENCHMARK(BM_GivensQr)->Arg(3)->Arg(6)->Arg(12);
+
+void
+BM_BackSubstitute(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Matrix r = randomMatrix(n, n, 7);
+    for (std::size_t i = 0; i < n; ++i) {
+        r(i, i) += 4.0; // Well conditioned diagonal.
+        for (std::size_t j = 0; j < i; ++j)
+            r(i, j) = 0.0;
+    }
+    const Vector y = randomVector(n, 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(orianna::mat::backSubstitute(r, y));
+}
+BENCHMARK(BM_BackSubstitute)->Arg(6)->Arg(12)->Arg(24);
+
+void
+BM_PoseOplus(benchmark::State &state)
+{
+    const Pose a(Vector{0.2, -0.1, 0.3}, Vector{1.0, 2.0, 3.0});
+    const Pose b(Vector{-0.3, 0.2, 0.1}, Vector{0.5, -1.0, 0.25});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.oplus(b));
+}
+BENCHMARK(BM_PoseOplus);
+
+void
+BM_Se3Compose(benchmark::State &state)
+{
+    const auto a = orianna::lie::Se3::exp(randomVector(6, 9) * 0.5);
+    const auto b = orianna::lie::Se3::exp(randomVector(6, 10) * 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.compose(b));
+}
+BENCHMARK(BM_Se3Compose);
+
+void
+BM_ExpLogRoundTrip(benchmark::State &state)
+{
+    const Vector phi = randomVector(3, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            orianna::lie::logSo(orianna::lie::expSo(phi)));
+}
+BENCHMARK(BM_ExpLogRoundTrip);
+
+void
+BM_RightJacobian(benchmark::State &state)
+{
+    const Vector phi = randomVector(3, 12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(orianna::lie::rightJacobian(phi));
+}
+BENCHMARK(BM_RightJacobian);
+
+} // namespace
+
+BENCHMARK_MAIN();

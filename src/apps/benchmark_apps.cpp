@@ -1,0 +1,38 @@
+#include "apps/benchmark_apps.hpp"
+
+#include <stdexcept>
+
+namespace orianna::apps {
+
+const char *
+appName(AppKind kind)
+{
+    switch (kind) {
+      case AppKind::MobileRobot: return "MobileRobot";
+      case AppKind::Manipulator: return "Manipulator";
+      case AppKind::AutoVehicle: return "AutoVehicle";
+      case AppKind::Quadrotor: return "Quadrotor";
+    }
+    return "?";
+}
+
+std::vector<AppKind>
+allApps()
+{
+    return {AppKind::MobileRobot, AppKind::Manipulator,
+            AppKind::AutoVehicle, AppKind::Quadrotor};
+}
+
+BenchmarkApp
+buildApp(AppKind kind, unsigned seed)
+{
+    switch (kind) {
+      case AppKind::MobileRobot: return buildMobileRobot(seed);
+      case AppKind::Manipulator: return buildManipulator(seed);
+      case AppKind::AutoVehicle: return buildAutoVehicle(seed);
+      case AppKind::Quadrotor: return buildQuadrotor(seed);
+    }
+    throw std::invalid_argument("buildApp: unknown application");
+}
+
+} // namespace orianna::apps

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/application.hpp"
+
+namespace orianna::apps {
+
+/** The four evaluation applications of Tbl. 4. */
+enum class AppKind : std::uint8_t {
+    MobileRobot, //!< Two-wheeled robot on a plane.
+    Manipulator, //!< Two-link robot arm.
+    AutoVehicle, //!< Four-wheeled vehicle with car dynamics.
+    Quadrotor,   //!< Four-rotor micro drone.
+};
+
+const char *appName(AppKind kind);
+std::vector<AppKind> allApps();
+
+/**
+ * A benchmark application instance: the compiled ORIANNA application
+ * (localization + planning + control algorithms with the Tbl. 4
+ * variable dimensions and factor types) plus a mission-success
+ * predicate evaluated on the per-algorithm optimized values
+ * (Tbl. 5's metric).
+ */
+struct BenchmarkApp
+{
+    core::Application app;
+
+    /**
+     * Mission predicate given optimized values, one per algorithm in
+     * registration order (localization, planning, control): the
+     * estimated trajectory must track ground truth, the planned
+     * trajectory must be collision-free and reach the goal, and the
+     * controller must drive the state to the reference. When @p why
+     * is non-null, a failing check writes its name there.
+     */
+    std::function<bool(const std::vector<fg::Values> &, std::string *)>
+        check;
+
+    /** Convenience wrapper: success without diagnostics. */
+    bool
+    success(const std::vector<fg::Values> &solved) const
+    {
+        return check(solved, nullptr);
+    }
+};
+
+/**
+ * Build one randomized mission of @p kind. The same seed produces the
+ * same workload, so software and accelerator paths can be compared on
+ * identical missions.
+ */
+BenchmarkApp buildApp(AppKind kind, unsigned seed);
+
+// Per-application builders (same contract as buildApp).
+BenchmarkApp buildMobileRobot(unsigned seed);
+BenchmarkApp buildManipulator(unsigned seed);
+BenchmarkApp buildAutoVehicle(unsigned seed);
+BenchmarkApp buildQuadrotor(unsigned seed);
+
+} // namespace orianna::apps

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+
+namespace orianna::baselines {
+
+using hw::WorkItem;
+
+/**
+ * Analytic CPU platform model (DESIGN.md Sec. 1): executes the same
+ * instruction mix the accelerator runs, sequentially, with a fixed
+ * per-operation overhead (dispatch, cache misses on tiny operands)
+ * plus MAC throughput, and a platform power for energy.
+ *
+ * Calibration constants target the relative performance the paper
+ * reports for these platforms on small irregular sparse workloads
+ * (Intel i7-11700 about 8x a Cortex-A57 core; see EXPERIMENTS.md).
+ */
+struct PlatformSpec
+{
+    std::string name;
+    double opOverheadNs;   //!< Fixed cost per matrix operation.
+    double macRateGmacs;   //!< Sustained small-op MAC rate (GMAC/s).
+    double powerW;         //!< Average package power while solving.
+    /**
+     * Inflation of the construction-phase MAC count for platforms
+     * running the classic (padded SE(n)/quaternion) representations
+     * instead of <so(n),T(n)> (Sec. 4.3: 52.7% more construction
+     * MACs, i.e. a factor of ~2.11 on that phase).
+     */
+    double constructionInflation = 1.0;
+};
+
+/** High-end desktop CPU ("Intel", i7-11700 class). */
+PlatformSpec intel();
+
+/** Mobile CPU ("ARM", Cortex-A57 class). */
+PlatformSpec arm();
+
+/** Intel running the unified pose representation (ORIANNA-SW). */
+PlatformSpec oriannaSw();
+
+/**
+ * Embedded-GPU model ("GPU", Maxwell class driven through
+ * cuBLAS/cuSolverSP): construction levels batch into kernels with a
+ * per-launch overhead; decomposition and back substitution pay a
+ * per-call sparse-solver overhead and a poor effective rate, because
+ * the sparsity is non-structural (Sec. 7.3).
+ */
+struct GpuSpec
+{
+    std::string name = "GPU";
+    double launchOverheadNs = 2800.0;   //!< Kernel launch latency.
+    double denseRateGmacs = 26.5;       //!< Batched construction rate.
+    double solverCallOverheadNs = 2450.0;
+    double solverRateGmacs = 4.1;       //!< Tiny irregular QR/BSUB.
+    double memcpyBytesPerNs = 12.0;     //!< Gather/extract traffic.
+    double powerW = 1.75;
+};
+
+GpuSpec embeddedGpu();
+
+/** Outcome of a platform run. */
+struct PlatformResult
+{
+    double seconds = 0.0;
+    double energyJ = 0.0;
+    /** Construction / decomposition / back-substitution split. */
+    std::array<double, 3> phaseSeconds{};
+};
+
+/**
+ * Run the work items' instruction streams through the sequential CPU
+ * model. The numerics are not re-executed (the reference executor
+ * already validates them); only time and energy are modelled.
+ */
+PlatformResult runOnCpu(const PlatformSpec &platform,
+                        const std::vector<WorkItem> &work);
+
+/** Run the work items through the GPU model. */
+PlatformResult runOnGpu(const GpuSpec &gpu,
+                        const std::vector<WorkItem> &work);
+
+} // namespace orianna::baselines

@@ -1,0 +1,33 @@
+#include "baselines/stack_model.hpp"
+
+#include <algorithm>
+
+namespace orianna::baselines {
+
+StackResult
+runStack(const std::vector<WorkItem> &work,
+         const Resources &per_accelerator_budget)
+{
+    StackResult out;
+    double dynamic_energy = 0.0;
+    for (const WorkItem &item : work) {
+        auto gen = hwgen::generate({item}, per_accelerator_budget,
+                                   hwgen::Objective::AvgLatency, true);
+        gen.config.name = "stack-" + item.program->name;
+        out.totalResources =
+            out.totalResources + gen.config.resources();
+        out.frameSeconds =
+            std::max(out.frameSeconds, gen.result.seconds());
+        dynamic_energy +=
+            gen.result.dynamicEnergyJ + gen.result.memoryEnergyJ;
+        out.perAlgorithm.push_back(gen.result);
+        out.configs.push_back(std::move(gen.config));
+    }
+    // Every die stays powered for the whole (parallel) frame.
+    out.frameEnergyJ = dynamic_energy +
+                       static_cast<double>(work.size()) *
+                           hw::CostModel::staticPowerW * out.frameSeconds;
+    return out;
+}
+
+} // namespace orianna::baselines

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "hwgen/generator.hpp"
+
+namespace orianna::baselines {
+
+using hw::AcceleratorConfig;
+using hw::Resources;
+using hw::SimResult;
+using hw::WorkItem;
+
+/**
+ * The STACK baseline (Sec. 7.1): one dedicated accelerator per
+ * algorithm, each generated for its own workload and given its own
+ * (unshared) resources, running in parallel. Reproduces the
+ * structural properties the paper measures: per-algorithm tailoring
+ * (fast), summed resources (expensive), and parallel frame latency.
+ */
+struct StackResult
+{
+    std::vector<AcceleratorConfig> configs; //!< One per algorithm.
+    std::vector<SimResult> perAlgorithm;    //!< Standalone runs.
+    Resources totalResources;               //!< Sum over accelerators.
+    double frameSeconds = 0.0; //!< max over algorithms (parallel).
+    double frameEnergyJ = 0.0; //!< All dies powered for the frame.
+};
+
+/**
+ * Build and run the STACK baseline: each work item gets its own
+ * generated accelerator under @p per_accelerator_budget.
+ */
+StackResult runStack(const std::vector<WorkItem> &work,
+                     const Resources &per_accelerator_budget);
+
+} // namespace orianna::baselines

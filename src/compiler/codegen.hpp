@@ -1,0 +1,59 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/isa.hpp"
+#include "fg/graph.hpp"
+
+namespace orianna::comp {
+
+/** Options for compileGraph(). */
+struct CompileOptions
+{
+    /** Elimination ordering; natural (key-ascending) when empty. */
+    std::vector<Key> ordering;
+
+    /** Coarse-grained OoO tag attached to every instruction. */
+    std::uint8_t algorithmTag = 0;
+
+    /** Program name for listings. */
+    std::string name = "graph";
+};
+
+/**
+ * The ORIANNA compiler (Sec. 5.2): translate a factor graph into the
+ * instruction stream of one Gauss-Newton step.
+ *
+ * Per factor, the MO-DFG is traversed forward (BFS over the
+ * construction order) to emit the error instructions and backward
+ * (chain rule) to emit the derivative instructions; whitening SCALER
+ * instructions finish the linear-equation construction. The graph is
+ * then traversed in elimination order to emit GATHER/QR/EXTRACT
+ * sequences per variable (Fig. 5) and MV/VSUB/BSUB sequences for the
+ * back substitution (Fig. 6).
+ *
+ * @p values supplies only the *shapes* of variables (pose dimension,
+ * vector sizes); variable numbers are streamed in at run time through
+ * LOADV, so one compiled program serves every iteration and frame
+ * with the same graph topology.
+ */
+Program compileGraph(const fg::FactorGraph &graph,
+                     const fg::Values &values,
+                     const CompileOptions &options = {});
+
+/**
+ * The VANILLA-HLS baseline compiler (Sec. 7.1): identical
+ * linear-equation construction, but no factor-graph inference — the
+ * whole system is gathered into one large dense [A | b], decomposed by
+ * a single big QR, and solved by block back-substitution over the
+ * dense R. Runs on the same unit templates; the only difference from
+ * compileGraph is the absence of sparsity exploitation, which isolates
+ * exactly the variable Fig. 16 isolates.
+ */
+Program compileDenseGraph(const fg::FactorGraph &graph,
+                          const fg::Values &values,
+                          const CompileOptions &options = {});
+
+} // namespace orianna::comp

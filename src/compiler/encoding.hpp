@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/isa.hpp"
+
+namespace orianna::comp {
+
+/**
+ * Binary encoding of compiled programs — the artifact the toolchain
+ * hands to the accelerator (or stores next to a bitstream). The
+ * format is a little-endian, versioned, self-contained container:
+ * every constant, camera intrinsic, SDF obstacle and gather placement
+ * is embedded, so a decoded program executes without access to the
+ * factor graph that produced it.
+ */
+
+/** Serialize @p program to bytes. */
+std::vector<std::uint8_t> encodeProgram(const Program &program);
+
+/**
+ * Parse a binary program.
+ * @throws std::runtime_error on truncation, bad magic or version.
+ */
+Program decodeProgram(const std::vector<std::uint8_t> &bytes);
+
+/** Convenience: encode to / decode from a file. */
+void saveProgram(const std::string &path, const Program &program);
+Program loadProgram(const std::string &path);
+
+} // namespace orianna::comp

@@ -1,0 +1,324 @@
+#include "compiler/executor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lie/so.hpp"
+#include "matrix/qr.hpp"
+
+namespace orianna::comp {
+
+namespace {
+
+/** Elementwise hinge max(0, eps - x). */
+Vector
+hinge(const Vector &v, double eps)
+{
+    Vector out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = std::max(0.0, eps - v[i]);
+    return out;
+}
+
+Matrix
+hingeJacobian(const Vector &v, double eps)
+{
+    Matrix j(v.size(), v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        j(i, i) = (v[i] < eps) ? -1.0 : 0.0;
+    return j;
+}
+
+Vector
+project(const Vector &p, const fg::CameraModel &c)
+{
+    if (p.size() != 3)
+        throw std::invalid_argument("PROJ: point must be 3-D");
+    if (p[2] <= 1e-9)
+        throw std::runtime_error("PROJ: point behind camera");
+    return Vector{c.fx * p[0] / p[2] + c.cx, c.fy * p[1] / p[2] + c.cy};
+}
+
+Matrix
+projectJacobian(const Vector &p, const fg::CameraModel &c)
+{
+    const double iz = 1.0 / p[2];
+    Matrix j(2, 3);
+    j(0, 0) = c.fx * iz;
+    j(0, 2) = -c.fx * p[0] * iz * iz;
+    j(1, 1) = c.fy * iz;
+    j(1, 2) = -c.fy * p[1] * iz * iz;
+    return j;
+}
+
+/** Row-scale by 1/sigma (whitening) for matrices. */
+Matrix
+scaleRows(const Matrix &m, const Vector &sigmas)
+{
+    Matrix out = m;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            out(i, j) /= sigmas[i];
+    return out;
+}
+
+Vector
+scaleRows(const Vector &v, const Vector &sigmas)
+{
+    Vector out = v;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] /= sigmas[i];
+    return out;
+}
+
+} // namespace
+
+void
+Executor::reset()
+{
+    slots_.assign(program_->valueSlots, std::monostate{});
+}
+
+const Matrix &
+Executor::matrixAt(std::uint32_t slot) const
+{
+    if (!std::holds_alternative<Matrix>(slots_[slot]))
+        throw std::logic_error("Executor: slot is not a matrix");
+    return std::get<Matrix>(slots_[slot]);
+}
+
+const Vector &
+Executor::vectorAt(std::uint32_t slot) const
+{
+    if (!std::holds_alternative<Vector>(slots_[slot]))
+        throw std::logic_error("Executor: slot is not a vector");
+    return std::get<Vector>(slots_[slot]);
+}
+
+void
+Executor::step(std::size_t index, const fg::Values &values)
+{
+    const Instruction &inst = program_->instructions[index];
+    auto &dst = slots_[inst.dst];
+
+    auto isVec = [&](std::uint32_t s) {
+        return std::holds_alternative<Vector>(slots_[s]);
+    };
+
+    switch (inst.op) {
+      case IsaOp::LOADC:
+        if (inst.constVec.size() > 0)
+            dst = inst.constVec;
+        else
+            dst = inst.constMat;
+        break;
+      case IsaOp::LOADV:
+        switch (inst.component) {
+          case VarComponent::Phi:
+            dst = values.pose(inst.key).phi();
+            break;
+          case VarComponent::Translation:
+            dst = values.pose(inst.key).t();
+            break;
+          case VarComponent::Whole:
+            dst = values.vector(inst.key);
+            break;
+        }
+        break;
+      case IsaOp::EXP:
+        dst = lie::expSo(vectorAt(inst.srcs[0]));
+        break;
+      case IsaOp::LOG:
+        dst = lie::logSo(matrixAt(inst.srcs[0]));
+        break;
+      case IsaOp::RT:
+        dst = matrixAt(inst.srcs[0]).transpose();
+        break;
+      case IsaOp::RR:
+      case IsaOp::MM: {
+        const Matrix &a = matrixAt(inst.srcs[0]);
+        if (isVec(inst.srcs[1])) {
+            // Vector operand treated as a column matrix.
+            dst = a * vectorAt(inst.srcs[1]).asColumn();
+        } else {
+            dst = a * matrixAt(inst.srcs[1]);
+        }
+        break;
+      }
+      case IsaOp::RV:
+      case IsaOp::MV:
+        dst = matrixAt(inst.srcs[0]) * vectorAt(inst.srcs[1]);
+        break;
+      case IsaOp::VADD:
+        if (isVec(inst.srcs[0]))
+            dst = vectorAt(inst.srcs[0]) + vectorAt(inst.srcs[1]);
+        else
+            dst = matrixAt(inst.srcs[0]) + matrixAt(inst.srcs[1]);
+        break;
+      case IsaOp::VSUB:
+        if (isVec(inst.srcs[0]))
+            dst = vectorAt(inst.srcs[0]) - vectorAt(inst.srcs[1]);
+        else
+            dst = matrixAt(inst.srcs[0]) - matrixAt(inst.srcs[1]);
+        break;
+      case IsaOp::NEG:
+        if (isVec(inst.srcs[0]))
+            dst = -vectorAt(inst.srcs[0]);
+        else
+            dst = -matrixAt(inst.srcs[0]);
+        break;
+      case IsaOp::HAT:
+        dst = lie::hat(vectorAt(inst.srcs[0]));
+        break;
+      case IsaOp::JR:
+        dst = lie::rightJacobian(vectorAt(inst.srcs[0]));
+        break;
+      case IsaOp::JRINV:
+        dst = lie::rightJacobianInv(vectorAt(inst.srcs[0]));
+        break;
+      case IsaOp::PROJ:
+        dst = project(vectorAt(inst.srcs[0]), inst.camera);
+        break;
+      case IsaOp::PROJJ:
+        dst = projectJacobian(vectorAt(inst.srcs[0]), inst.camera);
+        break;
+      case IsaOp::SDF:
+        dst = Vector{inst.sdf->distance(vectorAt(inst.srcs[0]))};
+        break;
+      case IsaOp::SDFJ: {
+        const Vector g = inst.sdf->gradient(vectorAt(inst.srcs[0]));
+        Matrix j(1, g.size());
+        for (std::size_t i = 0; i < g.size(); ++i)
+            j(0, i) = g[i];
+        dst = std::move(j);
+        break;
+      }
+      case IsaOp::HINGE:
+        dst = hinge(vectorAt(inst.srcs[0]), inst.hingeEps);
+        break;
+      case IsaOp::HINGEJ:
+        dst = hingeJacobian(vectorAt(inst.srcs[0]), inst.hingeEps);
+        break;
+      case IsaOp::NORM:
+        dst = Vector{vectorAt(inst.srcs[0]).norm()};
+        break;
+      case IsaOp::HUBERW: {
+        const double norm = vectorAt(inst.srcs[0]).norm();
+        const double k = inst.hingeEps;
+        dst = Vector{(k <= 0.0 || norm <= k)
+                         ? 1.0
+                         : std::sqrt(k / norm)};
+        break;
+      }
+      case IsaOp::SMUL: {
+        const double scale = vectorAt(inst.srcs[1])[0];
+        if (isVec(inst.srcs[0]))
+            dst = vectorAt(inst.srcs[0]) * scale;
+        else
+            dst = matrixAt(inst.srcs[0]) * scale;
+        break;
+      }
+      case IsaOp::NORMJ: {
+        const Vector &v = vectorAt(inst.srcs[0]);
+        const double n = v.norm();
+        Matrix j(1, v.size());
+        if (n > 1e-12)
+            for (std::size_t i = 0; i < v.size(); ++i)
+                j(0, i) = v[i] / n;
+        dst = std::move(j);
+        break;
+      }
+      case IsaOp::SCALER:
+        if (isVec(inst.srcs[0]))
+            dst = scaleRows(vectorAt(inst.srcs[0]), inst.constVec);
+        else
+            dst = scaleRows(matrixAt(inst.srcs[0]), inst.constVec);
+        break;
+      case IsaOp::GATHER: {
+        // All-rhs placements at column zero assemble a vector;
+        // otherwise a dense matrix is built from the placements.
+        bool vector_gather = !inst.placements.empty();
+        for (const GatherPlacement &p : inst.placements)
+            vector_gather = vector_gather && p.isRhs && p.colBegin == 0;
+        if (vector_gather) {
+            Vector out(inst.rows);
+            for (const GatherPlacement &p : inst.placements)
+                out.setSegment(p.rowBegin, vectorAt(p.src));
+            dst = std::move(out);
+        } else {
+            Matrix out(inst.rows, inst.cols);
+            for (const GatherPlacement &p : inst.placements) {
+                if (p.isRhs) {
+                    const Vector &v = vectorAt(p.src);
+                    for (std::size_t i = 0; i < v.size(); ++i)
+                        out(p.rowBegin + i, p.colBegin) = v[i];
+                } else {
+                    out.setBlock(p.rowBegin, p.colBegin,
+                                 matrixAt(p.src));
+                }
+            }
+            dst = std::move(out);
+        }
+        break;
+      }
+      case IsaOp::QR: {
+        // Givens-array template on the augmented [A | b]: the last
+        // column is the rhs and is carried through the rotations.
+        const Matrix &aug = matrixAt(inst.srcs[0]);
+        const std::size_t n = aug.cols() - 1;
+        Matrix a = aug.block(0, 0, aug.rows(), n);
+        Vector rhs = aug.col(n);
+        mat::QrResult qr = mat::givensQr(a, rhs);
+        Matrix out(aug.rows(), aug.cols());
+        out.setBlock(0, 0, qr.r);
+        for (std::size_t i = 0; i < rhs.size(); ++i)
+            out(i, n) = qr.rhs[i];
+        dst = std::move(out);
+        break;
+      }
+      case IsaOp::EXTRACT: {
+        const Matrix &src = matrixAt(inst.srcs[0]);
+        if (inst.extractVector) {
+            Vector out(inst.rows);
+            for (std::size_t i = 0; i < inst.rows; ++i)
+                out[i] = src(inst.extractRow + i, inst.extractCol);
+            dst = std::move(out);
+        } else {
+            dst = src.block(inst.extractRow, inst.extractCol, inst.rows,
+                            inst.cols);
+        }
+        break;
+      }
+      case IsaOp::BSUB:
+        dst = mat::backSubstitute(matrixAt(inst.srcs[0]),
+                                  vectorAt(inst.srcs[1]));
+        break;
+      case IsaOp::STORE:
+        break; // Host-visibility marker; no data change.
+    }
+}
+
+std::map<Key, Vector>
+Executor::run(const fg::Values &values)
+{
+    reset();
+    for (std::size_t i = 0; i < program_->instructions.size(); ++i)
+        step(i, values);
+
+    std::map<Key, Vector> deltas;
+    for (const DeltaBinding &binding : program_->deltas)
+        deltas.emplace(binding.key, vectorAt(binding.slot));
+    return deltas;
+}
+
+fg::Values
+applyProgramStep(const Program &program, const fg::Values &values)
+{
+    Executor executor(program);
+    const auto deltas = executor.run(values);
+    fg::Values updated = values;
+    updated.retractAll(deltas);
+    return updated;
+}
+
+} // namespace orianna::comp

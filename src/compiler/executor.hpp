@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <variant>
+
+#include "compiler/isa.hpp"
+
+namespace orianna::comp {
+
+/** A value-table slot: matrix, vector, or empty. */
+using SlotValue = std::variant<std::monostate, Matrix, Vector>;
+
+/**
+ * Reference (functional) semantics of the ORIANNA ISA.
+ *
+ * Executes a compiled Program against a value table, resolving LOADV
+ * from the supplied Values. The accelerator simulator (src/hw) reuses
+ * this interpreter for the numerics and adds the timing, energy and
+ * resource models on top, so the scheduled accelerator and this
+ * reference path can never diverge numerically.
+ */
+class Executor
+{
+  public:
+    explicit Executor(const Program &program) : program_(&program) {}
+
+    /**
+     * Run the whole program in order. Returns the tangent updates
+     * (delta) per variable from the program's delta bindings.
+     */
+    std::map<Key, Vector> run(const fg::Values &values);
+
+    /**
+     * Execute a single instruction against the value table. Public so
+     * the cycle-level scheduler can fire instructions in its own
+     * (out-of-order) sequence.
+     */
+    void step(std::size_t index, const fg::Values &values);
+
+    /** Reset the value table (e.g. between frames). */
+    void reset();
+
+    /** Read back a slot (for tests and delta extraction). */
+    const SlotValue &slot(std::uint32_t index) const
+    {
+        return slots_.at(index);
+    }
+
+  private:
+    const Matrix &matrixAt(std::uint32_t slot) const;
+    const Vector &vectorAt(std::uint32_t slot) const;
+
+    const Program *program_;
+    std::vector<SlotValue> slots_;
+};
+
+/**
+ * Convenience wrapper: one Gauss-Newton step of @p program applied to
+ * @p values (run + retract). Returns the updated values.
+ */
+fg::Values applyProgramStep(const Program &program,
+                            const fg::Values &values);
+
+} // namespace orianna::comp

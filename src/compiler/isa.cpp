@@ -1,0 +1,84 @@
+#include "compiler/isa.hpp"
+
+#include <sstream>
+
+namespace orianna::comp {
+
+const char *
+isaOpName(IsaOp op)
+{
+    switch (op) {
+      case IsaOp::EXP: return "EXP";
+      case IsaOp::LOG: return "LOG";
+      case IsaOp::RT: return "RT";
+      case IsaOp::RR: return "RR";
+      case IsaOp::MM: return "MM";
+      case IsaOp::RV: return "RV";
+      case IsaOp::MV: return "MV";
+      case IsaOp::VADD: return "VADD";
+      case IsaOp::VSUB: return "VSUB";
+      case IsaOp::NEG: return "NEG";
+      case IsaOp::HAT: return "HAT";
+      case IsaOp::JR: return "JR";
+      case IsaOp::JRINV: return "JRINV";
+      case IsaOp::PROJ: return "PROJ";
+      case IsaOp::PROJJ: return "PROJJ";
+      case IsaOp::SDF: return "SDF";
+      case IsaOp::SDFJ: return "SDFJ";
+      case IsaOp::HINGE: return "HINGE";
+      case IsaOp::HINGEJ: return "HINGEJ";
+      case IsaOp::NORM: return "NORM";
+      case IsaOp::NORMJ: return "NORMJ";
+      case IsaOp::HUBERW: return "HUBERW";
+      case IsaOp::SMUL: return "SMUL";
+      case IsaOp::SCALER: return "SCALER";
+      case IsaOp::GATHER: return "GATHER";
+      case IsaOp::QR: return "QR";
+      case IsaOp::EXTRACT: return "EXTRACT";
+      case IsaOp::BSUB: return "BSUB";
+      case IsaOp::LOADC: return "LOADC";
+      case IsaOp::LOADV: return "LOADV";
+      case IsaOp::STORE: return "STORE";
+    }
+    return "?";
+}
+
+std::vector<std::size_t>
+Program::opHistogram() const
+{
+    std::vector<std::size_t> histogram(
+        static_cast<std::size_t>(IsaOp::STORE) + 1, 0);
+    for (const Instruction &inst : instructions)
+        ++histogram[static_cast<std::size_t>(inst.op)];
+    return histogram;
+}
+
+std::string
+Program::str() const
+{
+    std::ostringstream os;
+    os << "program " << name << " (" << instructions.size()
+       << " instructions, " << valueSlots << " slots)\n";
+    for (std::size_t i = 0; i < instructions.size(); ++i) {
+        const Instruction &inst = instructions[i];
+        os << "  %" << i << ": " << isaOpName(inst.op) << " ["
+           << inst.rows << "x" << inst.cols;
+        if (inst.depth)
+            os << "x" << inst.depth;
+        os << "] -> v" << inst.dst;
+        if (!inst.srcs.empty()) {
+            os << " <-";
+            for (std::uint32_t s : inst.srcs)
+                os << " v" << s;
+        }
+        if (!inst.deps.empty()) {
+            os << " deps";
+            for (std::uint32_t d : inst.deps)
+                os << " %" << d;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace orianna::comp

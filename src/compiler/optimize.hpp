@@ -1,0 +1,32 @@
+#pragma once
+
+#include "compiler/isa.hpp"
+
+namespace orianna::comp {
+
+/** What optimizeProgram() did, for logs and tests. */
+struct OptimizeStats
+{
+    std::size_t removedDead = 0;      //!< Never-used instructions.
+    std::size_t mergedConstants = 0;  //!< Duplicate LOADC payloads.
+    std::size_t before = 0;
+    std::size_t after = 0;
+};
+
+/**
+ * Post-codegen cleanup passes over a compiled program:
+ *
+ *  1. constant deduplication — identical LOADC payloads (identity
+ *     seeds, selector matrices, repeated measurements) collapse to
+ *     one on-chip constant;
+ *  2. dead-code elimination — instructions whose results never reach
+ *     a STORE are dropped (e.g. Jacobian chains of variables whose
+ *     blocks were structurally cancelled).
+ *
+ * The rewritten program computes exactly the same deltas; slots are
+ * renumbered compactly and dependences rebuilt.
+ */
+Program optimizeProgram(const Program &program,
+                        OptimizeStats *stats = nullptr);
+
+} // namespace orianna::comp

@@ -1,0 +1,119 @@
+#include "core/application.hpp"
+
+#include <stdexcept>
+
+#include "fg/optimizer.hpp"
+#include "compiler/optimize.hpp"
+#include "fg/ordering.hpp"
+
+namespace orianna::core {
+
+void
+Application::add(std::string algorithm_name, fg::FactorGraph graph,
+                 fg::Values initial, double rate_hz)
+{
+    if (rate_hz <= 0.0)
+        throw std::invalid_argument("Application::add: rate must be > 0");
+    auto algo = std::make_unique<Algorithm>();
+    algo->name = std::move(algorithm_name);
+    algo->graph = std::move(graph);
+    algo->values = std::move(initial);
+    algo->rateHz = rate_hz;
+    algorithms_.push_back(std::move(algo));
+    compiled_ = false;
+}
+
+const Algorithm *
+Application::find(const std::string &algorithm_name) const
+{
+    for (const auto &algo : algorithms_)
+        if (algo->name == algorithm_name)
+            return algo.get();
+    return nullptr;
+}
+
+void
+Application::compile()
+{
+    for (std::size_t i = 0; i < algorithms_.size(); ++i) {
+        Algorithm &algo = *algorithms_[i];
+        comp::CompileOptions options;
+        options.algorithmTag = static_cast<std::uint8_t>(i);
+        options.name = name_ + "/" + algo.name;
+        // Minimum-degree ordering eliminates independent leaves first,
+        // exposing the out-of-order elimination parallelism of
+        // Sec. 6.3 (and keeping QR panels small).
+        options.ordering = fg::ordering::minDegree(algo.graph);
+        algo.program = comp::optimizeProgram(
+            comp::compileGraph(algo.graph, algo.values, options));
+        algo.denseProgram = comp::optimizeProgram(
+            comp::compileDenseGraph(algo.graph, algo.values, options));
+    }
+    compiled_ = true;
+}
+
+std::vector<hw::WorkItem>
+Application::frameWork() const
+{
+    if (!compiled_)
+        throw std::logic_error("Application: compile() first");
+    std::vector<hw::WorkItem> work;
+    work.reserve(algorithms_.size());
+    for (const auto &algo : algorithms_)
+        work.push_back({&algo->program, &algo->values});
+    return work;
+}
+
+std::vector<hw::WorkItem>
+Application::denseFrameWork() const
+{
+    if (!compiled_)
+        throw std::logic_error("Application: compile() first");
+    std::vector<hw::WorkItem> work;
+    work.reserve(algorithms_.size());
+    for (const auto &algo : algorithms_)
+        work.push_back({&algo->denseProgram, &algo->values});
+    return work;
+}
+
+std::vector<fg::Values>
+Application::solveSoftware(std::size_t max_iterations) const
+{
+    std::vector<fg::Values> out;
+    out.reserve(algorithms_.size());
+    for (const auto &algo : algorithms_) {
+        fg::GaussNewtonParams params;
+        params.maxIterations = max_iterations;
+        params.stepScale = algo->stepScale;
+        params.ordering = fg::ordering::minDegree(algo->graph);
+        out.push_back(
+            fg::optimize(algo->graph, algo->values, params).values);
+    }
+    return out;
+}
+
+std::vector<fg::Values>
+Application::solveAccelerated(const hw::AcceleratorConfig &config,
+                              std::size_t iterations,
+                              hw::SimResult *total) const
+{
+    if (!compiled_)
+        throw std::logic_error("Application: compile() first");
+    std::vector<fg::Values> out;
+    out.reserve(algorithms_.size());
+    for (const auto &algo : algorithms_) {
+        auto run = hw::simulateIterated(algo->program, algo->values,
+                                        iterations, config,
+                                        algo->stepScale);
+        if (total != nullptr) {
+            total->cycles += run.total.cycles;
+            total->dynamicEnergyJ += run.total.dynamicEnergyJ;
+            total->memoryEnergyJ += run.total.memoryEnergyJ;
+            total->staticEnergyJ += run.total.staticEnergyJ;
+        }
+        out.push_back(std::move(run.values));
+    }
+    return out;
+}
+
+} // namespace orianna::core

@@ -1,0 +1,491 @@
+#include "fg/dfg.hpp"
+
+#include <stdexcept>
+
+namespace orianna::fg {
+
+bool
+producesRotation(Op op)
+{
+    switch (op) {
+      case Op::InputRot:
+      case Op::ConstRot:
+      case Op::Exp:
+      case Op::RT:
+      case Op::RR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::InputRot: return "IN_R";
+      case Op::InputTrans: return "IN_T";
+      case Op::InputVec: return "IN_V";
+      case Op::ConstRot: return "C_R";
+      case Op::ConstVec: return "C_V";
+      case Op::Exp: return "Exp";
+      case Op::Log: return "Log";
+      case Op::RT: return "RT";
+      case Op::RR: return "RR";
+      case Op::RV: return "RV";
+      case Op::VAdd: return "VP+";
+      case Op::VSub: return "VP-";
+      case Op::MV: return "MV";
+      case Op::Proj: return "PROJ";
+      case Op::Sdf: return "SDF";
+      case Op::Hinge: return "HINGE";
+      case Op::Norm: return "NORM";
+    }
+    return "?";
+}
+
+NodeId
+Dfg::push(DfgNode node)
+{
+    for (NodeId in : node.inputs)
+        if (in >= nodes_.size())
+            throw std::invalid_argument("Dfg: input node id out of range");
+    nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+PoseExpr
+Dfg::inputPose(Key key)
+{
+    DfgNode rot{Op::InputRot, {}, key, {}, {}, nullptr, 0.0, {}};
+    DfgNode trans{Op::InputTrans, {}, key, {}, {}, nullptr, 0.0, {}};
+    const NodeId r = push(std::move(rot));
+    const NodeId t = push(std::move(trans));
+    return {r, t};
+}
+
+NodeId
+Dfg::inputVec(Key key)
+{
+    DfgNode node{Op::InputVec, {}, key, {}, {}, nullptr, 0.0, {}};
+    return push(std::move(node));
+}
+
+PoseExpr
+Dfg::constPose(const lie::Pose &pose)
+{
+    return {constRot(pose.rotation()), constVec(pose.t())};
+}
+
+NodeId
+Dfg::constRot(Matrix r)
+{
+    if (!lie::isRotation(r, 1e-6))
+        throw std::invalid_argument("Dfg::constRot: not a rotation");
+    DfgNode node{Op::ConstRot, {}, 0, std::move(r), {}, nullptr, 0.0, {}};
+    return push(std::move(node));
+}
+
+NodeId
+Dfg::constVec(Vector v)
+{
+    DfgNode node{Op::ConstVec, {}, 0, {}, std::move(v), nullptr, 0.0, {}};
+    return push(std::move(node));
+}
+
+NodeId
+Dfg::exp(NodeId tangent)
+{
+    return push({Op::Exp, {tangent}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::log(NodeId rot)
+{
+    return push({Op::Log, {rot}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::rt(NodeId rot)
+{
+    return push({Op::RT, {rot}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::rr(NodeId a, NodeId b)
+{
+    return push({Op::RR, {a, b}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::rv(NodeId rot, NodeId vec)
+{
+    return push({Op::RV, {rot, vec}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::vadd(NodeId a, NodeId b)
+{
+    return push({Op::VAdd, {a, b}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::vsub(NodeId a, NodeId b)
+{
+    return push({Op::VSub, {a, b}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::mv(Matrix coeff, NodeId vec)
+{
+    return push({Op::MV, {vec}, 0, std::move(coeff), {}, nullptr, 0.0, {}});
+}
+
+NodeId
+Dfg::proj(NodeId point, CameraModel camera)
+{
+    return push({Op::Proj, {point}, 0, {}, {}, nullptr, 0.0, camera});
+}
+
+NodeId
+Dfg::sdf(NodeId point, SdfMapPtr map)
+{
+    if (!map)
+        throw std::invalid_argument("Dfg::sdf: null map");
+    return push({Op::Sdf, {point}, 0, {}, {}, std::move(map), 0.0, {}});
+}
+
+NodeId
+Dfg::hinge(NodeId vec, double eps)
+{
+    return push({Op::Hinge, {vec}, 0, {}, {}, nullptr, eps, {}});
+}
+
+NodeId
+Dfg::norm(NodeId vec)
+{
+    return push({Op::Norm, {vec}, 0, {}, {}, nullptr, 0.0, {}});
+}
+
+PoseExpr
+Dfg::oplus(PoseExpr a, PoseExpr b)
+{
+    const NodeId rot = rr(a.rot, b.rot);
+    const NodeId trans = vadd(a.trans, rv(a.rot, b.trans));
+    return {rot, trans};
+}
+
+PoseExpr
+Dfg::ominus(PoseExpr a, PoseExpr b)
+{
+    const NodeId rbt = rt(b.rot);
+    const NodeId rot = rr(rbt, a.rot);
+    const NodeId trans = rv(rbt, vsub(a.trans, b.trans));
+    return {rot, trans};
+}
+
+void
+Dfg::addOutput(NodeId vec)
+{
+    if (vec >= nodes_.size())
+        throw std::invalid_argument("Dfg::addOutput: node out of range");
+    if (producesRotation(nodes_[vec].op))
+        throw std::invalid_argument(
+            "Dfg::addOutput: outputs must be vector-valued");
+    outputs_.push_back(vec);
+}
+
+void
+Dfg::addPoseOutput(PoseExpr pose)
+{
+    addOutput(log(pose.rot));
+    addOutput(pose.trans);
+}
+
+std::vector<Key>
+Dfg::variableKeys() const
+{
+    std::vector<Key> keys;
+    for (const DfgNode &node : nodes_) {
+        if (node.op != Op::InputRot && node.op != Op::InputTrans &&
+            node.op != Op::InputVec)
+            continue;
+        bool seen = false;
+        for (Key k : keys)
+            seen = seen || (k == node.key);
+        if (!seen)
+            keys.push_back(node.key);
+    }
+    return keys;
+}
+
+DfgForward
+evalForward(const Dfg &dfg, const Values &values)
+{
+    const auto &nodes = dfg.nodes();
+    DfgForward fwd;
+    fwd.rotValue.resize(nodes.size());
+    fwd.vecValue.resize(nodes.size());
+
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        const DfgNode &node = nodes[id];
+        auto rotIn = [&](std::size_t slot) -> const Matrix & {
+            return fwd.rotValue[node.inputs[slot]];
+        };
+        auto vecIn = [&](std::size_t slot) -> const Vector & {
+            return fwd.vecValue[node.inputs[slot]];
+        };
+        switch (node.op) {
+          case Op::InputRot:
+            fwd.rotValue[id] = values.pose(node.key).rotation();
+            break;
+          case Op::InputTrans:
+            fwd.vecValue[id] = values.pose(node.key).t();
+            break;
+          case Op::InputVec:
+            fwd.vecValue[id] = values.vector(node.key);
+            break;
+          case Op::ConstRot:
+            fwd.rotValue[id] = node.constMat;
+            break;
+          case Op::ConstVec:
+            fwd.vecValue[id] = node.constVec;
+            break;
+          case Op::Exp:
+            fwd.rotValue[id] = lie::expSo(vecIn(0));
+            break;
+          case Op::Log:
+            fwd.vecValue[id] = lie::logSo(rotIn(0));
+            break;
+          case Op::RT:
+            fwd.rotValue[id] = rotIn(0).transpose();
+            break;
+          case Op::RR:
+            fwd.rotValue[id] = rotIn(0) * rotIn(1);
+            break;
+          case Op::RV:
+            fwd.vecValue[id] = rotIn(0) * vecIn(1);
+            break;
+          case Op::VAdd:
+            fwd.vecValue[id] = vecIn(0) + vecIn(1);
+            break;
+          case Op::VSub:
+            fwd.vecValue[id] = vecIn(0) - vecIn(1);
+            break;
+          case Op::MV:
+            fwd.vecValue[id] = node.constMat * vecIn(0);
+            break;
+          case Op::Proj: {
+            const Vector &p = vecIn(0);
+            if (p.size() != 3)
+                throw std::invalid_argument("Proj: point must be 3-D");
+            if (p[2] <= 1e-9)
+                throw std::runtime_error("Proj: point behind camera");
+            const CameraModel &c = node.camera;
+            fwd.vecValue[id] = Vector{c.fx * p[0] / p[2] + c.cx,
+                                      c.fy * p[1] / p[2] + c.cy};
+            break;
+          }
+          case Op::Sdf:
+            fwd.vecValue[id] = Vector{node.sdf->distance(vecIn(0))};
+            break;
+          case Op::Hinge: {
+            const Vector &v = vecIn(0);
+            Vector out(v.size());
+            for (std::size_t i = 0; i < v.size(); ++i)
+                out[i] = std::max(0.0, node.hingeEps - v[i]);
+            fwd.vecValue[id] = out;
+            break;
+          }
+          case Op::Norm:
+            fwd.vecValue[id] = Vector{vecIn(0).norm()};
+            break;
+        }
+    }
+
+    for (NodeId out : dfg.outputs())
+        fwd.error = fwd.error.concat(fwd.vecValue[out]);
+    return fwd;
+}
+
+namespace {
+
+/** 2-D generator matrix S = hat(1). */
+Matrix
+planarGenerator()
+{
+    return Matrix{{0.0, -1.0}, {1.0, 0.0}};
+}
+
+} // namespace
+
+std::map<Key, Matrix>
+evalBackward(const Dfg &dfg, const Values &values, const DfgForward &fwd)
+{
+    const auto &nodes = dfg.nodes();
+    const std::size_t error_dim = fwd.error.size();
+
+    // Accumulated d(error)/d(node tangent), lazily allocated.
+    std::vector<Matrix> grad(nodes.size());
+    auto accumulate = [&](NodeId id, const Matrix &j) {
+        if (grad[id].rows() == 0)
+            grad[id] = j;
+        else
+            grad[id] += j;
+    };
+
+    // Seed the outputs with identity blocks at their row offsets.
+    std::size_t row = 0;
+    for (NodeId out : dfg.outputs()) {
+        const std::size_t dim = fwd.vecValue[out].size();
+        Matrix seed(error_dim, dim);
+        seed.setBlock(row, 0, Matrix::identity(dim));
+        accumulate(out, seed);
+        row += dim;
+    }
+
+    std::map<Key, Matrix> jacobians;
+    auto accumulateVariable = [&](Key key, std::size_t col_offset,
+                                  const Matrix &j) {
+        auto it = jacobians.find(key);
+        if (it == jacobians.end()) {
+            it = jacobians
+                     .emplace(key, Matrix(error_dim, values.dof(key)))
+                     .first;
+        }
+        Matrix combined = it->second.block(0, col_offset, j.rows(),
+                                           j.cols()) +
+                          j;
+        it->second.setBlock(0, col_offset, combined);
+    };
+
+    for (std::size_t idx = nodes.size(); idx-- > 0;) {
+        const NodeId id = static_cast<NodeId>(idx);
+        const DfgNode &node = nodes[id];
+        if (grad[id].rows() == 0)
+            continue; // Node does not influence the error.
+        const Matrix &g = grad[id];
+
+        switch (node.op) {
+          case Op::InputRot:
+            // Right-tangent leaf: delta IS the optimized perturbation.
+            accumulateVariable(node.key, 0, g);
+            break;
+          case Op::InputTrans: {
+            const std::size_t tdim =
+                lie::tangentDim(values.pose(node.key).spaceDim());
+            accumulateVariable(node.key, tdim, g);
+            break;
+          }
+          case Op::InputVec:
+            accumulateVariable(node.key, 0, g);
+            break;
+          case Op::ConstRot:
+          case Op::ConstVec:
+            break;
+          case Op::Exp: {
+            // R = Exp(v): d(tangent of R)/dv = J_r(v).
+            const Vector &v = fwd.vecValue[node.inputs[0]];
+            accumulate(node.inputs[0], g * lie::rightJacobian(v));
+            break;
+          }
+          case Op::Log: {
+            // phi = Log(R): dphi/d(tangent of R) = J_r^-1(phi).
+            accumulate(node.inputs[0],
+                       g * lie::rightJacobianInv(fwd.vecValue[id]));
+            break;
+          }
+          case Op::RT: {
+            // B = A^T: tangent map is -Ad(A) (-A for SO(3), -1 for
+            // SO(2)).
+            const Matrix &a = fwd.rotValue[node.inputs[0]];
+            if (a.rows() == 3) {
+                accumulate(node.inputs[0], -(g * a));
+            } else {
+                accumulate(node.inputs[0], -g);
+            }
+            break;
+          }
+          case Op::RR: {
+            // C = A B: d/dA = Ad(B^T) = B^T (SO(3)) or 1 (SO(2));
+            // d/dB = I (the Fig. 10 rule).
+            const Matrix &b = fwd.rotValue[node.inputs[1]];
+            if (b.rows() == 3) {
+                accumulate(node.inputs[0], g * b.transpose());
+            } else {
+                accumulate(node.inputs[0], g);
+            }
+            accumulate(node.inputs[1], g);
+            break;
+          }
+          case Op::RV: {
+            // y = R v: d/dv = R; d/d(tangent of R) = -R hat(v) in
+            // SO(3), R S v in SO(2).
+            const Matrix &r = fwd.rotValue[node.inputs[0]];
+            const Vector &v = fwd.vecValue[node.inputs[1]];
+            accumulate(node.inputs[1], g * r);
+            if (r.rows() == 3) {
+                accumulate(node.inputs[0], -(g * (r * lie::hat(v))));
+            } else {
+                const Vector col = r * (planarGenerator() * v);
+                accumulate(node.inputs[0], g * col.asColumn());
+            }
+            break;
+          }
+          case Op::VAdd:
+            accumulate(node.inputs[0], g);
+            accumulate(node.inputs[1], g);
+            break;
+          case Op::VSub:
+            accumulate(node.inputs[0], g);
+            accumulate(node.inputs[1], -g);
+            break;
+          case Op::MV:
+            accumulate(node.inputs[0], g * node.constMat);
+            break;
+          case Op::Proj: {
+            const Vector &p = fwd.vecValue[node.inputs[0]];
+            const CameraModel &c = node.camera;
+            const double iz = 1.0 / p[2];
+            Matrix j(2, 3);
+            j(0, 0) = c.fx * iz;
+            j(0, 2) = -c.fx * p[0] * iz * iz;
+            j(1, 1) = c.fy * iz;
+            j(1, 2) = -c.fy * p[1] * iz * iz;
+            accumulate(node.inputs[0], g * j);
+            break;
+          }
+          case Op::Sdf: {
+            const Vector &p = fwd.vecValue[node.inputs[0]];
+            const Vector grad_row = node.sdf->gradient(p);
+            Matrix j(1, p.size());
+            for (std::size_t i = 0; i < p.size(); ++i)
+                j(0, i) = grad_row[i];
+            accumulate(node.inputs[0], g * j);
+            break;
+          }
+          case Op::Hinge: {
+            const Vector &v = fwd.vecValue[node.inputs[0]];
+            Matrix j(v.size(), v.size());
+            for (std::size_t i = 0; i < v.size(); ++i)
+                j(i, i) = (v[i] < node.hingeEps) ? -1.0 : 0.0;
+            accumulate(node.inputs[0], g * j);
+            break;
+          }
+          case Op::Norm: {
+            // d|v|/dv = v^T / |v|; zero (subgradient) at the origin.
+            const Vector &v = fwd.vecValue[node.inputs[0]];
+            const double n = fwd.vecValue[id][0];
+            Matrix j(1, v.size());
+            if (n > 1e-12)
+                for (std::size_t i = 0; i < v.size(); ++i)
+                    j(0, i) = v[i] / n;
+            accumulate(node.inputs[0], g * j);
+            break;
+          }
+        }
+    }
+    return jacobians;
+}
+
+} // namespace orianna::fg

@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fg/sdf_map.hpp"
+#include "fg/values.hpp"
+#include "lie/so.hpp"
+
+namespace orianna::fg {
+
+/**
+ * Operation kinds of the matrix-operation data-flow graph (MO-DFG,
+ * Sec. 5.2). The first group are graph inputs, the second group the
+ * nine primitives of Tbl. 3 (hat / J_r / J_r^-1 appear on the
+ * *backward* pass, emitted by the compiler as instructions, so they
+ * need no forward node kind), and the last group the extension nodes
+ * documented in DESIGN.md.
+ */
+enum class Op : std::uint8_t {
+    // Leaves.
+    InputRot,   //!< Exp(phi) of a pose variable (Exp instruction; the
+                //!< backward pass terminates here with the right
+                //!< tangent, matching Pose::retract).
+    InputTrans, //!< Translation component of a pose variable.
+    InputVec,   //!< Plain vector variable.
+    ConstRot,   //!< Constant rotation (e.g. a measurement).
+    ConstVec,   //!< Constant vector.
+    // Tbl. 3 primitives.
+    Exp,  //!< so(n) -> SO(n) on a derived tangent (backward: J_r).
+    Log,  //!< SO(n) -> so(n) (backward: J_r^-1).
+    RT,   //!< Rotation transpose.
+    RR,   //!< Rotation-rotation product.
+    RV,   //!< Rotation-vector product.
+    VAdd, //!< Vector addition (the VP primitive).
+    VSub, //!< Vector subtraction (the VP primitive).
+    // Extension nodes (DESIGN.md Sec. 2).
+    MV,    //!< Constant-matrix times vector (footnote 1: reuses RV).
+    Proj,  //!< Pinhole projection (camera factors).
+    Sdf,   //!< Signed-distance lookup (collision-free factors).
+    Hinge, //!< Elementwise max(0, eps - x) (collision-free factors).
+    Norm,  //!< Euclidean norm |v| (range factors).
+};
+
+/** True for kinds whose output is a rotation matrix. */
+bool producesRotation(Op op);
+
+/** Short mnemonic for logs and instruction listings. */
+const char *opName(Op op);
+
+using NodeId = std::uint32_t;
+
+/** Pinhole camera intrinsics for the Proj node. */
+struct CameraModel
+{
+    double fx = 1.0;
+    double fy = 1.0;
+    double cx = 0.0;
+    double cy = 0.0;
+};
+
+/** One MO-DFG node. Payload fields are used per-op as documented. */
+struct DfgNode
+{
+    Op op;
+    std::vector<NodeId> inputs;
+    Key key = 0;           //!< Input* kinds: the variable.
+    Matrix constMat;       //!< ConstRot payload / MV coefficient.
+    Vector constVec;       //!< ConstVec payload.
+    SdfMapPtr sdf;         //!< Sdf payload.
+    double hingeEps = 0.0; //!< Hinge threshold.
+    CameraModel camera;    //!< Proj payload.
+};
+
+/** A pose-valued subexpression: its rotation and translation nodes. */
+struct PoseExpr
+{
+    NodeId rot;
+    NodeId trans;
+};
+
+/**
+ * Matrix-operation data-flow graph of one factor's error function.
+ *
+ * Built once per factor type through the builder methods below;
+ * evaluated numerically by evalForward / evalBackward (the software
+ * path) and lowered to instructions by the compiler (the accelerator
+ * path). Nodes are stored in construction order, which is a valid
+ * topological order.
+ */
+class Dfg
+{
+  public:
+    // --- Leaf builders ---------------------------------------------------
+
+    /** Pose variable: rotation Exp(phi) and translation leaves. */
+    PoseExpr inputPose(Key key);
+
+    /** Plain vector variable. */
+    NodeId inputVec(Key key);
+
+    /** Constant pose (e.g. a relative-pose measurement). */
+    PoseExpr constPose(const lie::Pose &pose);
+
+    NodeId constRot(Matrix r);
+    NodeId constVec(Vector v);
+
+    // --- Primitive builders ----------------------------------------------
+
+    NodeId exp(NodeId tangent);
+    NodeId log(NodeId rot);
+    NodeId rt(NodeId rot);
+    NodeId rr(NodeId a, NodeId b);
+    NodeId rv(NodeId rot, NodeId vec);
+    NodeId vadd(NodeId a, NodeId b);
+    NodeId vsub(NodeId a, NodeId b);
+    NodeId mv(Matrix coeff, NodeId vec);
+    NodeId proj(NodeId point, CameraModel camera);
+    NodeId sdf(NodeId point, SdfMapPtr map);
+    NodeId hinge(NodeId vec, double eps);
+    NodeId norm(NodeId vec);
+
+    // --- Pose-level helpers (Equ. 2 lowered onto primitives) -------------
+
+    /** a (+) b = < Log(Ra Rb), ta + Ra tb >. */
+    PoseExpr oplus(PoseExpr a, PoseExpr b);
+
+    /** a (-) b = < Log(Rb^T Ra), Rb^T (ta - tb) >. */
+    PoseExpr ominus(PoseExpr a, PoseExpr b);
+
+    // --- Outputs ----------------------------------------------------------
+
+    /** Append a vector-valued error block. */
+    void addOutput(NodeId vec);
+
+    /** Append a pose-valued error block as [Log(rot); trans]. */
+    void addPoseOutput(PoseExpr pose);
+
+    const std::vector<DfgNode> &nodes() const { return nodes_; }
+    const std::vector<NodeId> &outputs() const { return outputs_; }
+
+    /** Variable keys referenced by leaves, in order of first use. */
+    std::vector<Key> variableKeys() const;
+
+  private:
+    NodeId push(DfgNode node);
+
+    std::vector<DfgNode> nodes_;
+    std::vector<NodeId> outputs_;
+};
+
+/** Per-node forward values plus the stacked error vector. */
+struct DfgForward
+{
+    std::vector<Matrix> rotValue; //!< Valid when the node is a rotation.
+    std::vector<Vector> vecValue; //!< Valid when the node is a vector.
+    Vector error;                 //!< Stacked outputs.
+};
+
+/**
+ * Forward traversal: evaluate every node at @p values and stack the
+ * outputs into the error vector (the instructions for the RHS vector
+ * b, Sec. 5.2).
+ */
+DfgForward evalForward(const Dfg &dfg, const Values &values);
+
+/**
+ * Backward propagation: reverse-mode chain rule through the graph,
+ * producing d(error)/d(delta_key) for every referenced variable (the
+ * instructions for the coefficient matrix A, Sec. 5.2). Pose
+ * Jacobian columns are ordered [dphi; dt] to match Pose::retract.
+ */
+std::map<Key, Matrix> evalBackward(const Dfg &dfg, const Values &values,
+                                   const DfgForward &forward);
+
+} // namespace orianna::fg

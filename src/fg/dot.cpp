@@ -1,0 +1,56 @@
+#include "fg/dot.hpp"
+
+#include <sstream>
+
+namespace orianna::fg {
+
+std::string
+graphToDot(const FactorGraph &graph)
+{
+    std::ostringstream os;
+    os << "graph factorgraph {\n"
+       << "  node [fontsize=10];\n";
+    for (Key key : graph.allKeys())
+        os << "  v" << key << " [label=\"x" << key
+           << "\", shape=circle];\n";
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+        const Factor &factor = graph.factor(i);
+        os << "  f" << i << " [label=\"" << factor.name()
+           << "\", shape=box, style=filled, fillcolor=gray85];\n";
+        for (Key key : factor.keys())
+            os << "  f" << i << " -- v" << key << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+dfgToDot(const Dfg &dfg, const std::string &name)
+{
+    std::ostringstream os;
+    os << "digraph " << name << " {\n"
+       << "  rankdir=LR;\n"
+       << "  node [fontsize=10];\n";
+    const auto &nodes = dfg.nodes();
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        const DfgNode &node = nodes[id];
+        std::string label = opName(node.op);
+        if (node.op == Op::InputRot || node.op == Op::InputTrans ||
+            node.op == Op::InputVec)
+            label += " x" + std::to_string(node.key);
+        const bool leaf = node.inputs.empty();
+        os << "  n" << id << " [label=\"" << label << "\", shape="
+           << (leaf ? "ellipse" : "box")
+           << (leaf ? ", style=filled, fillcolor=lightblue" : "")
+           << "];\n";
+        for (NodeId in : node.inputs)
+            os << "  n" << in << " -> n" << id << ";\n";
+    }
+    for (NodeId out : dfg.outputs())
+        os << "  n" << out
+           << " [style=filled, fillcolor=palegreen];\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace orianna::fg

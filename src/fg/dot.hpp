@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "fg/dfg.hpp"
+#include "fg/graph.hpp"
+
+namespace orianna::fg {
+
+/**
+ * Graphviz DOT rendering of a factor graph: circles for variables,
+ * squares for factors (the visual language of Fig. 4 / Fig. 7).
+ */
+std::string graphToDot(const FactorGraph &graph);
+
+/**
+ * Graphviz DOT rendering of an MO-DFG: one node per primitive
+ * operation with forward data-flow edges (the Fig. 10 / Fig. 11
+ * pictures).
+ */
+std::string dfgToDot(const Dfg &dfg, const std::string &name = "modfg");
+
+} // namespace orianna::fg

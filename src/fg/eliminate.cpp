@@ -1,0 +1,165 @@
+#include "fg/eliminate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "matrix/qr.hpp"
+
+namespace orianna::fg {
+
+void
+BayesNet::push(Conditional conditional)
+{
+    conditionals_.push_back(std::move(conditional));
+}
+
+std::map<Key, Vector>
+BayesNet::solve(EliminationStats *stats) const
+{
+    std::map<Key, Vector> solution;
+    for (std::size_t i = conditionals_.size(); i-- > 0;) {
+        const Conditional &c = conditionals_[i];
+        Vector rhs = c.rhs;
+        for (const auto &[parent, block] : c.rParents)
+            rhs -= block * solution.at(parent);
+        Vector delta = mat::backSubstitute(c.rSelf, rhs);
+        if (stats != nullptr) {
+            stats->backSubOps.push_back({c.rSelf.rows(), c.rSelf.cols(),
+                                         c.rSelf.density()});
+        }
+        solution.emplace(c.key, std::move(delta));
+    }
+    return solution;
+}
+
+BayesNet
+eliminate(const LinearSystem &system, const std::vector<Key> &ordering,
+          EliminationStats *stats)
+{
+    // Validate the ordering covers the system exactly.
+    {
+        std::vector<Key> sorted = ordering;
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+            sorted.end())
+            throw std::invalid_argument("eliminate: duplicate key");
+        std::vector<Key> expected;
+        for (const auto &[key, dof] : system.dofs)
+            expected.push_back(key);
+        if (sorted != expected)
+            throw std::invalid_argument(
+                "eliminate: ordering must cover every variable once");
+    }
+
+    // Working copy of the factor rows; eliminations consume rows and
+    // append the new (f7-style) factors.
+    std::vector<LinearRow> working = system.rows;
+    std::vector<bool> alive(working.size(), true);
+
+    BayesNet bayes;
+    for (Key v : ordering) {
+        // Gather the rows adjacent to v (Fig. 5 step 1).
+        std::vector<std::size_t> touching;
+        for (std::size_t i = 0; i < working.size(); ++i)
+            if (alive[i] && working[i].blocks.count(v))
+                touching.push_back(i);
+        if (touching.empty())
+            throw std::runtime_error(
+                "eliminate: variable " + std::to_string(v) +
+                " has no adjacent factors (underdetermined)");
+
+        // Involved columns: v first, then the other keys ascending.
+        std::vector<Key> involved{v};
+        for (std::size_t i : touching)
+            for (const auto &[key, block] : working[i].blocks)
+                if (key != v &&
+                    std::find(involved.begin(), involved.end(), key) ==
+                        involved.end())
+                    involved.push_back(key);
+        std::sort(involved.begin() + 1, involved.end());
+
+        std::map<Key, std::size_t> col_offset;
+        std::size_t ncols = 0;
+        for (Key key : involved) {
+            col_offset[key] = ncols;
+            ncols += system.dofs.at(key);
+        }
+
+        std::size_t nrows = 0;
+        for (std::size_t i : touching)
+            nrows += working[i].rhs.size();
+
+        // Stack the small dense system (Fig. 5 step 2).
+        Matrix abar(nrows, ncols);
+        Vector bbar(nrows);
+        std::size_t row = 0;
+        for (std::size_t i : touching) {
+            const LinearRow &lr = working[i];
+            for (const auto &[key, block] : lr.blocks)
+                abar.setBlock(row, col_offset.at(key), block);
+            bbar.setSegment(row, lr.rhs);
+            row += lr.rhs.size();
+            alive[i] = false;
+        }
+
+        if (stats != nullptr)
+            stats->qrOps.push_back(
+                {abar.rows(), abar.cols(), abar.density()});
+
+        // Partial QR (Fig. 5 step 3).
+        mat::QrResult qr = mat::householderQr(abar, bbar);
+
+        const std::size_t dv = system.dofs.at(v);
+        if (nrows < dv)
+            throw std::runtime_error(
+                "eliminate: variable " + std::to_string(v) +
+                " is underdetermined");
+
+        Conditional cond;
+        cond.key = v;
+        cond.rSelf = qr.r.block(0, 0, dv, dv);
+        cond.rhs = qr.rhs.segment(0, dv);
+        for (Key key : involved) {
+            if (key == v)
+                continue;
+            cond.rParents.emplace(
+                key, qr.r.block(0, col_offset.at(key), dv,
+                                system.dofs.at(key)));
+        }
+        bayes.push(std::move(cond));
+
+        // Remaining rows become the new factor over the separator
+        // (Fig. 5 step 4). R is upper trapezoidal, so rows at or below
+        // the column count are structurally zero; the kept row count
+        // depends only on shapes, never on values, which keeps the
+        // elimination structure identical between this software path
+        // and the compiled accelerator program.
+        if (nrows > dv && involved.size() > 1) {
+            LinearRow fresh;
+            const std::size_t kept = std::min(nrows, ncols) - dv;
+            if (kept > 0) {
+                for (Key key : involved) {
+                    if (key == v)
+                        continue;
+                    fresh.blocks.emplace(
+                        key, qr.r.block(dv, col_offset.at(key), kept,
+                                        system.dofs.at(key)));
+                }
+                fresh.rhs = qr.rhs.segment(dv, kept);
+                working.push_back(std::move(fresh));
+                alive.push_back(true);
+            }
+        }
+    }
+    return bayes;
+}
+
+std::map<Key, Vector>
+solveLinearSystem(const LinearSystem &system,
+                  const std::vector<Key> &ordering,
+                  EliminationStats *stats)
+{
+    return eliminate(system, ordering, stats).solve(stats);
+}
+
+} // namespace orianna::fg

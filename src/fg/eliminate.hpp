@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "fg/graph.hpp"
+
+namespace orianna::fg {
+
+/**
+ * Shape record of one dense matrix operation performed during factor
+ * graph inference. These records are the measured data behind
+ * Fig. 17 (operation size) and Fig. 18 (operation density).
+ */
+struct OpShape
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    double density = 0.0;
+};
+
+/** Per-inference statistics collected by eliminate(). */
+struct EliminationStats
+{
+    std::vector<OpShape> qrOps;      //!< One per variable elimination.
+    std::vector<OpShape> backSubOps; //!< One per back-substitution.
+};
+
+/**
+ * One row of the resulting upper-triangular system: the conditional
+ * of variable @p key on its parents (Fig. 6). delta_key is recovered
+ * as R_self^-1 (rhs - sum_parents R_parent delta_parent).
+ */
+struct Conditional
+{
+    Key key;
+    Matrix rSelf;                    //!< dof x dof upper triangular.
+    std::map<Key, Matrix> rParents;  //!< dof x dof(parent) blocks.
+    Vector rhs;                      //!< dof entries of Q^T b.
+};
+
+/**
+ * The eliminated (upper-triangular) system: conditionals in
+ * elimination order. Equivalent to the updated graph of Fig. 6.
+ */
+class BayesNet
+{
+  public:
+    void push(Conditional conditional);
+
+    const std::vector<Conditional> &conditionals() const
+    {
+        return conditionals_;
+    }
+
+    /**
+     * Back-substitution from the last conditional to the first,
+     * yielding the tangent update delta per variable. Appends one
+     * OpShape per substitution to @p stats when provided.
+     */
+    std::map<Key, Vector> solve(EliminationStats *stats = nullptr) const;
+
+  private:
+    std::vector<Conditional> conditionals_;
+};
+
+/**
+ * Factor-graph inference, phase 1 (Fig. 5): eliminate the variables
+ * of @p ordering one by one. For each variable the adjacent factor
+ * rows are gathered into a small dense matrix, a (partial) QR
+ * triangularizes it, the top rows become the variable's conditional
+ * and the remainder re-enters the graph as a new factor.
+ *
+ * @param system   the linearized factor rows.
+ * @param ordering every variable of the system exactly once.
+ * @param stats    optional shape/density collection.
+ * @throws std::invalid_argument when the ordering is incomplete.
+ * @throws std::runtime_error when a variable is underdetermined.
+ */
+BayesNet eliminate(const LinearSystem &system,
+                   const std::vector<Key> &ordering,
+                   EliminationStats *stats = nullptr);
+
+/**
+ * Convenience: full linear solve (eliminate + back substitution) in
+ * the given ordering.
+ */
+std::map<Key, Vector> solveLinearSystem(const LinearSystem &system,
+                                        const std::vector<Key> &ordering,
+                                        EliminationStats *stats = nullptr);
+
+} // namespace orianna::fg

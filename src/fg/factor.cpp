@@ -1,0 +1,99 @@
+#include "fg/factor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace orianna::fg {
+
+void
+Factor::finalize(Vector sigmas)
+{
+    if (dfg_.outputs().empty())
+        throw std::logic_error("Factor::finalize: no outputs declared");
+    for (std::size_t i = 0; i < sigmas.size(); ++i)
+        if (sigmas[i] <= 0.0)
+            throw std::invalid_argument("Factor: sigmas must be positive");
+    keys_ = dfg_.variableKeys();
+    sigmas_ = std::move(sigmas);
+}
+
+Vector
+Factor::error(const Values &values) const
+{
+    DfgForward fwd = evalForward(dfg_, values);
+    if (fwd.error.size() != dim())
+        throw std::logic_error("Factor: error dim does not match sigmas");
+    return fwd.error;
+}
+
+void
+Factor::setRobust(double k)
+{
+    if (k <= 0.0)
+        throw std::invalid_argument("Factor::setRobust: k must be > 0");
+    robustK_ = k;
+}
+
+namespace {
+
+/** sqrt of the Huber weight for a whitened residual norm. */
+double
+huberSqrtWeight(double norm, double k)
+{
+    if (k <= 0.0 || norm <= k)
+        return 1.0;
+    return std::sqrt(k / norm);
+}
+
+} // namespace
+
+Vector
+Factor::whitenedError(const Values &values) const
+{
+    Vector e = error(values);
+    for (std::size_t i = 0; i < e.size(); ++i)
+        e[i] /= sigmas_[i];
+    const double w = huberSqrtWeight(e.norm(), robustK_);
+    if (w != 1.0)
+        e = e * w;
+    return e;
+}
+
+std::map<Key, Matrix>
+Factor::whitenedJacobians(const Values &values) const
+{
+    DfgForward fwd = evalForward(dfg_, values);
+    std::map<Key, Matrix> jacobians = evalBackward(dfg_, values, fwd);
+    double w = 1.0;
+    if (robustK_ > 0.0) {
+        Vector e = fwd.error;
+        for (std::size_t i = 0; i < e.size(); ++i)
+            e[i] /= sigmas_[i];
+        w = huberSqrtWeight(e.norm(), robustK_);
+    }
+    for (auto &[key, j] : jacobians)
+        for (std::size_t i = 0; i < j.rows(); ++i)
+            for (std::size_t c = 0; c < j.cols(); ++c)
+                j(i, c) = j(i, c) / sigmas_[i] * w;
+    return jacobians;
+}
+
+double
+Factor::cost(const Values &values) const
+{
+    const Vector e = whitenedError(values);
+    return 0.5 * e.dot(e);
+}
+
+Vector
+isotropicSigmas(std::size_t dim, double sigma)
+{
+    if (sigma <= 0.0)
+        throw std::invalid_argument("isotropicSigmas: sigma must be > 0");
+    Vector out(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        out[i] = sigma;
+    return out;
+}
+
+} // namespace orianna::fg

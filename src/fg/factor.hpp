@@ -1,0 +1,97 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fg/dfg.hpp"
+#include "fg/values.hpp"
+
+namespace orianna::fg {
+
+/**
+ * A factor node: a vector-valued error function over a set of
+ * variables, with Gaussian noise described by per-row sigmas.
+ *
+ * Every factor in the library *is* an MO-DFG (Sec. 5.2): the error and
+ * Jacobians are obtained by forward traversal and backward propagation
+ * of the graph, and the very same graph is what the compiler lowers to
+ * accelerator instructions. This keeps the software reference path and
+ * the accelerator path numerically identical by construction.
+ *
+ * Subclasses build their DFG in the constructor and must call
+ * finalize() once the outputs are declared.
+ */
+class Factor
+{
+  public:
+    virtual ~Factor() = default;
+
+    /** Variable keys this factor constrains, in DFG first-use order. */
+    const std::vector<Key> &keys() const { return keys_; }
+
+    /** Error dimension (number of block rows contributed to A). */
+    std::size_t dim() const { return sigmas_.size(); }
+
+    /** Human-readable factor-type name for logs and listings. */
+    const std::string &name() const { return name_; }
+
+    /** The factor's matrix-operation data-flow graph. */
+    const Dfg &dfg() const { return dfg_; }
+
+    /** Per-row noise sigmas. */
+    const Vector &sigmas() const { return sigmas_; }
+
+    /** Raw (unwhitened) error at @p values. */
+    Vector error(const Values &values) const;
+
+    /** Whitened error: e_i / sigma_i. */
+    Vector whitenedError(const Values &values) const;
+
+    /**
+     * Whitened Jacobians d(e/sigma)/d(delta_key) for every key, via
+     * backward propagation on the DFG.
+     */
+    std::map<Key, Matrix> whitenedJacobians(const Values &values) const;
+
+    /** Contribution to the objective: 0.5 * ||whitened error||^2
+     *  (with the robust weight applied when enabled). */
+    double cost(const Values &values) const;
+
+    /**
+     * Enable a Huber robust kernel with threshold @p k (in whitened
+     * units): residuals beyond k are downweighted by sqrt(k/|e|),
+     * bounding the influence of outlier measurements. Applied
+     * identically by the software path and the compiled program.
+     */
+    void setRobust(double k);
+
+    /** Huber threshold; 0 when the kernel is disabled. */
+    double robustK() const { return robustK_; }
+
+  protected:
+    explicit Factor(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Freeze the factor after DFG construction. @p sigmas must have
+     * one entry per error row; pass Vector(dim) filled with 1.0 for
+     * unit noise.
+     */
+    void finalize(Vector sigmas);
+
+    Dfg dfg_;
+
+  private:
+    std::string name_;
+    std::vector<Key> keys_;
+    Vector sigmas_;
+    double robustK_ = 0.0;
+};
+
+using FactorPtr = std::shared_ptr<const Factor>;
+
+/** Convenience: a sigmas vector with every entry equal to @p sigma. */
+Vector isotropicSigmas(std::size_t dim, double sigma);
+
+} // namespace orianna::fg

@@ -1,0 +1,187 @@
+#include "fg/factors.hpp"
+
+#include <stdexcept>
+
+namespace orianna::fg {
+
+namespace {
+
+/** Selector matrix picking rows [offset, offset+count) of a vector. */
+Matrix
+selector(std::size_t total, std::size_t offset, std::size_t count)
+{
+    Matrix s(count, total);
+    for (std::size_t i = 0; i < count; ++i)
+        s(i, offset + i) = 1.0;
+    return s;
+}
+
+} // namespace
+
+PriorFactor::PriorFactor(Key x, const lie::Pose &prior, Vector sigmas)
+    : Factor("Prior")
+{
+    PoseExpr xe = dfg_.inputPose(x);
+    PoseExpr pe = dfg_.constPose(prior);
+    dfg_.addPoseOutput(dfg_.ominus(xe, pe));
+    finalize(std::move(sigmas));
+}
+
+BetweenFactor::BetweenFactor(Key xi, Key xj, const lie::Pose &measured,
+                             Vector sigmas, std::string name)
+    : Factor(std::move(name)), measured_(measured)
+{
+    PoseExpr a = dfg_.inputPose(xi);
+    PoseExpr b = dfg_.inputPose(xj);
+    PoseExpr z = dfg_.constPose(measured);
+    // e = (x_j (-) x_i) (-) z_ij, cf. Equ. 3 / Equ. 4.
+    dfg_.addPoseOutput(dfg_.ominus(dfg_.ominus(b, a), z));
+    finalize(std::move(sigmas));
+}
+
+IMUFactor::IMUFactor(Key xi, Key xj, const lie::Pose &preintegrated,
+                     Vector sigmas)
+    : BetweenFactor(xi, xj, preintegrated, std::move(sigmas), "IMU")
+{}
+
+LiDARFactor::LiDARFactor(Key xi, Key xj, const lie::Pose &scan_match,
+                         Vector sigmas)
+    : BetweenFactor(xi, xj, scan_match, std::move(sigmas), "LiDAR")
+{}
+
+GPSFactor::GPSFactor(Key x, Vector position, Vector sigmas)
+    : Factor("GPS")
+{
+    PoseExpr xe = dfg_.inputPose(x);
+    NodeId z = dfg_.constVec(std::move(position));
+    dfg_.addOutput(dfg_.vsub(xe.trans, z));
+    finalize(std::move(sigmas));
+}
+
+CameraFactor::CameraFactor(Key pose, Key landmark, Vector pixel,
+                           CameraModel camera, Vector sigmas)
+    : Factor("Camera")
+{
+    if (pixel.size() != 2)
+        throw std::invalid_argument("CameraFactor: pixel must be 2-D");
+    PoseExpr xe = dfg_.inputPose(pose);
+    NodeId l = dfg_.inputVec(landmark);
+    // Landmark in the camera frame: R^T (l - t).
+    NodeId local = dfg_.rv(dfg_.rt(xe.rot), dfg_.vsub(l, xe.trans));
+    NodeId predicted = dfg_.proj(local, camera);
+    dfg_.addOutput(dfg_.vsub(predicted, dfg_.constVec(std::move(pixel))));
+    finalize(std::move(sigmas));
+}
+
+SmoothFactor::SmoothFactor(Key si, Key sj, std::size_t pos_dim, double dt,
+                           Vector sigmas)
+    : Factor("Smooth")
+{
+    const std::size_t state_dim = 2 * pos_dim;
+    NodeId a = dfg_.inputVec(si);
+    NodeId b = dfg_.inputVec(sj);
+    // Constant-velocity transition Phi = [I, dt I; 0, I].
+    Matrix phi = Matrix::identity(state_dim);
+    for (std::size_t i = 0; i < pos_dim; ++i)
+        phi(i, pos_dim + i) = dt;
+    dfg_.addOutput(dfg_.vsub(b, dfg_.mv(std::move(phi), a)));
+    finalize(std::move(sigmas));
+}
+
+CollisionFreeFactor::CollisionFreeFactor(Key s, SdfMapPtr map,
+                                         std::size_t state_dim,
+                                         std::size_t pos_dim, double eps,
+                                         double sigma)
+    : Factor("CollisionFree")
+{
+    NodeId state = dfg_.inputVec(s);
+    NodeId position = dfg_.mv(selector(state_dim, 0, pos_dim), state);
+    NodeId distance = dfg_.sdf(position, std::move(map));
+    dfg_.addOutput(dfg_.hinge(distance, eps));
+    finalize(isotropicSigmas(1, sigma));
+}
+
+KinematicsFactor::KinematicsFactor(Key s, std::size_t state_dim,
+                                   std::size_t vel_offset,
+                                   std::size_t vel_dim, double vmax,
+                                   double sigma)
+    : Factor("Kinematics")
+{
+    NodeId state = dfg_.inputVec(s);
+    Matrix pick = selector(state_dim, vel_offset, vel_dim);
+    NodeId v = dfg_.mv(pick, state);
+    NodeId neg_v = dfg_.mv(-selector(state_dim, vel_offset, vel_dim),
+                           state);
+    // Upper bound: max(0, v - vmax) == hinge(-v, eps = -vmax).
+    dfg_.addOutput(dfg_.hinge(neg_v, -vmax));
+    // Lower bound: max(0, -vmax - v) == hinge(v, eps = -vmax).
+    dfg_.addOutput(dfg_.hinge(v, -vmax));
+    finalize(isotropicSigmas(2 * vel_dim, sigma));
+}
+
+DynamicsFactor::DynamicsFactor(Key xk, Key uk, Key xnext, Matrix a,
+                               Matrix b, Vector sigmas)
+    : Factor("Dynamics")
+{
+    if (a.rows() != b.rows())
+        throw std::invalid_argument("DynamicsFactor: A/B row mismatch");
+    NodeId x = dfg_.inputVec(xk);
+    NodeId u = dfg_.inputVec(uk);
+    NodeId xn = dfg_.inputVec(xnext);
+    NodeId predicted =
+        dfg_.vadd(dfg_.mv(std::move(a), x), dfg_.mv(std::move(b), u));
+    dfg_.addOutput(dfg_.vsub(xn, predicted));
+    finalize(std::move(sigmas));
+}
+
+VectorPriorFactor::VectorPriorFactor(Key x, Vector target, Vector sigmas,
+                                     std::string name)
+    : Factor(std::move(name))
+{
+    NodeId xe = dfg_.inputVec(x);
+    dfg_.addOutput(dfg_.vsub(xe, dfg_.constVec(std::move(target))));
+    finalize(std::move(sigmas));
+}
+
+RangeFactor::RangeFactor(Key pose, Key landmark, double range,
+                         double sigma)
+    : Factor("Range")
+{
+    PoseExpr xe = dfg_.inputPose(pose);
+    NodeId l = dfg_.inputVec(landmark);
+    NodeId distance = dfg_.norm(dfg_.vsub(l, xe.trans));
+    dfg_.addOutput(
+        dfg_.vsub(distance, dfg_.constVec(Vector{range})));
+    finalize(isotropicSigmas(1, sigma));
+}
+
+ArmCollisionFactor::ArmCollisionFactor(Key q, double l1, double l2,
+                                       SdfMapPtr map, double eps,
+                                       double sigma)
+    : Factor("ArmCollision")
+{
+    NodeId state = dfg_.inputVec(q);
+    // Joint angles as 1-dim tangents (selector rows), then planar
+    // rotations via Exp.
+    NodeId q1 = dfg_.mv(selector(4, 0, 1), state);
+    NodeId q2 = dfg_.mv(selector(4, 1, 1), state);
+    NodeId r1 = dfg_.exp(q1);                  // Shoulder rotation.
+    NodeId r12 = dfg_.exp(dfg_.vadd(q1, q2));  // Shoulder + elbow.
+    NodeId elbow = dfg_.rv(r1, dfg_.constVec(Vector{l1, 0.0}));
+    NodeId tip =
+        dfg_.vadd(elbow, dfg_.rv(r12, dfg_.constVec(Vector{l2, 0.0})));
+    // Clearance of both link endpoints.
+    dfg_.addOutput(dfg_.hinge(dfg_.sdf(elbow, map), eps));
+    dfg_.addOutput(dfg_.hinge(dfg_.sdf(tip, std::move(map)), eps));
+    finalize(isotropicSigmas(2, sigma));
+}
+
+ExpressionFactor::ExpressionFactor(Dfg dfg, Vector sigmas,
+                                   std::string name)
+    : Factor(std::move(name))
+{
+    dfg_ = std::move(dfg);
+    finalize(std::move(sigmas));
+}
+
+} // namespace orianna::fg

@@ -1,0 +1,187 @@
+#pragma once
+
+#include "fg/factor.hpp"
+#include "fg/sdf_map.hpp"
+
+namespace orianna::fg {
+
+/**
+ * @file
+ * The ORIANNA factor graph library (Sec. 5.1, Tbl. 2).
+ *
+ * Measurement factors: Prior, GPS, LiDAR, IMU, Camera.
+ * Constraint factors: Smooth, Collision-free, Kinematics, Dynamics.
+ * Users can additionally define custom factors from an error
+ * expression with ExpressionFactor, mirroring the Equ. 3 workflow.
+ */
+
+/**
+ * Prior on a pose variable: e = x (-) prior, anchoring the absolute
+ * pose of the robot (factor f6 in Fig. 4).
+ */
+class PriorFactor : public Factor
+{
+  public:
+    PriorFactor(Key x, const lie::Pose &prior, Vector sigmas);
+};
+
+/**
+ * Relative-pose (between) factor, the paper's custom-factor example
+ * (Equ. 3): e = (x_j (-) x_i) (-) z_ij, with z_ij the measured motion
+ * from i to j.
+ */
+class BetweenFactor : public Factor
+{
+  public:
+    BetweenFactor(Key xi, Key xj, const lie::Pose &measured,
+                  Vector sigmas, std::string name = "Between");
+
+    /** The relative-pose measurement z_ij (for I/O and inspection). */
+    const lie::Pose &measured() const { return measured_; }
+
+  private:
+    lie::Pose measured_;
+};
+
+/**
+ * IMU factor: preintegrated inertial measurement between consecutive
+ * poses (factors f4/f5 in Fig. 4). Structurally a between factor; the
+ * preintegration itself happens in the workload generator.
+ */
+class IMUFactor : public BetweenFactor
+{
+  public:
+    IMUFactor(Key xi, Key xj, const lie::Pose &preintegrated,
+              Vector sigmas);
+};
+
+/**
+ * LiDAR odometry factor: scan-matched relative pose between
+ * consecutive robot poses.
+ */
+class LiDARFactor : public BetweenFactor
+{
+  public:
+    LiDARFactor(Key xi, Key xj, const lie::Pose &scan_match,
+                Vector sigmas);
+};
+
+/** GPS factor: direct position observation, e = t(x) - z. */
+class GPSFactor : public Factor
+{
+  public:
+    GPSFactor(Key x, Vector position, Vector sigmas);
+};
+
+/**
+ * Camera (projection) factor between a pose and a 3-D landmark
+ * (factors f1..f3 in Fig. 4): e = proj(R^T (l - t)) - pixel.
+ * Contributes the 2x6 / 2x3 block pair described in Sec. 5.1.
+ */
+class CameraFactor : public Factor
+{
+  public:
+    CameraFactor(Key pose, Key landmark, Vector pixel,
+                 CameraModel camera, Vector sigmas);
+};
+
+/**
+ * Smoothness (GP-prior) factor between consecutive trajectory states
+ * s = [position; velocity] (each of dimension @p pos_dim):
+ *   e = [ p_j - p_i - dt v_i ; v_j - v_i ].
+ * Penalizes non-constant-velocity motion, as in GPMP2-style planners.
+ */
+class SmoothFactor : public Factor
+{
+  public:
+    SmoothFactor(Key si, Key sj, std::size_t pos_dim, double dt,
+                 Vector sigmas);
+};
+
+/**
+ * Collision-free factor: hinge loss on the signed distance of the
+ * state's position to the obstacle set,
+ *   e = max(0, eps - d(p)).
+ * Positions are the first @p pos_dim entries of the state vector.
+ */
+class CollisionFreeFactor : public Factor
+{
+  public:
+    CollisionFreeFactor(Key s, SdfMapPtr map, std::size_t state_dim,
+                        std::size_t pos_dim, double eps, double sigma);
+};
+
+/**
+ * Kinematics factor: soft box constraint |v_i| <= vmax on the
+ * velocity entries of a trajectory state, emitted as two hinge
+ * blocks (upper and lower bound).
+ */
+class KinematicsFactor : public Factor
+{
+  public:
+    KinematicsFactor(Key s, std::size_t state_dim, std::size_t vel_offset,
+                     std::size_t vel_dim, double vmax, double sigma);
+};
+
+/**
+ * Dynamics factor for control problems (Fig. 7b): linear(ized)
+ * dynamics x_{k+1} = A x_k + B u_k, with error
+ *   e = x_{k+1} - A x_k - B u_k.
+ */
+class DynamicsFactor : public Factor
+{
+  public:
+    DynamicsFactor(Key xk, Key uk, Key xnext, Matrix a, Matrix b,
+                   Vector sigmas);
+};
+
+/**
+ * Quadratic cost factor for control problems: e = x - target with a
+ * per-row weight (the cost factor node of Fig. 7b).
+ */
+class VectorPriorFactor : public Factor
+{
+  public:
+    VectorPriorFactor(Key x, Vector target, Vector sigmas,
+                      std::string name = "VectorPrior");
+};
+
+/**
+ * Range factor: distance measurement between a pose and a landmark
+ * (UWB beacon / sonar style), e = |l - t(x)| - r.
+ */
+class RangeFactor : public Factor
+{
+  public:
+    RangeFactor(Key pose, Key landmark, double range, double sigma);
+};
+
+/**
+ * Workspace collision factor for a two-link planar arm: the joint
+ * state q = [q1 q2 dq1 dq2] maps through forward kinematics to the
+ * elbow and end-effector positions, whose clearance from the obstacle
+ * set is penalized with a hinge (GPMP2-style arm planning).
+ *
+ * The forward kinematics are expressed entirely in Tbl. 3 primitives:
+ * elbow = Exp(q1) [l1; 0], tip = elbow + Exp(q1 + q2) [l2; 0].
+ */
+class ArmCollisionFactor : public Factor
+{
+  public:
+    ArmCollisionFactor(Key q, double l1, double l2, SdfMapPtr map,
+                       double eps, double sigma);
+};
+
+/**
+ * Custom factor from a user-built error expression. This is the
+ * public customization hook of Sec. 5.1: build a Dfg with the builder
+ * API (the analog of writing Equ. 3) and wrap it.
+ */
+class ExpressionFactor : public Factor
+{
+  public:
+    ExpressionFactor(Dfg dfg, Vector sigmas,
+                     std::string name = "Expression");
+};
+
+} // namespace orianna::fg

@@ -1,0 +1,130 @@
+#include "fg/graph.hpp"
+
+#include <stdexcept>
+
+namespace orianna::fg {
+
+std::size_t
+LinearSystem::totalRows() const
+{
+    std::size_t total = 0;
+    for (const LinearRow &row : rows)
+        total += row.rhs.size();
+    return total;
+}
+
+std::size_t
+LinearSystem::totalCols() const
+{
+    std::size_t total = 0;
+    for (const auto &[key, dof] : dofs)
+        total += dof;
+    return total;
+}
+
+mat::BlockSparseMatrix
+LinearSystem::toBlockSparse(const std::vector<Key> &ordering) const
+{
+    std::vector<std::size_t> row_dims;
+    row_dims.reserve(rows.size());
+    for (const LinearRow &row : rows)
+        row_dims.push_back(row.rhs.size());
+
+    std::vector<std::size_t> col_dims;
+    std::map<Key, std::size_t> col_index;
+    for (Key key : ordering) {
+        col_index[key] = col_dims.size();
+        col_dims.push_back(dofs.at(key));
+    }
+
+    mat::BlockSparseMatrix out(row_dims, col_dims);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        for (const auto &[key, block] : rows[i].blocks)
+            out.setBlock(i, col_index.at(key), block);
+    return out;
+}
+
+Matrix
+LinearSystem::toDense(const std::vector<Key> &ordering) const
+{
+    return toBlockSparse(ordering).toDense();
+}
+
+Vector
+LinearSystem::stackedRhs() const
+{
+    Vector out;
+    for (const LinearRow &row : rows)
+        out = out.concat(row.rhs);
+    return out;
+}
+
+void
+FactorGraph::add(FactorPtr factor)
+{
+    if (!factor)
+        throw std::invalid_argument("FactorGraph::add: null factor");
+    factors_.push_back(std::move(factor));
+}
+
+double
+FactorGraph::totalError(const Values &values) const
+{
+    double total = 0.0;
+    for (const FactorPtr &factor : factors_)
+        total += factor->cost(values);
+    return total;
+}
+
+std::vector<Key>
+FactorGraph::allKeys() const
+{
+    std::map<Key, bool> seen;
+    for (const FactorPtr &factor : factors_)
+        for (Key key : factor->keys())
+            seen[key] = true;
+    std::vector<Key> out;
+    out.reserve(seen.size());
+    for (const auto &[key, flag] : seen)
+        out.push_back(key);
+    return out;
+}
+
+std::map<Key, std::vector<std::size_t>>
+FactorGraph::adjacency() const
+{
+    std::map<Key, std::vector<std::size_t>> adj;
+    for (std::size_t i = 0; i < factors_.size(); ++i)
+        for (Key key : factors_[i]->keys())
+            adj[key].push_back(i);
+    return adj;
+}
+
+LinearSystem
+FactorGraph::linearize(const Values &values) const
+{
+    LinearSystem system;
+    system.rows.reserve(factors_.size());
+    for (std::size_t i = 0; i < factors_.size(); ++i) {
+        const Factor &factor = *factors_[i];
+        LinearRow row;
+        row.factorIndex = i;
+        row.blocks = factor.whitenedJacobians(values);
+        row.rhs = -factor.whitenedError(values);
+        // A factor may reference a variable whose Jacobian block is
+        // entirely zero at this linearization point (e.g. an inactive
+        // hinge); keep the structural block so the elimination order
+        // stays value-independent, as the compiler requires.
+        for (Key key : factor.keys()) {
+            if (row.blocks.count(key) == 0) {
+                row.blocks.emplace(
+                    key, Matrix(factor.dim(), values.dof(key)));
+            }
+            system.dofs[key] = values.dof(key);
+        }
+        system.rows.push_back(std::move(row));
+    }
+    return system;
+}
+
+} // namespace orianna::fg

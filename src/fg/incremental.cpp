@@ -1,0 +1,359 @@
+#include "fg/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "matrix/qr.hpp"
+
+namespace orianna::fg {
+
+void
+IncrementalSmoother::addVariable(Key key, lie::Pose initial)
+{
+    linPoint_.insert(key, std::move(initial));
+}
+
+void
+IncrementalSmoother::addVariable(Key key, Vector initial)
+{
+    linPoint_.insert(key, std::move(initial));
+}
+
+void
+IncrementalSmoother::addFactor(FactorPtr factor)
+{
+    if (!factor)
+        throw std::invalid_argument(
+            "IncrementalSmoother::addFactor: null factor");
+    pendingFactors_.push_back(std::move(factor));
+}
+
+std::size_t
+IncrementalSmoother::orderingPosition(Key key) const
+{
+    auto it = position_.find(key);
+    return it == position_.end() ? SIZE_MAX : it->second;
+}
+
+UpdateStats
+IncrementalSmoother::update()
+{
+    if (pendingFactors_.empty() && updates_ > 0)
+        return {0, ordering_.size(), false};
+
+    // Decide whether this update relinearizes everything.
+    bool relinearize = updates_ == 0 ||
+                       (updates_ % params_.relinearizeInterval) == 0;
+    for (const auto &[key, d] : delta_)
+        if (d.maxAbs() > params_.relinearizeThreshold)
+            relinearize = true;
+
+    // Incorporate the queued factors.
+    std::size_t affected_start = ordering_.size();
+    for (FactorPtr &factor : pendingFactors_) {
+        for (Key key : factor->keys()) {
+            if (!linPoint_.exists(key))
+                throw std::runtime_error(
+                    "IncrementalSmoother: factor references unknown "
+                    "variable " +
+                    std::to_string(key));
+            if (position_.count(key) == 0) {
+                // New variable: append to the ordering.
+                position_[key] = ordering_.size();
+                ordering_.push_back(key);
+                dofs_[key] = linPoint_.dof(key);
+            } else {
+                affected_start =
+                    std::min(affected_start, position_[key]);
+            }
+        }
+        graph_.add(std::move(factor));
+        factorActive_.push_back(true);
+    }
+    const std::size_t n_new = pendingFactors_.size();
+    pendingFactors_.clear();
+
+    UpdateStats stats;
+    stats.totalVariables = ordering_.size();
+    stats.relinearized = relinearize;
+
+    if (relinearize) {
+        relinearizeAll();
+        stats.eliminatedVariables = ordering_.size();
+    } else {
+        // Linearize only the new factors at the fixed point; the
+        // prefix of the elimination stays valid.
+        const std::size_t first_new = graph_.size() - n_new;
+        for (std::size_t i = first_new; i < graph_.size(); ++i) {
+            const Factor &factor = graph_.factor(i);
+            RowRecord record;
+            record.row.factorIndex = i;
+            record.row.blocks = factor.whitenedJacobians(linPoint_);
+            record.row.rhs = -factor.whitenedError(linPoint_);
+            for (Key key : factor.keys())
+                if (record.row.blocks.count(key) == 0)
+                    record.row.blocks.emplace(
+                        key,
+                        Matrix(factor.dim(), linPoint_.dof(key)));
+            rows_.push_back(std::move(record));
+        }
+        // Roll back the affected suffix: revive rows consumed at or
+        // after the restart point and drop rows created there.
+        std::vector<RowRecord> kept;
+        kept.reserve(rows_.size());
+        for (RowRecord &record : rows_) {
+            if (record.createdStep != SIZE_MAX &&
+                record.createdStep >= affected_start)
+                continue; // Product of a discarded elimination step.
+            if (record.consumedStep != SIZE_MAX &&
+                record.consumedStep >= affected_start)
+                record.consumedStep = SIZE_MAX;
+            kept.push_back(std::move(record));
+        }
+        rows_ = std::move(kept);
+        conditionals_.resize(
+            std::min(conditionals_.size(), affected_start));
+        eliminateFrom(affected_start);
+        stats.eliminatedVariables = ordering_.size() - affected_start;
+    }
+
+    refreshDelta();
+    ++updates_;
+    return stats;
+}
+
+void
+IncrementalSmoother::relinearizeAll()
+{
+    // Move the linearization point to the current estimate.
+    if (!delta_.empty()) {
+        Values moved = estimate();
+        linPoint_ = std::move(moved);
+        delta_.clear();
+    }
+    rows_.clear();
+    conditionals_.clear();
+    for (const LinearRow &prior : marginalPriors_) {
+        RowRecord record;
+        record.row = prior;
+        record.isPrior = true;
+        rows_.push_back(std::move(record));
+    }
+    for (std::size_t i = 0; i < graph_.size(); ++i) {
+        if (!factorActive_[i])
+            continue;
+        const Factor &factor = graph_.factor(i);
+        RowRecord record;
+        record.row.factorIndex = i;
+        record.row.blocks = factor.whitenedJacobians(linPoint_);
+        record.row.rhs = -factor.whitenedError(linPoint_);
+        for (Key key : factor.keys())
+            if (record.row.blocks.count(key) == 0)
+                record.row.blocks.emplace(
+                    key, Matrix(factor.dim(), linPoint_.dof(key)));
+        rows_.push_back(std::move(record));
+    }
+    eliminateFrom(0);
+}
+
+void
+IncrementalSmoother::eliminateFrom(std::size_t start)
+{
+    for (std::size_t step = start; step < ordering_.size(); ++step) {
+        const Key v = ordering_[step];
+
+        std::vector<std::size_t> touching;
+        for (std::size_t i = 0; i < rows_.size(); ++i)
+            if (rows_[i].consumedStep == SIZE_MAX &&
+                rows_[i].row.blocks.count(v))
+                touching.push_back(i);
+        if (touching.empty())
+            throw std::runtime_error(
+                "IncrementalSmoother: variable " + std::to_string(v) +
+                " has no adjacent factors");
+
+        std::vector<Key> involved{v};
+        for (std::size_t i : touching)
+            for (const auto &[key, block] : rows_[i].row.blocks)
+                if (key != v &&
+                    std::find(involved.begin(), involved.end(), key) ==
+                        involved.end())
+                    involved.push_back(key);
+        std::sort(involved.begin() + 1, involved.end());
+
+        std::map<Key, std::size_t> col_offset;
+        std::size_t ncols = 0;
+        for (Key key : involved) {
+            col_offset[key] = ncols;
+            ncols += dofs_.at(key);
+        }
+        std::size_t nrows = 0;
+        for (std::size_t i : touching)
+            nrows += rows_[i].row.rhs.size();
+
+        Matrix abar(nrows, ncols);
+        Vector bbar(nrows);
+        std::size_t row_offset = 0;
+        for (std::size_t i : touching) {
+            const LinearRow &lr = rows_[i].row;
+            for (const auto &[key, block] : lr.blocks)
+                abar.setBlock(row_offset, col_offset.at(key), block);
+            bbar.setSegment(row_offset, lr.rhs);
+            row_offset += lr.rhs.size();
+            rows_[i].consumedStep = step;
+        }
+
+        mat::QrResult qr = mat::householderQr(abar, bbar);
+        const std::size_t dv = dofs_.at(v);
+        if (nrows < dv)
+            throw std::runtime_error(
+                "IncrementalSmoother: variable " + std::to_string(v) +
+                " is underdetermined");
+
+        Conditional cond;
+        cond.key = v;
+        cond.rSelf = qr.r.block(0, 0, dv, dv);
+        cond.rhs = qr.rhs.segment(0, dv);
+        for (Key key : involved) {
+            if (key == v)
+                continue;
+            cond.rParents.emplace(
+                key,
+                qr.r.block(0, col_offset.at(key), dv, dofs_.at(key)));
+        }
+        if (conditionals_.size() <= step)
+            conditionals_.resize(step + 1);
+        conditionals_[step] = std::move(cond);
+
+        if (nrows > dv && involved.size() > 1) {
+            const std::size_t kept = std::min(nrows, ncols) - dv;
+            if (kept > 0) {
+                RowRecord fresh;
+                fresh.createdStep = step;
+                for (Key key : involved) {
+                    if (key == v)
+                        continue;
+                    fresh.row.blocks.emplace(
+                        key, qr.r.block(dv, col_offset.at(key), kept,
+                                        dofs_.at(key)));
+                }
+                fresh.row.rhs = qr.rhs.segment(dv, kept);
+                rows_.push_back(std::move(fresh));
+            }
+        }
+    }
+}
+
+void
+IncrementalSmoother::marginalizeLeading(std::size_t count)
+{
+    if (count == 0 || count >= ordering_.size())
+        throw std::invalid_argument(
+            "marginalizeLeading: bad variable count");
+    if (!pendingFactors_.empty())
+        throw std::invalid_argument(
+            "marginalizeLeading: update() pending factors first");
+
+    // Move the linearization point to the current estimate so the
+    // marginal prior is taken at the best available point, then
+    // perform one clean batch to get fresh bookkeeping.
+    relinearizeAll();
+
+    // Rows alive at the marginalization boundary involve only the
+    // surviving variables (any row touching a dropped variable was
+    // consumed at or before that variable's elimination step). Fresh
+    // rows created by the prefix eliminations carry the marginal
+    // information and become fixed prior rows; original rows consumed
+    // in the suffix stay attached to their (still active) factors.
+    std::vector<LinearRow> new_priors;
+    for (const RowRecord &record : rows_) {
+        const bool alive_at_boundary =
+            record.consumedStep == SIZE_MAX ||
+            record.consumedStep >= count;
+        if (!alive_at_boundary) {
+            // Consumed by the prefix: if it was an original factor
+            // row, the factor is now absorbed into the marginal.
+            if (record.createdStep == SIZE_MAX && !record.isPrior &&
+                record.row.factorIndex < factorActive_.size())
+                factorActive_[record.row.factorIndex] = false;
+            continue;
+        }
+        if (record.createdStep != SIZE_MAX &&
+            record.createdStep < count) {
+            // Product of a prefix elimination: fixed marginal prior.
+            new_priors.push_back(record.row);
+        }
+        // Original rows and suffix products are regenerated below.
+    }
+    // Also retire original rows consumed exactly inside the prefix
+    // via their factors (handled above); prior rows from previous
+    // marginalizations that were consumed in the prefix are simply
+    // replaced by the new boundary rows.
+    marginalPriors_ = std::move(new_priors);
+
+    // Drop the leading variables.
+    for (std::size_t i = 0; i < count; ++i) {
+        const Key key = ordering_[i];
+        linPoint_.erase(key);
+        delta_.erase(key);
+        position_.erase(key);
+        dofs_.erase(key);
+    }
+    ordering_.erase(ordering_.begin(),
+                    ordering_.begin() +
+                        static_cast<std::ptrdiff_t>(count));
+    position_.clear();
+    for (std::size_t i = 0; i < ordering_.size(); ++i)
+        position_[ordering_[i]] = i;
+
+    // Rebase: fresh elimination of priors + active factors over the
+    // shortened ordering.
+    rows_.clear();
+    conditionals_.clear();
+    for (const LinearRow &prior : marginalPriors_) {
+        RowRecord record;
+        record.row = prior;
+        record.isPrior = true;
+        rows_.push_back(std::move(record));
+    }
+    for (std::size_t i = 0; i < graph_.size(); ++i) {
+        if (!factorActive_[i])
+            continue;
+        const Factor &factor = graph_.factor(i);
+        RowRecord record;
+        record.row.factorIndex = i;
+        record.row.blocks = factor.whitenedJacobians(linPoint_);
+        record.row.rhs = -factor.whitenedError(linPoint_);
+        for (Key key : factor.keys())
+            if (record.row.blocks.count(key) == 0)
+                record.row.blocks.emplace(
+                    key, Matrix(factor.dim(), linPoint_.dof(key)));
+        rows_.push_back(std::move(record));
+    }
+    eliminateFrom(0);
+    refreshDelta();
+}
+
+void
+IncrementalSmoother::refreshDelta()
+{
+    delta_.clear();
+    for (std::size_t i = conditionals_.size(); i-- > 0;) {
+        const Conditional &cond = conditionals_[i];
+        Vector rhs = cond.rhs;
+        for (const auto &[parent, block] : cond.rParents)
+            rhs -= block * delta_.at(parent);
+        delta_.emplace(cond.key, mat::backSubstitute(cond.rSelf, rhs));
+    }
+}
+
+Values
+IncrementalSmoother::estimate() const
+{
+    Values out = linPoint_;
+    for (const auto &[key, d] : delta_)
+        out.retract(key, d);
+    return out;
+}
+
+} // namespace orianna::fg

@@ -1,0 +1,192 @@
+#include "fg/io_g2o.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fg/factors.hpp"
+#include "lie/quaternion.hpp"
+
+namespace orianna::fg {
+
+namespace {
+
+using lie::Pose;
+
+/** sigmas from the information-matrix diagonal. */
+Vector
+sigmasFromInformationDiag(const std::vector<double> &diag)
+{
+    Vector sigmas(diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+        if (diag[i] <= 0.0)
+            throw std::runtime_error(
+                "readG2o: non-positive information diagonal");
+        sigmas[i] = 1.0 / std::sqrt(diag[i]);
+    }
+    return sigmas;
+}
+
+[[noreturn]] void
+malformed(const std::string &line)
+{
+    throw std::runtime_error("readG2o: malformed record: " + line);
+}
+
+} // namespace
+
+PoseGraphData
+readG2o(std::istream &in)
+{
+    PoseGraphData data;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag) || tag.empty() || tag[0] == '#')
+            continue;
+
+        if (tag == "VERTEX_SE2") {
+            std::uint64_t id;
+            double x, y, theta;
+            if (!(ls >> id >> x >> y >> theta))
+                malformed(line);
+            data.initial.insert(
+                id, Pose(Vector{theta}, Vector{x, y}));
+        } else if (tag == "VERTEX_SE3:QUAT") {
+            std::uint64_t id;
+            double x, y, z, qx, qy, qz, qw;
+            if (!(ls >> id >> x >> y >> z >> qx >> qy >> qz >> qw))
+                malformed(line);
+            const mat::Matrix r =
+                lie::fromQuaternion(Vector{qx, qy, qz, qw});
+            data.initial.insert(
+                id, Pose(lie::logSo(r), Vector{x, y, z}));
+        } else if (tag == "EDGE_SE2") {
+            std::uint64_t i, j;
+            double dx, dy, dtheta;
+            if (!(ls >> i >> j >> dx >> dy >> dtheta))
+                malformed(line);
+            // Upper-triangular 3x3 information: I11 I12 I13 I22 I23 I33.
+            double info[6];
+            for (double &v : info)
+                if (!(ls >> v))
+                    malformed(line);
+            // Our pose vector order is [theta; x; y]; g2o order is
+            // (x, y, theta), so permute the diagonal.
+            data.graph.emplace<BetweenFactor>(
+                i, j, Pose(Vector{dtheta}, Vector{dx, dy}),
+                sigmasFromInformationDiag({info[5], info[0], info[3]}));
+        } else if (tag == "EDGE_SE3:QUAT") {
+            std::uint64_t i, j;
+            double dx, dy, dz, qx, qy, qz, qw;
+            if (!(ls >> i >> j >> dx >> dy >> dz >> qx >> qy >> qz >>
+                  qw))
+                malformed(line);
+            double info[21]; // Upper triangle of the 6x6.
+            for (double &v : info)
+                if (!(ls >> v))
+                    malformed(line);
+            const mat::Matrix r =
+                lie::fromQuaternion(Vector{qx, qy, qz, qw});
+            // g2o tangent order is (x y z, rx ry rz); ours is
+            // [phi(3); t(3)]. Upper-triangle diagonal indices of a
+            // 6x6: 0, 6, 11, 15, 18, 20.
+            data.graph.emplace<BetweenFactor>(
+                i, j, Pose(lie::logSo(r), Vector{dx, dy, dz}),
+                sigmasFromInformationDiag({info[15], info[18],
+                                           info[20], info[0], info[6],
+                                           info[11]}));
+        } else {
+            throw std::runtime_error("readG2o: unsupported record " +
+                                     tag);
+        }
+    }
+    return data;
+}
+
+PoseGraphData
+loadG2o(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("loadG2o: cannot open " + path);
+    return readG2o(in);
+}
+
+void
+writeG2o(std::ostream &out, const FactorGraph &graph,
+         const Values &values)
+{
+    out << std::setprecision(17);
+    std::size_t dim = 0;
+    for (Key key : values.keys()) {
+        if (!values.isPose(key))
+            throw std::invalid_argument(
+                "writeG2o: only pose variables are supported");
+        const Pose &pose = values.pose(key);
+        if (dim == 0)
+            dim = pose.spaceDim();
+        else if (dim != pose.spaceDim())
+            throw std::invalid_argument(
+                "writeG2o: mixed pose dimensions");
+        if (dim == 2) {
+            out << "VERTEX_SE2 " << key << " " << pose.t()[0] << " "
+                << pose.t()[1] << " " << pose.phi()[0] << "\n";
+        } else {
+            const Vector q = lie::toQuaternion(pose.rotation());
+            out << "VERTEX_SE3:QUAT " << key << " " << pose.t()[0]
+                << " " << pose.t()[1] << " " << pose.t()[2] << " "
+                << q[0] << " " << q[1] << " " << q[2] << " " << q[3]
+                << "\n";
+        }
+    }
+
+    for (const FactorPtr &factor : graph) {
+        const auto *between =
+            dynamic_cast<const BetweenFactor *>(factor.get());
+        if (between == nullptr)
+            continue; // g2o has no record for priors etc.
+        const Pose &z = between->measured();
+        const Vector &sigmas = between->sigmas();
+        auto info = [&](std::size_t i) {
+            return 1.0 / (sigmas[i] * sigmas[i]);
+        };
+        if (z.spaceDim() == 2) {
+            // sigmas order [theta; x; y] -> g2o (x, y, theta).
+            out << "EDGE_SE2 " << between->keys()[0] << " "
+                << between->keys()[1] << " " << z.t()[0] << " "
+                << z.t()[1] << " " << z.phi()[0] << " " << info(1)
+                << " 0 0 " << info(2) << " 0 " << info(0) << "\n";
+        } else {
+            const Vector q = lie::toQuaternion(z.rotation());
+            out << "EDGE_SE3:QUAT " << between->keys()[0] << " "
+                << between->keys()[1] << " " << z.t()[0] << " "
+                << z.t()[1] << " " << z.t()[2] << " " << q[0] << " "
+                << q[1] << " " << q[2] << " " << q[3];
+            // Diagonal information in g2o order (t then r).
+            const double diag[6] = {info(3), info(4), info(5),
+                                    info(0), info(1), info(2)};
+            for (std::size_t row = 0; row < 6; ++row)
+                for (std::size_t col = row; col < 6; ++col)
+                    out << " " << (row == col ? diag[row] : 0.0);
+            out << "\n";
+        }
+    }
+    if (!out)
+        throw std::runtime_error("writeG2o: write failed");
+}
+
+void
+saveG2o(const std::string &path, const FactorGraph &graph,
+        const Values &values)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("saveG2o: cannot open " + path);
+    writeG2o(out, graph, values);
+}
+
+} // namespace orianna::fg

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fg/graph.hpp"
+
+namespace orianna::fg {
+
+/**
+ * Pose-graph I/O in the g2o text format, the de-facto interchange
+ * format for SLAM benchmarks (sphere2500, manhattan, parking-garage,
+ * ...). Supported records:
+ *
+ *   VERTEX_SE2 id x y theta
+ *   EDGE_SE2 i j dx dy dtheta  I11 I12 I13 I22 I23 I33
+ *   VERTEX_SE3:QUAT id x y z qx qy qz qw
+ *   EDGE_SE3:QUAT i j dx dy dz qx qy qz qw  I(6x6 upper triangle)
+ *
+ * Loaded edges become BetweenFactors; per-row sigmas come from the
+ * information-matrix diagonal (sigma_i = 1/sqrt(I_ii)), the standard
+ * diagonal approximation. A pose graph has gauge freedom, so
+ * loadG2o() does not add a prior; anchor the first pose yourself.
+ */
+struct PoseGraphData
+{
+    FactorGraph graph;
+    Values initial;
+};
+
+/** Parse a g2o stream. @throws std::runtime_error on malformed input. */
+PoseGraphData readG2o(std::istream &in);
+
+/** Load a g2o file. @throws std::runtime_error when unreadable. */
+PoseGraphData loadG2o(const std::string &path);
+
+/**
+ * Write poses and BetweenFactor edges of a pose graph as g2o.
+ * Pose variables must all share one dimension (2-D or 3-D); non-pose
+ * variables are rejected; factors that are not between factors
+ * (e.g. priors) are skipped, since g2o has no record for them.
+ */
+void writeG2o(std::ostream &out, const FactorGraph &graph,
+              const Values &values);
+
+/** Save to a file. @throws std::runtime_error when unwritable. */
+void saveG2o(const std::string &path, const FactorGraph &graph,
+             const Values &values);
+
+} // namespace orianna::fg

@@ -1,0 +1,72 @@
+#include "fg/marginals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "matrix/qr.hpp"
+
+namespace orianna::fg {
+
+Marginals::Marginals(const LinearSystem &system,
+                     const std::vector<Key> &ordering)
+{
+    std::size_t ncols = 0;
+    for (Key key : ordering) {
+        offset_[key] = ncols;
+        dof_[key] = system.dofs.at(key);
+        ncols += system.dofs.at(key);
+    }
+    if (offset_.size() != system.dofs.size())
+        throw std::invalid_argument(
+            "Marginals: ordering must cover every variable once");
+
+    // Square-root factor R from the stacked system.
+    const Matrix a = system.toDense(ordering);
+    const Vector b = system.stackedRhs();
+    if (a.rows() < ncols)
+        throw std::runtime_error("Marginals: rank-deficient system");
+    mat::QrResult qr = mat::householderQr(a, b);
+    const Matrix r = qr.r.block(0, 0, ncols, ncols);
+    for (std::size_t i = 0; i < ncols; ++i)
+        if (std::abs(r(i, i)) < 1e-10)
+            throw std::runtime_error("Marginals: rank-deficient system");
+
+    // R^-1 by back substitution on the identity columns, then
+    // Sigma = R^-1 R^-T.
+    Matrix rinv(ncols, ncols);
+    for (std::size_t j = 0; j < ncols; ++j) {
+        Vector e(ncols);
+        e[j] = 1.0;
+        const Vector col = mat::backSubstitute(r, e);
+        for (std::size_t i = 0; i < ncols; ++i)
+            rinv(i, j) = col[i];
+    }
+    covariance_ = rinv * rinv.transpose();
+}
+
+Matrix
+Marginals::marginalCovariance(Key key) const
+{
+    const std::size_t off = offset_.at(key);
+    const std::size_t d = dof_.at(key);
+    return covariance_.block(off, off, d, d);
+}
+
+Matrix
+Marginals::jointCovariance(Key a, Key b) const
+{
+    return covariance_.block(offset_.at(a), offset_.at(b), dof_.at(a),
+                             dof_.at(b));
+}
+
+Vector
+Marginals::sigmas(Key key) const
+{
+    const Matrix cov = marginalCovariance(key);
+    Vector out(cov.rows());
+    for (std::size_t i = 0; i < cov.rows(); ++i)
+        out[i] = std::sqrt(std::max(0.0, cov(i, i)));
+    return out;
+}
+
+} // namespace orianna::fg

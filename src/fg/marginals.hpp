@@ -1,0 +1,43 @@
+#pragma once
+
+#include "fg/graph.hpp"
+
+namespace orianna::fg {
+
+/**
+ * Marginal covariance recovery from a linearized system: the
+ * uncertainty robot perception stacks need for data association and
+ * gating. Computes Sigma = (A^T A)^-1 through the square-root factor
+ * R (QR of A), then exposes per-variable and pairwise blocks.
+ *
+ * Recovery is dense (exact); the systems ORIANNA targets are
+ * window-sized, where the O(n^3) inversion is negligible next to the
+ * optimization itself.
+ */
+class Marginals
+{
+  public:
+    /**
+     * @param system   a linearized (whitened) system.
+     * @param ordering column order; every variable exactly once.
+     * @throws std::runtime_error when the system is rank deficient.
+     */
+    Marginals(const LinearSystem &system,
+              const std::vector<Key> &ordering);
+
+    /** Marginal covariance block of one variable (dof x dof). */
+    Matrix marginalCovariance(Key key) const;
+
+    /** Cross-covariance block between two variables. */
+    Matrix jointCovariance(Key a, Key b) const;
+
+    /** Marginal standard deviations of one variable. */
+    Vector sigmas(Key key) const;
+
+  private:
+    std::map<Key, std::size_t> offset_;
+    std::map<Key, std::size_t> dof_;
+    Matrix covariance_; //!< Full dense covariance.
+};
+
+} // namespace orianna::fg

@@ -1,0 +1,69 @@
+#include "fg/optimizer.hpp"
+
+#include <cmath>
+
+namespace orianna::fg {
+
+namespace {
+
+/** Append damping rows sqrt(lambda) * I for every variable. */
+void
+addDamping(LinearSystem &system, double lambda)
+{
+    if (lambda <= 0.0)
+        return;
+    const double scale = std::sqrt(lambda);
+    for (const auto &[key, dof] : system.dofs) {
+        LinearRow row;
+        row.blocks.emplace(key, Matrix::identity(dof) * scale);
+        row.rhs = Vector(dof);
+        system.rows.push_back(std::move(row));
+    }
+}
+
+} // namespace
+
+OptimizeResult
+optimize(const FactorGraph &graph, Values initial,
+         const GaussNewtonParams &params)
+{
+    OptimizeResult result;
+    result.values = std::move(initial);
+
+    double error = graph.totalError(result.values);
+    for (std::size_t iter = 0; iter < params.maxIterations; ++iter) {
+        LinearSystem system = graph.linearize(result.values);
+        addDamping(system, params.lambda);
+
+        const std::vector<Key> order =
+            params.ordering ? *params.ordering : graph.allKeys();
+        std::map<Key, Vector> delta =
+            solveLinearSystem(system, order, &result.stats);
+        if (params.stepScale != 1.0)
+            for (auto &[key, d] : delta)
+                d = d * params.stepScale;
+
+        double delta_norm = 0.0;
+        for (const auto &[key, d] : delta)
+            delta_norm = std::max(delta_norm, d.maxAbs());
+
+        result.values.retractAll(delta);
+        const double new_error = graph.totalError(result.values);
+        result.history.push_back({error, new_error, delta_norm});
+        ++result.iterations;
+
+        const double decrease = error - new_error;
+        error = new_error;
+        if (delta_norm < params.deltaTol ||
+            std::abs(decrease) < params.absoluteErrorTol ||
+            (error > 0.0 &&
+             std::abs(decrease) / error < params.relativeErrorTol)) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.finalError = error;
+    return result;
+}
+
+} // namespace orianna::fg

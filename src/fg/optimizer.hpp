@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fg/eliminate.hpp"
+#include "fg/graph.hpp"
+
+namespace orianna::fg {
+
+/** Knobs of the Gauss-Newton loop (Fig. 3). */
+struct GaussNewtonParams
+{
+    std::size_t maxIterations = 25;
+    double relativeErrorTol = 1e-8; //!< On the error decrease.
+    double absoluteErrorTol = 1e-10;
+    double deltaTol = 1e-9;         //!< On the update magnitude.
+    /** Elimination ordering; natural order when not set. */
+    std::optional<std::vector<Key>> ordering;
+    /**
+     * Optional Levenberg-Marquardt damping added to the system as
+     * sqrt(lambda) * I prior rows. Zero = plain Gauss-Newton.
+     */
+    double lambda = 0.0;
+    /**
+     * Fixed step scaling applied to every update (0 < scale <= 1).
+     * Scales below 1 damp the period-2 oscillation that one-sided
+     * (hinge) factors can induce in plain Gauss-Newton.
+     */
+    double stepScale = 1.0;
+};
+
+/** One optimizer iteration, for convergence inspection and plots. */
+struct IterationRecord
+{
+    double errorBefore = 0.0;
+    double errorAfter = 0.0;
+    double deltaNorm = 0.0;
+};
+
+/** Outcome of optimize(). */
+struct OptimizeResult
+{
+    Values values;
+    bool converged = false;
+    std::size_t iterations = 0;
+    double finalError = 0.0;
+    std::vector<IterationRecord> history;
+    EliminationStats stats; //!< Accumulated over all iterations.
+};
+
+/**
+ * Gauss-Newton with factor-graph elimination (Sec. 2.1-2.2): starting
+ * from @p initial, repeatedly linearize, eliminate, back-substitute
+ * and retract until the error or the update stalls.
+ */
+OptimizeResult optimize(const FactorGraph &graph, Values initial,
+                        const GaussNewtonParams &params = {});
+
+} // namespace orianna::fg

@@ -1,0 +1,66 @@
+#include "fg/ordering.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace orianna::fg::ordering {
+
+std::vector<Key>
+natural(const FactorGraph &graph)
+{
+    return graph.allKeys();
+}
+
+std::vector<Key>
+minDegree(const FactorGraph &graph)
+{
+    // Build the variable adjacency structure.
+    std::map<Key, std::set<Key>> neighbors;
+    for (const FactorPtr &factor : graph) {
+        const auto &keys = factor->keys();
+        for (Key a : keys) {
+            neighbors[a]; // Ensure isolated variables appear.
+            for (Key b : keys)
+                if (a != b)
+                    neighbors[a].insert(b);
+        }
+    }
+
+    std::vector<Key> order;
+    order.reserve(neighbors.size());
+    std::set<Key> remaining;
+    for (const auto &[key, adj] : neighbors)
+        remaining.insert(key);
+
+    while (!remaining.empty()) {
+        // Pick the remaining variable with the fewest remaining
+        // neighbors (smallest key on ties).
+        Key best = *remaining.begin();
+        std::size_t best_degree = SIZE_MAX;
+        for (Key key : remaining) {
+            std::size_t degree = 0;
+            for (Key n : neighbors[key])
+                if (remaining.count(n))
+                    ++degree;
+            if (degree < best_degree) {
+                best_degree = degree;
+                best = key;
+            }
+        }
+        order.push_back(best);
+        remaining.erase(best);
+        // Eliminating a variable connects its neighbors (fill-in).
+        std::vector<Key> adj;
+        for (Key n : neighbors[best])
+            if (remaining.count(n))
+                adj.push_back(n);
+        for (Key a : adj)
+            for (Key b : adj)
+                if (a != b)
+                    neighbors[a].insert(b);
+    }
+    return order;
+}
+
+} // namespace orianna::fg::ordering

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "fg/graph.hpp"
+
+namespace orianna::fg {
+
+/**
+ * Elimination orderings. The paper assumes "a given variable
+ * ordering" (Sec. 2.2); we provide the natural (key-ascending) order
+ * and a greedy minimum-degree heuristic that keeps the elimination
+ * fill-in — and therefore the accelerator's QR instruction sizes —
+ * small.
+ */
+namespace ordering {
+
+/** Keys in ascending order. */
+std::vector<Key> natural(const FactorGraph &graph);
+
+/**
+ * Greedy minimum-degree ordering on the variable-adjacency graph
+ * (two variables are adjacent when they share a factor). Ties break
+ * toward smaller keys for determinism.
+ */
+std::vector<Key> minDegree(const FactorGraph &graph);
+
+} // namespace ordering
+
+} // namespace orianna::fg

@@ -1,0 +1,67 @@
+#include "fg/sdf_map.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace orianna::fg {
+
+namespace {
+
+/** Clearance reported when no obstacles exist. */
+constexpr double kFarAway = 1e6;
+
+} // namespace
+
+void
+SdfMap::addObstacle(Vector center, double radius)
+{
+    if (radius <= 0.0)
+        throw std::invalid_argument("SdfMap::addObstacle: radius <= 0");
+    obstacles_.push_back({std::move(center), radius});
+}
+
+std::vector<std::pair<Vector, double>>
+SdfMap::obstacles() const
+{
+    std::vector<std::pair<Vector, double>> out;
+    out.reserve(obstacles_.size());
+    for (const Obstacle &obstacle : obstacles_)
+        out.emplace_back(obstacle.center, obstacle.radius);
+    return out;
+}
+
+double
+SdfMap::distance(const Vector &point) const
+{
+    double best = kFarAway;
+    for (const Obstacle &obstacle : obstacles_) {
+        const double d =
+            (point - obstacle.center).norm() - obstacle.radius;
+        best = std::min(best, d);
+    }
+    return best;
+}
+
+Vector
+SdfMap::gradient(const Vector &point) const
+{
+    double best = kFarAway;
+    const Obstacle *closest = nullptr;
+    for (const Obstacle &obstacle : obstacles_) {
+        const double d =
+            (point - obstacle.center).norm() - obstacle.radius;
+        if (d < best) {
+            best = d;
+            closest = &obstacle;
+        }
+    }
+    if (closest == nullptr)
+        return Vector(point.size());
+    Vector diff = point - closest->center;
+    const double norm = diff.norm();
+    if (norm < 1e-12)
+        return Vector(point.size());
+    return diff * (1.0 / norm);
+}
+
+} // namespace orianna::fg

@@ -1,0 +1,138 @@
+#include "fg/values.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace orianna::fg {
+
+namespace {
+
+[[noreturn]] void
+missingKey(Key key)
+{
+    throw std::out_of_range("Values: unknown key " + std::to_string(key));
+}
+
+} // namespace
+
+void
+Values::insert(Key key, Pose pose)
+{
+    if (!values_.emplace(key, std::move(pose)).second)
+        throw std::invalid_argument("Values::insert: duplicate key " +
+                                    std::to_string(key));
+}
+
+void
+Values::insert(Key key, Vector vec)
+{
+    if (!values_.emplace(key, std::move(vec)).second)
+        throw std::invalid_argument("Values::insert: duplicate key " +
+                                    std::to_string(key));
+}
+
+void
+Values::update(Key key, Pose pose)
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        missingKey(key);
+    if (!std::holds_alternative<Pose>(it->second))
+        throw std::invalid_argument("Values::update: kind mismatch");
+    it->second = std::move(pose);
+}
+
+void
+Values::update(Key key, Vector vec)
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        missingKey(key);
+    if (!std::holds_alternative<Vector>(it->second))
+        throw std::invalid_argument("Values::update: kind mismatch");
+    it->second = std::move(vec);
+}
+
+const Value &
+Values::get(Key key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        missingKey(key);
+    return it->second;
+}
+
+bool
+Values::isPose(Key key) const
+{
+    return std::holds_alternative<Pose>(get(key));
+}
+
+const Pose &
+Values::pose(Key key) const
+{
+    const Value &v = get(key);
+    if (!std::holds_alternative<Pose>(v))
+        throw std::invalid_argument("Values::pose: variable " +
+                                    std::to_string(key) + " is not a pose");
+    return std::get<Pose>(v);
+}
+
+const Vector &
+Values::vector(Key key) const
+{
+    const Value &v = get(key);
+    if (!std::holds_alternative<Vector>(v))
+        throw std::invalid_argument("Values::vector: variable " +
+                                    std::to_string(key) +
+                                    " is not a vector");
+    return std::get<Vector>(v);
+}
+
+std::size_t
+Values::dof(Key key) const
+{
+    const Value &v = get(key);
+    if (std::holds_alternative<Pose>(v))
+        return std::get<Pose>(v).dof();
+    return std::get<Vector>(v).size();
+}
+
+void
+Values::retract(Key key, const Vector &delta)
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        missingKey(key);
+    if (std::holds_alternative<Pose>(it->second)) {
+        it->second = std::get<Pose>(it->second).retract(delta);
+    } else {
+        it->second = std::get<Vector>(it->second) + delta;
+    }
+}
+
+void
+Values::retractAll(const std::map<Key, Vector> &deltas)
+{
+    for (const auto &[key, delta] : deltas)
+        retract(key, delta);
+}
+
+void
+Values::erase(Key key)
+{
+    if (values_.erase(key) == 0)
+        missingKey(key);
+}
+
+std::vector<Key>
+Values::keys() const
+{
+    std::vector<Key> out;
+    out.reserve(values_.size());
+    for (const auto &[key, value] : values_)
+        out.push_back(key);
+    return out;
+}
+
+} // namespace orianna::fg

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <variant>
+
+#include "lie/pose.hpp"
+#include "matrix/dense.hpp"
+
+namespace orianna::fg {
+
+using lie::Pose;
+using mat::Matrix;
+using mat::Vector;
+
+/** Variable identifier. Users pick any convenient numbering scheme. */
+using Key = std::uint64_t;
+
+/**
+ * A variable value: either a pose in the unified representation
+ * <so(n),T(n)> (robot states) or a plain Euclidean vector (landmarks,
+ * velocities, control inputs).
+ */
+using Value = std::variant<Pose, Vector>;
+
+/**
+ * The current assignment of all variables in a factor graph.
+ *
+ * Gauss-Newton linearizes factors at a Values, solves for a tangent
+ * update delta, and applies it with retract(): poses use the
+ * on-manifold right perturbation, vectors plain addition.
+ */
+class Values
+{
+  public:
+    /** Insert a pose variable. @throws if the key already exists. */
+    void insert(Key key, Pose pose);
+
+    /** Insert a vector variable. @throws if the key already exists. */
+    void insert(Key key, Vector vec);
+
+    /** Overwrite an existing variable (same kind required). */
+    void update(Key key, Pose pose);
+    void update(Key key, Vector vec);
+
+    bool exists(Key key) const { return values_.count(key) != 0; }
+    bool isPose(Key key) const;
+
+    /** Pose value; @throws if missing or not a pose. */
+    const Pose &pose(Key key) const;
+
+    /** Vector value; @throws if missing or not a vector. */
+    const Vector &vector(Key key) const;
+
+    /** Tangent dimension of the variable (dof for poses, size else). */
+    std::size_t dof(Key key) const;
+
+    /** Apply a tangent update to one variable in place. */
+    void retract(Key key, const Vector &delta);
+
+    /** Apply a stacked update: one tangent segment per variable. */
+    void retractAll(const std::map<Key, Vector> &deltas);
+
+    /** Remove a variable. @throws if missing. */
+    void erase(Key key);
+
+    std::size_t size() const { return values_.size(); }
+
+    /** All keys, ascending. */
+    std::vector<Key> keys() const;
+
+    auto begin() const { return values_.begin(); }
+    auto end() const { return values_.end(); }
+
+  private:
+    const Value &get(Key key) const;
+
+    std::map<Key, Value> values_;
+};
+
+} // namespace orianna::fg

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/executor.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/trace.hpp"
+
+namespace orianna::hw {
+
+/**
+ * Configuration of a generated accelerator: how many instances of
+ * each functional-unit template are instantiated (the p_1..p_n of
+ * Equ. 5) and whether the controller dispatches out of order.
+ */
+struct AcceleratorConfig
+{
+    std::array<unsigned, kUnitKindCount> units{};
+    bool outOfOrder = true;
+    std::string name = "orianna";
+    /** Record a per-instruction schedule trace (writeChromeTrace). */
+    bool recordTrace = false;
+
+    /** Smallest viable accelerator: one unit of each kind. */
+    static AcceleratorConfig minimal(bool out_of_order = true);
+
+    unsigned count(UnitKind kind) const
+    {
+        return units[static_cast<std::size_t>(kind)];
+    }
+
+    unsigned &count(UnitKind kind)
+    {
+        return units[static_cast<std::size_t>(kind)];
+    }
+
+    /** Total resources: units plus the fixed controller overhead. */
+    Resources resources() const;
+};
+
+/** One algorithm's compiled program bound to its current values. */
+struct WorkItem
+{
+    const comp::Program *program;
+    const fg::Values *values;
+};
+
+/** Outcome of one simulated frame (all work items executed once). */
+struct SimResult
+{
+    std::uint64_t cycles = 0;
+
+    double
+    seconds() const
+    {
+        return static_cast<double>(cycles) / CostModel::frequencyHz;
+    }
+
+    double dynamicEnergyJ = 0.0; //!< Datapath (compute) energy.
+    double memoryEnergyJ = 0.0;  //!< Operand traffic: on-chip buffer
+                                 //!< (OoO operand capture) or DRAM
+                                 //!< round trips (in-order controller).
+    double staticEnergyJ = 0.0;  //!< Idle/clock power over the makespan.
+
+    double
+    totalEnergyJ() const
+    {
+        return dynamicEnergyJ + memoryEnergyJ + staticEnergyJ;
+    }
+
+    /** Busy cycles accumulated per unit kind (utilization). */
+    std::array<std::uint64_t, kUnitKindCount> unitBusyCycles{};
+
+    /** Busy cycles per phase: construction / decomposition / backsub. */
+    std::array<std::uint64_t, 3> phaseBusyCycles{};
+
+    /** Completion cycle of the last instruction per algorithm tag. */
+    std::map<std::uint8_t, std::uint64_t> algorithmFinishCycle;
+
+    /** Functional results: delta per variable, one map per work item. */
+    std::vector<std::map<fg::Key, mat::Vector>> deltas;
+
+    /** Schedule trace (only when config.recordTrace is set). */
+    std::vector<TraceEvent> trace;
+};
+
+/**
+ * Cycle-level, functional simulation of the ORIANNA accelerator.
+ *
+ * Instructions are issued by a scoreboard: out-of-order configurations
+ * dispatch any instruction whose operands are ready to any free unit
+ * of the right kind (fine-grained OoO inside an algorithm and
+ * coarse-grained OoO across the work items, Sec. 6.3); in-order
+ * configurations issue strictly in program order (work items
+ * concatenated), stalling on the oldest unissued instruction.
+ *
+ * The numerics run through comp::Executor at issue time, so the
+ * simulation also produces the actual Gauss-Newton updates.
+ */
+SimResult simulate(const std::vector<WorkItem> &work,
+                   const AcceleratorConfig &config);
+
+/**
+ * Convenience: run @p iterations Gauss-Newton steps of a single
+ * program on the accelerator, retracting between steps. Returns the
+ * final values plus the accumulated simulation statistics.
+ */
+struct IteratedResult
+{
+    fg::Values values;
+    SimResult total; //!< Cycles/energy accumulated over iterations.
+};
+
+IteratedResult simulateIterated(const comp::Program &program,
+                                const fg::Values &initial,
+                                std::size_t iterations,
+                                const AcceleratorConfig &config,
+                                double step_scale = 1.0);
+
+} // namespace orianna::hw

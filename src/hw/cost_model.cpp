@@ -1,0 +1,226 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+
+namespace orianna::hw {
+
+UnitKind
+unitFor(IsaOp op)
+{
+    switch (op) {
+      case IsaOp::RR:
+      case IsaOp::MM:
+      case IsaOp::RV:
+      case IsaOp::MV:
+        return UnitKind::MatMul;
+      case IsaOp::RT:
+        return UnitKind::Transpose;
+      case IsaOp::QR:
+        return UnitKind::Qr;
+      case IsaOp::BSUB:
+        return UnitKind::BackSub;
+      case IsaOp::VADD:
+      case IsaOp::VSUB:
+      case IsaOp::NEG:
+      case IsaOp::HAT:
+      case IsaOp::HINGE:
+      case IsaOp::HINGEJ:
+      case IsaOp::SCALER:
+        return UnitKind::VectorAlu;
+      case IsaOp::EXP:
+      case IsaOp::LOG:
+      case IsaOp::JR:
+      case IsaOp::JRINV:
+      case IsaOp::PROJ:
+      case IsaOp::PROJJ:
+      case IsaOp::SDF:
+      case IsaOp::SDFJ:
+      case IsaOp::NORM:
+      case IsaOp::NORMJ:
+      case IsaOp::HUBERW:
+        return UnitKind::Special;
+      case IsaOp::SMUL:
+        return UnitKind::VectorAlu;
+      case IsaOp::GATHER:
+      case IsaOp::EXTRACT:
+        return UnitKind::Buffer;
+      case IsaOp::LOADC:
+      case IsaOp::LOADV:
+      case IsaOp::STORE:
+        return UnitKind::Dma;
+    }
+    return UnitKind::Dma;
+}
+
+const char *
+unitName(UnitKind kind)
+{
+    switch (kind) {
+      case UnitKind::MatMul: return "matmul";
+      case UnitKind::Transpose: return "transpose";
+      case UnitKind::Qr: return "qr";
+      case UnitKind::BackSub: return "backsub";
+      case UnitKind::VectorAlu: return "vector";
+      case UnitKind::Special: return "special";
+      case UnitKind::Buffer: return "buffer";
+      case UnitKind::Dma: return "dma";
+    }
+    return "?";
+}
+
+Resources
+Resources::operator+(const Resources &other) const
+{
+    return {lut + other.lut, ff + other.ff, bram + other.bram,
+            dsp + other.dsp};
+}
+
+Resources
+Resources::operator*(std::size_t count) const
+{
+    return {lut * count, ff * count, bram * count, dsp * count};
+}
+
+bool
+Resources::fitsIn(const Resources &budget) const
+{
+    return lut <= budget.lut && ff <= budget.ff && bram <= budget.bram &&
+           dsp <= budget.dsp;
+}
+
+Resources
+CostModel::unitResources(UnitKind kind)
+{
+    // Magnitudes representative of small double-precision units on a
+    // Zynq-7045 (ZC706): a systolic multiplier tile, a Givens QR
+    // array, CORDIC-style special pipeline, vector lanes, and the
+    // buffer/DMA engines.
+    switch (kind) {
+      case UnitKind::MatMul:   return {5200, 6100, 4, 28};
+      case UnitKind::Transpose:return {700, 900, 1, 0};
+      case UnitKind::Qr:       return {9800, 11400, 8, 36};
+      case UnitKind::BackSub:  return {3100, 3600, 2, 14};
+      case UnitKind::VectorAlu:return {1600, 1900, 1, 8};
+      case UnitKind::Special:  return {4400, 5200, 2, 18};
+      case UnitKind::Buffer:   return {2300, 2800, 12, 0};
+      case UnitKind::Dma:      return {1500, 2100, 2, 0};
+    }
+    return {};
+}
+
+Resources
+CostModel::controllerResources()
+{
+    // Scoreboard, instruction queue and host interface.
+    return {6800, 7900, 6, 0};
+}
+
+std::uint64_t
+instructionMacs(const Instruction &inst)
+{
+    const std::uint64_t m = inst.rows;
+    const std::uint64_t n = inst.cols;
+    const std::uint64_t k = std::max<std::size_t>(inst.depth, 1);
+    switch (inst.op) {
+      case IsaOp::RR:
+      case IsaOp::MM:
+      case IsaOp::RV:
+      case IsaOp::MV:
+        return m * n * k;
+      case IsaOp::QR: {
+        // Givens triangularization of an m x n panel: ~4 MACs per
+        // rotated element, column j rotates (m - j - 1) rows of
+        // length (n - j).
+        const std::uint64_t cols = std::max<std::size_t>(inst.depth, 1);
+        std::uint64_t macs = 0;
+        for (std::uint64_t j = 0; j < cols && j + 1 < m; ++j)
+            macs += 4 * (m - j - 1) * (n - j);
+        return macs;
+      }
+      case IsaOp::BSUB:
+        return m * m / 2 + m;
+      case IsaOp::VADD:
+      case IsaOp::VSUB:
+      case IsaOp::NEG:
+      case IsaOp::SCALER:
+      case IsaOp::HINGE:
+      case IsaOp::HINGEJ:
+      case IsaOp::HAT:
+        return m * n;
+      case IsaOp::EXP:
+      case IsaOp::LOG:
+      case IsaOp::JR:
+      case IsaOp::JRINV:
+        return 40; // Rodrigues-style evaluation.
+      case IsaOp::PROJ:
+      case IsaOp::PROJJ:
+      case IsaOp::SDF:
+      case IsaOp::SDFJ:
+      case IsaOp::NORM:
+      case IsaOp::NORMJ:
+      case IsaOp::HUBERW:
+        return 16;
+      case IsaOp::SMUL:
+        return m * n;
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+instructionWords(const Instruction &inst)
+{
+    return static_cast<std::uint64_t>(inst.rows) *
+           std::max<std::size_t>(inst.cols, 1);
+}
+
+std::uint64_t
+CostModel::latency(const Instruction &inst)
+{
+    const std::uint64_t m = std::max<std::size_t>(inst.rows, 1);
+    const std::uint64_t n = std::max<std::size_t>(inst.cols, 1);
+    const std::uint64_t k = std::max<std::size_t>(inst.depth, 1);
+    switch (unitFor(inst.op)) {
+      case UnitKind::MatMul:
+        // Systolic array wider than the small operands: fill + drain
+        // overlap with streaming.
+        return (m + n + k) / 2 + 3;
+      case UnitKind::Transpose:
+        return m / 2 + 2;
+      case UnitKind::Qr: {
+        // Givens array with a fixed number of rotation lanes: fill +
+        // drain plus the rotation work divided across the lanes. For
+        // panels larger than the array the work term dominates, which
+        // is what makes one whole-system QR (VANILLA-HLS) slower than
+        // many small factor-graph QRs.
+        constexpr std::uint64_t lanes = 64;
+        return 2 * m + n + 12 + instructionMacs(inst) / (4 * lanes);
+      }
+      case UnitKind::BackSub:
+        // Divide-accumulate per unknown, two lanes.
+        return 2 * m + 6;
+      case UnitKind::VectorAlu:
+        return (m * n + 7) / 8 + 1;
+      case UnitKind::Special:
+        return 10; // CORDIC/LUT pipeline depth.
+      case UnitKind::Buffer:
+        // One word per cycle per port, 8 ports.
+        return (m * n + 7) / 8 + 1;
+      case UnitKind::Dma:
+        // Burst streaming plus host handshake.
+        return (m * n + 7) / 8 + 8;
+    }
+    return 1;
+}
+
+double
+CostModel::dynamicEnergyNj(const Instruction &inst)
+{
+    const double macs = static_cast<double>(instructionMacs(inst));
+    double energy = macs * macEnergyNj;
+    if (unitFor(inst.op) == UnitKind::Special)
+        energy += specialEnergyNj;
+    return energy;
+}
+
+} // namespace orianna::hw

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+
+#include "compiler/isa.hpp"
+
+namespace orianna::hw {
+
+using comp::Instruction;
+using comp::IsaOp;
+
+/**
+ * Functional-unit templates of the ORIANNA accelerator (Sec. 6.1).
+ * Every ISA opcode maps to exactly one unit kind; the hardware
+ * generator replicates units per kind (the p_i of Equ. 5).
+ */
+enum class UnitKind : std::uint8_t {
+    MatMul,   //!< Systolic-array multiplier (RR/MM/RV/MV).
+    Transpose,//!< Rotation/general transpose (RT).
+    Qr,       //!< Givens-array QR decomposition.
+    BackSub,  //!< Back-substitution unit.
+    VectorAlu,//!< Vector add/sub/scale/hinge/hat lane array (VP).
+    Special,  //!< Exp/Log/J_r/projection/SDF pipeline (CORDIC-style).
+    Buffer,   //!< On-chip buffer gather/extract engine.
+    Dma,      //!< Host <-> accelerator streaming.
+};
+
+constexpr std::size_t kUnitKindCount = 8;
+
+/** Unit kind executing an opcode. */
+UnitKind unitFor(IsaOp op);
+
+/** Display name of a unit kind. */
+const char *unitName(UnitKind kind);
+
+/**
+ * FPGA resource vector in the style of a Vivado utilization report
+ * (the Fig. 16c axes).
+ */
+struct Resources
+{
+    std::size_t lut = 0;
+    std::size_t ff = 0;
+    std::size_t bram = 0; //!< 36Kb blocks.
+    std::size_t dsp = 0;
+
+    Resources operator+(const Resources &other) const;
+    Resources operator*(std::size_t count) const;
+    bool fitsIn(const Resources &budget) const;
+};
+
+/**
+ * All calibration constants of the hardware model in one place
+ * (DESIGN.md Sec. 1). Latencies are in cycles at 167 MHz; energies in
+ * nanojoules per operation; resources are per unit instance, set to
+ * magnitudes representative of the ZC706's Zynq-7045 fabric.
+ */
+struct CostModel
+{
+    // --- Per-unit resources (one instance) ---
+    static Resources unitResources(UnitKind kind);
+
+    /** Fixed overhead: controller, scoreboard, host interface. */
+    static Resources controllerResources();
+
+    /** Latency of @p inst on its unit, in cycles. */
+    static std::uint64_t latency(const Instruction &inst);
+
+    /**
+     * Compute (datapath) energy of @p inst, in nanojoules. Memory
+     * energy is charged by the simulator, which knows whether operands
+     * live in the on-chip buffer (OoO operand capture) or round-trip
+     * through DRAM (in-order controller).
+     */
+    static double dynamicEnergyNj(const Instruction &inst);
+
+    /** Accelerator static power in watts (clock tree + leakage). */
+    static constexpr double staticPowerW = 0.9;
+
+    /** Clock frequency (the prototype's 167 MHz). */
+    static constexpr double frequencyHz = 167e6;
+
+    /** Off-chip DRAM energy per 8-byte word, nanojoules. */
+    static constexpr double dramEnergyPerWordNj = 1.9;
+
+    /**
+     * In-order forwarding window: an in-order controller keeps a
+     * value in its local register file only while the consumer is
+     * within this many program slots; farther consumers re-read the
+     * value from DRAM. The OoO scoreboard captures operands in the
+     * on-chip buffer instead.
+     */
+    static constexpr std::size_t inOrderForwardWindow = 40;
+
+    /** On-chip buffer energy per 8-byte word, nanojoules. */
+    static constexpr double bufferEnergyPerWordNj = 0.08;
+
+    /** Energy per scalar MAC on the fabric, nanojoules. */
+    static constexpr double macEnergyNj = 0.22;
+
+    /** Energy per special-function evaluation, nanojoules. */
+    static constexpr double specialEnergyNj = 0.35;
+};
+
+/** Approximate MAC count of an instruction (energy model input). */
+std::uint64_t instructionMacs(const Instruction &inst);
+
+/** Words moved by an instruction (buffer/DMA energy model input). */
+std::uint64_t instructionWords(const Instruction &inst);
+
+} // namespace orianna::hw

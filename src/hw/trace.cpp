@@ -1,0 +1,49 @@
+#include "hw/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace orianna::hw {
+
+void
+writeChromeTrace(const std::string &path,
+                 const std::vector<TraceEvent> &events,
+                 double frequency_hz)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("writeChromeTrace: cannot open " +
+                                 path);
+
+    const double us_per_cycle = 1e6 / frequency_hz;
+    out << "[\n";
+    bool first = true;
+    for (const TraceEvent &event : events) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        // pid = unit kind, tid = instance; complete ("X") events.
+        out << "  {\"name\": \"" << event.name << "\", \"cat\": \"alg"
+            << static_cast<int>(event.algorithm)
+            << "\", \"ph\": \"X\", \"ts\": "
+            << static_cast<double>(event.startCycle) * us_per_cycle
+            << ", \"dur\": "
+            << static_cast<double>(event.endCycle - event.startCycle) *
+                   us_per_cycle
+            << ", \"pid\": " << static_cast<int>(event.unit)
+            << ", \"tid\": " << event.instance
+            << ", \"args\": {\"phase\": "
+            << static_cast<int>(event.phase) << "}}";
+    }
+    // Name the process rows after the unit kinds.
+    for (std::size_t k = 0; k < kUnitKindCount; ++k) {
+        out << ",\n  {\"name\": \"process_name\", \"ph\": \"M\", "
+            << "\"pid\": " << k << ", \"args\": {\"name\": \""
+            << unitName(static_cast<UnitKind>(k)) << "\"}}";
+    }
+    out << "\n]\n";
+    if (!out)
+        throw std::runtime_error("writeChromeTrace: write failed");
+}
+
+} // namespace orianna::hw

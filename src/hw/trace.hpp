@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+
+namespace orianna::hw {
+
+/** One scheduled instruction occurrence, for timeline visualization. */
+struct TraceEvent
+{
+    std::string name;       //!< Opcode mnemonic + shape.
+    UnitKind unit;          //!< Functional-unit kind.
+    unsigned instance = 0;  //!< Which replica of the unit.
+    std::uint64_t startCycle = 0;
+    std::uint64_t endCycle = 0;
+    std::uint8_t algorithm = 0; //!< Coarse-grained OoO tag.
+    std::uint8_t phase = 0;     //!< Construction / decomp / back-sub.
+};
+
+/**
+ * Write a schedule as a Chrome trace (chrome://tracing /
+ * https://ui.perfetto.dev JSON). Each functional-unit instance
+ * becomes a timeline row; colors follow the algorithm tag, so the
+ * coarse-grained out-of-order interleaving of Sec. 6.3 is directly
+ * visible.
+ *
+ * @throws std::runtime_error when the file cannot be written.
+ */
+void writeChromeTrace(const std::string &path,
+                      const std::vector<TraceEvent> &events,
+                      double frequency_hz = CostModel::frequencyHz);
+
+} // namespace orianna::hw

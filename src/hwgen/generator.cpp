@@ -1,0 +1,98 @@
+#include "hwgen/generator.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace orianna::hwgen {
+
+double
+objectiveValue(const SimResult &result, Objective objective)
+{
+    switch (objective) {
+      case Objective::AvgLatency: {
+        // Mean completion across algorithms approximates the average
+        // frame latency when algorithms are pipelined frames.
+        if (result.algorithmFinishCycle.empty())
+            return static_cast<double>(result.cycles);
+        double sum = 0.0;
+        for (const auto &[tag, cycle] : result.algorithmFinishCycle)
+            sum += static_cast<double>(cycle);
+        return sum /
+               static_cast<double>(result.algorithmFinishCycle.size());
+      }
+      case Objective::MaxLatency:
+        return static_cast<double>(result.cycles);
+      case Objective::Energy:
+        return result.totalEnergyJ();
+    }
+    return static_cast<double>(result.cycles);
+}
+
+GenerationResult
+generate(const std::vector<WorkItem> &work, const Resources &budget,
+         Objective objective, bool out_of_order)
+{
+    AcceleratorConfig config = AcceleratorConfig::minimal(out_of_order);
+    config.name = "orianna-generated";
+    if (!config.resources().fitsIn(budget))
+        throw std::invalid_argument(
+            "generate: budget below the minimal accelerator");
+
+    GenerationResult out;
+    SimResult current = hw::simulate(work, config);
+    out.trajectory.push_back({config, current, config.resources()});
+
+    // Greedy growth along the (re-simulated) critical path: try one
+    // more instance of every unit kind, keep the best improvement per
+    // consumed resource, stop when nothing fits or nothing improves.
+    while (true) {
+        double best_value = objectiveValue(current, objective);
+        const double base_value = best_value;
+        int best_kind = -1;
+        SimResult best_result;
+
+        for (std::size_t k = 0; k < hw::kUnitKindCount; ++k) {
+            AcceleratorConfig candidate = config;
+            ++candidate.units[k];
+            if (!candidate.resources().fitsIn(budget))
+                continue;
+            SimResult sim = hw::simulate(work, candidate);
+            const double value = objectiveValue(sim, objective);
+            if (value < best_value - 1e-12) {
+                best_value = value;
+                best_kind = static_cast<int>(k);
+                best_result = sim;
+            }
+        }
+
+        if (best_kind < 0 || best_value >= base_value)
+            break;
+        ++config.units[static_cast<std::size_t>(best_kind)];
+        current = best_result;
+        out.trajectory.push_back({config, current, config.resources()});
+    }
+
+    out.config = config;
+    out.result = current;
+    return out;
+}
+
+AcceleratorConfig
+manualDesign(const Resources &budget, bool out_of_order)
+{
+    // Hand-tuned baseline: replicate every unit kind uniformly until
+    // the budget is exhausted (no workload feedback).
+    AcceleratorConfig config = AcceleratorConfig::minimal(out_of_order);
+    config.name = "manual";
+    while (true) {
+        AcceleratorConfig next = config;
+        for (auto &count : next.units)
+            ++count;
+        if (!next.resources().fitsIn(budget))
+            break;
+        config = next;
+    }
+    return config;
+}
+
+} // namespace orianna::hwgen

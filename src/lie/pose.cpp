@@ -1,0 +1,87 @@
+#include "lie/pose.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace orianna::lie {
+
+Pose::Pose(Vector phi, Vector t) : phi_(std::move(phi)), t_(std::move(t))
+{
+    if (tangentDim(t_.size()) != phi_.size())
+        throw std::invalid_argument("Pose: phi/t dimension mismatch");
+}
+
+Pose
+Pose::oplus(const Pose &other) const
+{
+    if (spaceDim() != other.spaceDim())
+        throw std::invalid_argument("Pose::oplus: dimension mismatch");
+    const Matrix r1 = expSo(phi_);
+    const Matrix r2 = expSo(other.phi_);
+    return Pose(logSo(r1 * r2), t_ + r1 * other.t_);
+}
+
+Pose
+Pose::ominus(const Pose &other) const
+{
+    if (spaceDim() != other.spaceDim())
+        throw std::invalid_argument("Pose::ominus: dimension mismatch");
+    const Matrix r1 = expSo(phi_);
+    const Matrix r2t = expSo(other.phi_).transpose();
+    return Pose(logSo(r2t * r1), r2t * (t_ - other.t_));
+}
+
+Pose
+Pose::inverse() const
+{
+    const Matrix rt = expSo(phi_).transpose();
+    return Pose(logSo(rt), -(rt * t_));
+}
+
+Pose
+Pose::retract(const Vector &delta) const
+{
+    if (delta.size() != dof())
+        throw std::invalid_argument("Pose::retract: bad delta size");
+    const Vector dphi = delta.segment(0, phi_.size());
+    const Vector dt = delta.segment(phi_.size(), t_.size());
+    return Pose(logSo(expSo(phi_) * expSo(dphi)), t_ + dt);
+}
+
+Vector
+Pose::localCoordinates(const Pose &other) const
+{
+    if (spaceDim() != other.spaceDim())
+        throw std::invalid_argument(
+            "Pose::localCoordinates: dimension mismatch");
+    const Vector dphi = logSo(expSo(phi_).transpose() * expSo(other.phi_));
+    const Vector dt = other.t_ - t_;
+    return dphi.concat(dt);
+}
+
+Pose
+Pose::fromVector(std::size_t n, const Vector &stacked)
+{
+    const std::size_t tdim = tangentDim(n);
+    if (stacked.size() != tdim + n)
+        throw std::invalid_argument("Pose::fromVector: bad vector size");
+    return Pose(stacked.segment(0, tdim), stacked.segment(tdim, n));
+}
+
+std::string
+Pose::str() const
+{
+    std::ostringstream os;
+    os << "<phi=" << phi_.str() << ", t=" << t_.str() << ">";
+    return os.str();
+}
+
+double
+poseDistance(const Pose &a, const Pose &b)
+{
+    const Vector relative =
+        logSo(expSo(a.phi()).transpose() * expSo(b.phi()));
+    return std::max(relative.maxAbs(), (a.t() - b.t()).maxAbs());
+}
+
+} // namespace orianna::lie

@@ -1,0 +1,100 @@
+#pragma once
+
+#include "lie/so.hpp"
+#include "matrix/dense.hpp"
+
+namespace orianna::lie {
+
+/**
+ * The unified pose representation <so(n), T(n)> of Sec. 4.2.
+ *
+ * A pose stores the orientation as a Lie-algebra vector phi in so(n)
+ * (1 number in the plane, 3 in space) and the position as a plain
+ * translation vector t in T(n). Unlike SE(n), no padded homogeneous
+ * rows are carried, which is where the paper's 52.7% MAC saving
+ * comes from.
+ *
+ * The composition operators of Equ. 2 are exposed as oplus() and
+ * ominus() and are treated as *primitive* operations by the rest of
+ * the framework: factor error functions are compositions of them, and
+ * the compiler lowers them onto the nine Tbl. 3 primitives.
+ */
+class Pose
+{
+  public:
+    /** Identity pose in an @p n dimensional space (n = 2 or 3). */
+    explicit Pose(std::size_t n)
+        : phi_(tangentDim(n)), t_(n)
+    {}
+
+    /** Pose from explicit orientation and position components. */
+    Pose(Vector phi, Vector t);
+
+    /** Identity pose in n-dimensional space. */
+    static Pose identity(std::size_t n) { return Pose(n); }
+
+    /** Space dimension n (2 or 3). */
+    std::size_t spaceDim() const { return t_.size(); }
+
+    /** Degrees of freedom: 3 for planar poses, 6 for spatial ones. */
+    std::size_t dof() const { return phi_.size() + t_.size(); }
+
+    /** Orientation component in so(n). */
+    const Vector &phi() const { return phi_; }
+
+    /** Position component in T(n). */
+    const Vector &t() const { return t_; }
+
+    /** Orientation as a rotation matrix Exp(phi). */
+    Matrix rotation() const { return expSo(phi_); }
+
+    /**
+     * Pose composition (Equ. 2):
+     *   this (+) other = < Log(R1 R2), t1 + R1 t2 >.
+     */
+    Pose oplus(const Pose &other) const;
+
+    /**
+     * Pose difference (Equ. 2):
+     *   this (-) other = < Log(R2^T R1), R2^T (t1 - t2) >.
+     */
+    Pose ominus(const Pose &other) const;
+
+    /** Inverse pose: identity == inverse().oplus(*this). */
+    Pose inverse() const;
+
+    /**
+     * Gauss-Newton retraction: apply a dof()-dimensional tangent
+     * update delta = [dphi; dt], with a right perturbation on the
+     * orientation and plain addition on the position:
+     *   phi' = Log(Exp(phi) Exp(dphi)),  t' = t + dt.
+     */
+    Pose retract(const Vector &delta) const;
+
+    /**
+     * Inverse of retract(): the tangent delta such that
+     * this->retract(delta) == other (up to angle wrapping).
+     */
+    Vector localCoordinates(const Pose &other) const;
+
+    /** Stacked [phi; t] vector of length dof(). */
+    Vector asVector() const { return phi_.concat(t_); }
+
+    /** Pose from a stacked [phi; t] vector in n-dimensional space. */
+    static Pose fromVector(std::size_t n, const Vector &stacked);
+
+    /** Human-readable rendering, for logs and tests. */
+    std::string str() const;
+
+  private:
+    Vector phi_; //!< Orientation, so(n).
+    Vector t_;   //!< Position, T(n).
+};
+
+/**
+ * Max-abs difference between two poses (orientation compared through
+ * the relative rotation angle so that wrapped representations agree).
+ */
+double poseDistance(const Pose &a, const Pose &b);
+
+} // namespace orianna::lie

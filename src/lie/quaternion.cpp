@@ -1,0 +1,82 @@
+#include "lie/quaternion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lie/so.hpp"
+
+namespace orianna::lie {
+
+Vector
+toQuaternion(const Matrix &r)
+{
+    if (!isRotation(r, 1e-6) || r.rows() != 3)
+        throw std::invalid_argument(
+            "toQuaternion: input must be a 3-D rotation");
+
+    // Shepperd's method: pick the numerically largest component.
+    const double trace = r(0, 0) + r(1, 1) + r(2, 2);
+    Vector q(4); // (x, y, z, w).
+    if (trace > 0.0) {
+        const double s = std::sqrt(trace + 1.0) * 2.0;
+        q[3] = 0.25 * s;
+        q[0] = (r(2, 1) - r(1, 2)) / s;
+        q[1] = (r(0, 2) - r(2, 0)) / s;
+        q[2] = (r(1, 0) - r(0, 1)) / s;
+    } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+        const double s =
+            std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+        q[3] = (r(2, 1) - r(1, 2)) / s;
+        q[0] = 0.25 * s;
+        q[1] = (r(0, 1) + r(1, 0)) / s;
+        q[2] = (r(0, 2) + r(2, 0)) / s;
+    } else if (r(1, 1) > r(2, 2)) {
+        const double s =
+            std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+        q[3] = (r(0, 2) - r(2, 0)) / s;
+        q[0] = (r(0, 1) + r(1, 0)) / s;
+        q[1] = 0.25 * s;
+        q[2] = (r(1, 2) + r(2, 1)) / s;
+    } else {
+        const double s =
+            std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+        q[3] = (r(1, 0) - r(0, 1)) / s;
+        q[0] = (r(0, 2) + r(2, 0)) / s;
+        q[1] = (r(1, 2) + r(2, 1)) / s;
+        q[2] = 0.25 * s;
+    }
+    // Canonical sign: w >= 0.
+    if (q[3] < 0.0)
+        q = -q;
+    return q;
+}
+
+Matrix
+fromQuaternion(const Vector &q_in)
+{
+    if (q_in.size() != 4)
+        throw std::invalid_argument(
+            "fromQuaternion: quaternion must be 4-dim (x, y, z, w)");
+    const double norm = q_in.norm();
+    if (norm < 1e-12)
+        throw std::invalid_argument("fromQuaternion: zero quaternion");
+    const Vector q = q_in * (1.0 / norm);
+    const double x = q[0];
+    const double y = q[1];
+    const double z = q[2];
+    const double w = q[3];
+
+    Matrix r(3, 3);
+    r(0, 0) = 1.0 - 2.0 * (y * y + z * z);
+    r(0, 1) = 2.0 * (x * y - z * w);
+    r(0, 2) = 2.0 * (x * z + y * w);
+    r(1, 0) = 2.0 * (x * y + z * w);
+    r(1, 1) = 1.0 - 2.0 * (x * x + z * z);
+    r(1, 2) = 2.0 * (y * z - x * w);
+    r(2, 0) = 2.0 * (x * z - y * w);
+    r(2, 1) = 2.0 * (y * z + x * w);
+    r(2, 2) = 1.0 - 2.0 * (x * x + y * y);
+    return r;
+}
+
+} // namespace orianna::lie

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "matrix/dense.hpp"
+
+namespace orianna::lie {
+
+using mat::Matrix;
+using mat::Vector;
+
+/**
+ * Unit-quaternion conversions. Quaternions are one of the classic
+ * pose representations the paper's unified form replaces (Sec. 4.1,
+ * "a combination of a 4-dimensional quaternion q and a position
+ * vector"); we provide the conversions for interoperability with
+ * datasets and libraries that use them (e.g. the g2o file format).
+ *
+ * Storage order is (x, y, z, w), matching g2o.
+ */
+
+/** Rotation matrix -> unit quaternion (x, y, z, w). */
+Vector toQuaternion(const Matrix &r);
+
+/**
+ * Unit quaternion (x, y, z, w) -> rotation matrix. The input is
+ * normalized first; a zero quaternion throws.
+ */
+Matrix fromQuaternion(const Vector &q);
+
+} // namespace orianna::lie

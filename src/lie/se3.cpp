@@ -1,0 +1,144 @@
+#include "lie/se3.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "matrix/qr.hpp"
+
+namespace orianna::lie {
+
+namespace {
+
+constexpr double kSmallAngle = 1e-10;
+
+} // namespace
+
+Se3::Se3(Matrix m) : m_(std::move(m))
+{
+    if (m_.rows() != 4 || m_.cols() != 4)
+        throw std::invalid_argument("Se3: matrix must be 4x4");
+    if (!isRotation(m_.block(0, 0, 3, 3), 1e-6))
+        throw std::invalid_argument("Se3: upper-left block not a rotation");
+}
+
+Se3
+Se3::fromRt(const Matrix &r, const Vector &t)
+{
+    Matrix m = Matrix::identity(4);
+    m.setBlock(0, 0, r);
+    for (std::size_t i = 0; i < 3; ++i)
+        m(i, 3) = t[i];
+    return Se3(std::move(m));
+}
+
+Matrix
+se3TranslationJacobian(const Vector &phi)
+{
+    const double theta = phi.norm();
+    const Matrix w = hat(phi);
+    if (theta < kSmallAngle)
+        return Matrix::identity(3) + w * 0.5 + (w * w) * (1.0 / 6.0);
+    const double t2 = theta * theta;
+    const double a = (1.0 - std::cos(theta)) / t2;
+    const double b = (theta - std::sin(theta)) / (t2 * theta);
+    return Matrix::identity(3) + w * a + (w * w) * b;
+}
+
+Se3
+Se3::exp(const Vector &twist)
+{
+    if (twist.size() != 6)
+        throw std::invalid_argument("Se3::exp: twist must be 6-dim");
+    const Vector phi = twist.segment(0, 3);
+    const Vector rho = twist.segment(3, 3);
+    const Matrix r = expSo(phi);
+    const Vector t = se3TranslationJacobian(phi) * rho;
+    return fromRt(r, t);
+}
+
+Vector
+Se3::log() const
+{
+    const Vector phi = logSo(rotation());
+    const Matrix v = se3TranslationJacobian(phi);
+    // Solve V rho = t by least squares (V is well conditioned away
+    // from theta = 2 pi, which retract() keeps us away from).
+    const Vector rho = mat::leastSquares(v, translation());
+    return phi.concat(rho);
+}
+
+Se3
+Se3::compose(const Se3 &other) const
+{
+    // Deliberate full 4x4 product: this is the padded-representation
+    // cost the unified <so(3),T(3)> representation avoids.
+    return Se3(m_ * other.m_);
+}
+
+Se3
+Se3::inverse() const
+{
+    const Matrix rt = rotation().transpose();
+    return fromRt(rt, -(rt * translation()));
+}
+
+Se3
+Se3::between(const Se3 &other) const
+{
+    return inverse().compose(other);
+}
+
+Se3
+Se3::retract(const Vector &delta) const
+{
+    return compose(exp(delta));
+}
+
+Vector
+Se3::localCoordinates(const Se3 &other) const
+{
+    return between(other).log();
+}
+
+Vector
+Se3::translation() const
+{
+    Vector t(3);
+    for (std::size_t i = 0; i < 3; ++i)
+        t[i] = m_(i, 3);
+    return t;
+}
+
+Matrix
+Se3::adjoint() const
+{
+    const Matrix r = rotation();
+    const Matrix th = hat(translation()) * r;
+    Matrix ad(6, 6);
+    ad.setBlock(0, 0, r);
+    ad.setBlock(3, 0, th);
+    ad.setBlock(3, 3, r);
+    return ad;
+}
+
+Se3
+Se3::fromPose(const Pose &pose)
+{
+    if (pose.spaceDim() != 3)
+        throw std::invalid_argument("Se3::fromPose: pose must be 3-D");
+    return fromRt(expSo(pose.phi()), pose.t());
+}
+
+Pose
+Se3::toPose() const
+{
+    return Pose(logSo(rotation()), translation());
+}
+
+double
+se3Distance(const Se3 &a, const Se3 &b)
+{
+    return mat::maxDifference(a.matrix(), b.matrix());
+}
+
+} // namespace orianna::lie

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "lie/pose.hpp"
+#include "matrix/dense.hpp"
+
+namespace orianna::lie {
+
+/**
+ * Classic SE(3) pose representation, kept as the *baseline* the paper
+ * compares <so(3),T(3)> against (Sec. 4.1/4.3 and Tbl. 1).
+ *
+ * The pose is stored as the padded 4x4 homogeneous matrix, and
+ * composition is implemented as a full 4x4 matrix product on purpose:
+ * the extra multiply-accumulates caused by the padded zeros/ones are
+ * exactly the overhead the unified representation eliminates, and the
+ * MacCounter instrumentation makes that overhead measurable
+ * (bench_sec43_mac_savings).
+ */
+class Se3
+{
+  public:
+    /** Identity transform. */
+    Se3() : m_(Matrix::identity(4)) {}
+
+    /** From an explicit homogeneous matrix (must be a rigid motion). */
+    explicit Se3(Matrix m);
+
+    /** From rotation matrix and translation vector. */
+    static Se3 fromRt(const Matrix &r, const Vector &t);
+
+    /**
+     * Exponential map se(3) -> SE(3). The twist is ordered
+     * [phi(3); rho(3)] (rotation first) to match Pose::retract.
+     */
+    static Se3 exp(const Vector &twist);
+
+    /** Logarithmic map SE(3) -> se(3), ordered [phi; rho]. */
+    Vector log() const;
+
+    /** Full 4x4 homogeneous product (deliberately padded). */
+    Se3 compose(const Se3 &other) const;
+
+    /** Inverse rigid motion. */
+    Se3 inverse() const;
+
+    /** Relative transform: this^-1 * other. */
+    Se3 between(const Se3 &other) const;
+
+    /** Right-perturbation retraction: this * Exp(delta). */
+    Se3 retract(const Vector &delta) const;
+
+    /** Tangent delta such that this->retract(delta) == other. */
+    Vector localCoordinates(const Se3 &other) const;
+
+    Matrix rotation() const { return m_.block(0, 0, 3, 3); }
+    Vector translation() const;
+
+    /**
+     * 6x6 adjoint in [phi; rho] twist order:
+     * Exp(Ad(T) xi) == T Exp(xi) T^-1.
+     */
+    Matrix adjoint() const;
+
+    const Matrix &matrix() const { return m_; }
+
+    /** Conversion from the unified representation (Fig. 8, top). */
+    static Se3 fromPose(const Pose &pose);
+
+    /** Conversion to the unified representation (Fig. 8, top). */
+    Pose toPose() const;
+
+  private:
+    Matrix m_; //!< 4x4 homogeneous transform.
+};
+
+/**
+ * The linear map V(phi) relating se(3)'s translational component to
+ * T(3): t = V(phi) rho (the J map of Fig. 8, bottom).
+ */
+Matrix se3TranslationJacobian(const Vector &phi);
+
+/** Max-abs difference between two SE(3) transforms. */
+double se3Distance(const Se3 &a, const Se3 &b);
+
+} // namespace orianna::lie

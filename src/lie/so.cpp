@@ -1,0 +1,206 @@
+#include "lie/so.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "matrix/mac_counter.hpp"
+
+namespace orianna::lie {
+
+namespace {
+
+constexpr double kSmallAngle = 1e-10;
+
+} // namespace
+
+std::size_t
+tangentDim(std::size_t n)
+{
+    if (n == 2)
+        return 1;
+    if (n == 3)
+        return 3;
+    throw std::invalid_argument("tangentDim: only SO(2)/SO(3) supported");
+}
+
+std::size_t
+spaceDimFromTangent(std::size_t tangent_dim)
+{
+    if (tangent_dim == 1)
+        return 2;
+    if (tangent_dim == 3)
+        return 3;
+    throw std::invalid_argument("spaceDimFromTangent: bad tangent dim");
+}
+
+Matrix
+hat(const Vector &phi)
+{
+    if (phi.size() == 1) {
+        Matrix out(2, 2);
+        out(0, 1) = -phi[0];
+        out(1, 0) = phi[0];
+        return out;
+    }
+    if (phi.size() == 3) {
+        Matrix out(3, 3);
+        out(0, 1) = -phi[2];
+        out(0, 2) = phi[1];
+        out(1, 0) = phi[2];
+        out(1, 2) = -phi[0];
+        out(2, 0) = -phi[1];
+        out(2, 1) = phi[0];
+        return out;
+    }
+    throw std::invalid_argument("hat: tangent must be 1- or 3-dim");
+}
+
+Vector
+vee(const Matrix &omega)
+{
+    if (omega.rows() == 2 && omega.cols() == 2)
+        return Vector{omega(1, 0)};
+    if (omega.rows() == 3 && omega.cols() == 3)
+        return Vector{omega(2, 1), omega(0, 2), omega(1, 0)};
+    throw std::invalid_argument("vee: matrix must be 2x2 or 3x3");
+}
+
+Matrix
+expSo(const Vector &phi)
+{
+    if (phi.size() == 1) {
+        const double c = std::cos(phi[0]);
+        const double s = std::sin(phi[0]);
+        mat::MacCounter::add(4);
+        Matrix out(2, 2);
+        out(0, 0) = c;
+        out(0, 1) = -s;
+        out(1, 0) = s;
+        out(1, 1) = c;
+        return out;
+    }
+    if (phi.size() == 3) {
+        const double theta = phi.norm();
+        const Matrix w = hat(phi);
+        if (theta < kSmallAngle) {
+            // First-order expansion near the identity.
+            return Matrix::identity(3) + w + w * w * 0.5;
+        }
+        const double a = std::sin(theta) / theta;
+        const double b = (1.0 - std::cos(theta)) / (theta * theta);
+        mat::MacCounter::add(6);
+        return Matrix::identity(3) + w * a + (w * w) * b;
+    }
+    throw std::invalid_argument("expSo: tangent must be 1- or 3-dim");
+}
+
+Vector
+logSo(const Matrix &r)
+{
+    if (r.rows() == 2 && r.cols() == 2)
+        return Vector{std::atan2(r(1, 0), r(0, 0))};
+    if (r.rows() == 3 && r.cols() == 3) {
+        const double trace = r(0, 0) + r(1, 1) + r(2, 2);
+        double cos_theta = 0.5 * (trace - 1.0);
+        cos_theta = std::clamp(cos_theta, -1.0, 1.0);
+        const double theta = std::acos(cos_theta);
+        mat::MacCounter::add(4);
+        if (theta < kSmallAngle) {
+            // Log ~= vee(R - R^T)/2 near the identity.
+            return vee((r - r.transpose()) * 0.5);
+        }
+        constexpr double pi = std::numbers::pi;
+        if (theta > pi - 1e-6) {
+            // Near-pi branch: recover the axis from R + I.
+            Matrix s = r + Matrix::identity(3);
+            // The column of R+I with the largest norm is parallel to
+            // the rotation axis.
+            std::size_t best = 0;
+            double best_norm = -1.0;
+            for (std::size_t j = 0; j < 3; ++j) {
+                const double n = s.col(j).norm();
+                if (n > best_norm) {
+                    best_norm = n;
+                    best = j;
+                }
+            }
+            Vector axis = s.col(best);
+            axis = axis * (1.0 / axis.norm());
+            // Fix the sign so that Exp(theta * axis) == r.
+            Vector candidate = axis * theta;
+            if (mat::maxDifference(expSo(candidate), r) >
+                mat::maxDifference(expSo(-candidate), r))
+                candidate = -candidate;
+            return candidate;
+        }
+        const double scale = theta / (2.0 * std::sin(theta));
+        return vee(r - r.transpose()) * scale;
+    }
+    throw std::invalid_argument("logSo: matrix must be 2x2 or 3x3");
+}
+
+Matrix
+rightJacobian(const Vector &phi)
+{
+    if (phi.size() == 1)
+        return Matrix::identity(1);
+    if (phi.size() == 3) {
+        const double theta = phi.norm();
+        const Matrix w = hat(phi);
+        if (theta < kSmallAngle)
+            return Matrix::identity(3) - w * 0.5 + (w * w) * (1.0 / 6.0);
+        const double t2 = theta * theta;
+        const double a = (1.0 - std::cos(theta)) / t2;
+        const double b = (theta - std::sin(theta)) / (t2 * theta);
+        mat::MacCounter::add(8);
+        return Matrix::identity(3) - w * a + (w * w) * b;
+    }
+    throw std::invalid_argument("rightJacobian: tangent must be 1- or 3-dim");
+}
+
+Matrix
+rightJacobianInv(const Vector &phi)
+{
+    if (phi.size() == 1)
+        return Matrix::identity(1);
+    if (phi.size() == 3) {
+        const double theta = phi.norm();
+        const Matrix w = hat(phi);
+        if (theta < kSmallAngle)
+            return Matrix::identity(3) + w * 0.5 + (w * w) * (1.0 / 12.0);
+        const double cot_term =
+            (1.0 / (theta * theta)) - (1.0 + std::cos(theta)) /
+                                          (2.0 * theta * std::sin(theta));
+        mat::MacCounter::add(8);
+        return Matrix::identity(3) + w * 0.5 + (w * w) * cot_term;
+    }
+    throw std::invalid_argument(
+        "rightJacobianInv: tangent must be 1- or 3-dim");
+}
+
+bool
+isRotation(const Matrix &r, double tol)
+{
+    if (r.rows() != r.cols())
+        return false;
+    const Matrix should_be_identity = r * r.transpose();
+    if (mat::maxDifference(should_be_identity,
+                           Matrix::identity(r.rows())) > tol)
+        return false;
+    // Determinant check for 2x2 / 3x3.
+    double det = 0.0;
+    if (r.rows() == 2) {
+        det = r(0, 0) * r(1, 1) - r(0, 1) * r(1, 0);
+    } else if (r.rows() == 3) {
+        det = r(0, 0) * (r(1, 1) * r(2, 2) - r(1, 2) * r(2, 1)) -
+              r(0, 1) * (r(1, 0) * r(2, 2) - r(1, 2) * r(2, 0)) +
+              r(0, 2) * (r(1, 0) * r(2, 1) - r(1, 1) * r(2, 0));
+    } else {
+        return false;
+    }
+    return std::abs(det - 1.0) <= tol;
+}
+
+} // namespace orianna::lie

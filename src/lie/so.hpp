@@ -1,0 +1,58 @@
+#pragma once
+
+#include "matrix/dense.hpp"
+
+namespace orianna::lie {
+
+using mat::Matrix;
+using mat::Vector;
+
+/**
+ * Tangent-space dimension of SO(n): 1 for n=2, 3 for n=3.
+ *
+ * @throws std::invalid_argument for any other n; the paper's unified
+ * representation <so(n),T(n)> is only instantiated for planar and
+ * spatial robots.
+ */
+std::size_t tangentDim(std::size_t n);
+
+/** Space dimension n recovered from a tangent vector (1 -> 2, 3 -> 3). */
+std::size_t spaceDimFromTangent(std::size_t tangent_dim);
+
+/**
+ * Hat operator: map a tangent vector to the corresponding
+ * skew-symmetric matrix (the (.)^ primitive of Tbl. 3).
+ *
+ * For so(2) the input is a single angle; for so(3) a 3-vector.
+ */
+Matrix hat(const Vector &phi);
+
+/** Vee operator: inverse of hat for skew-symmetric input. */
+Vector vee(const Matrix &omega);
+
+/**
+ * Exponential map so(n) -> SO(n) (the Exp primitive of Tbl. 3).
+ * Uses Rodrigues' formula for n=3 and the planar rotation for n=2.
+ */
+Matrix expSo(const Vector &phi);
+
+/**
+ * Logarithmic map SO(n) -> so(n) (the Log primitive of Tbl. 3).
+ * The returned rotation angle lies in (-pi, pi].
+ */
+Vector logSo(const Matrix &r);
+
+/**
+ * Right Jacobian J_r of SO(n) [Sola et al.], the J_r primitive of
+ * Tbl. 3: Exp(phi + dphi) ~= Exp(phi) Exp(J_r(phi) dphi).
+ * For n=2 this is the 1x1 identity.
+ */
+Matrix rightJacobian(const Vector &phi);
+
+/** Inverse right Jacobian, the J_r^-1 primitive of Tbl. 3. */
+Matrix rightJacobianInv(const Vector &phi);
+
+/** True when r is orthogonal with determinant +1 (within tol). */
+bool isRotation(const Matrix &r, double tol = 1e-9);
+
+} // namespace orianna::lie

@@ -1,0 +1,92 @@
+#include "matrix/block_sparse.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace orianna::mat {
+
+namespace {
+
+std::vector<std::size_t>
+prefixSum(const std::vector<std::size_t> &dims)
+{
+    std::vector<std::size_t> offsets(dims.size() + 1, 0);
+    for (std::size_t i = 0; i < dims.size(); ++i)
+        offsets[i + 1] = offsets[i] + dims[i];
+    return offsets;
+}
+
+} // namespace
+
+BlockSparseMatrix::BlockSparseMatrix(std::vector<std::size_t> row_dims,
+                                     std::vector<std::size_t> col_dims)
+    : rowDims_(std::move(row_dims)), colDims_(std::move(col_dims)),
+      rowOffsets_(prefixSum(rowDims_)), colOffsets_(prefixSum(colDims_))
+{}
+
+void
+BlockSparseMatrix::setBlock(std::size_t br, std::size_t bc, Matrix value)
+{
+    if (br >= blockRows() || bc >= blockCols())
+        throw std::out_of_range("BlockSparseMatrix::setBlock: bad index");
+    if (value.rows() != rowDims_[br] || value.cols() != colDims_[bc])
+        throw std::invalid_argument(
+            "BlockSparseMatrix::setBlock: block shape mismatch");
+    blocks_[{br, bc}] = std::move(value);
+}
+
+const Matrix *
+BlockSparseMatrix::findBlock(std::size_t br, std::size_t bc) const
+{
+    auto it = blocks_.find({br, bc});
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::size_t>
+BlockSparseMatrix::blocksInRow(std::size_t br) const
+{
+    std::vector<std::size_t> out;
+    for (auto it = blocks_.lower_bound({br, 0});
+         it != blocks_.end() && it->first.first == br; ++it)
+        out.push_back(it->first.second);
+    return out;
+}
+
+std::vector<std::size_t>
+BlockSparseMatrix::blocksInCol(std::size_t bc) const
+{
+    std::vector<std::size_t> out;
+    for (const auto &[key, block] : blocks_)
+        if (key.second == bc)
+            out.push_back(key.first);
+    return out;
+}
+
+std::size_t
+BlockSparseMatrix::nonZeros(double tol) const
+{
+    std::size_t count = 0;
+    for (const auto &[key, block] : blocks_)
+        count += block.nonZeros(tol);
+    return count;
+}
+
+double
+BlockSparseMatrix::density(double tol) const
+{
+    const std::size_t total = totalRows() * totalCols();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(nonZeros(tol)) / static_cast<double>(total);
+}
+
+Matrix
+BlockSparseMatrix::toDense() const
+{
+    Matrix out(totalRows(), totalCols());
+    for (const auto &[key, block] : blocks_)
+        out.setBlock(rowOffsets_[key.first], colOffsets_[key.second], block);
+    return out;
+}
+
+} // namespace orianna::mat

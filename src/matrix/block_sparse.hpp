@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "matrix/dense.hpp"
+
+namespace orianna::mat {
+
+/**
+ * Block-sparse matrix with fixed block-row / block-column partitions.
+ *
+ * This is the assembly format for the linearized system A of
+ * Gauss-Newton (Sec. 2.2): each factor contributes one block row and
+ * each variable owns one block column, so the sparsity pattern *is*
+ * the factor-graph topology. Only the nonzero blocks are stored.
+ */
+class BlockSparseMatrix
+{
+  public:
+    /**
+     * @param row_dims height of each block row (one per factor).
+     * @param col_dims width of each block column (one per variable).
+     */
+    BlockSparseMatrix(std::vector<std::size_t> row_dims,
+                      std::vector<std::size_t> col_dims);
+
+    std::size_t blockRows() const { return rowDims_.size(); }
+    std::size_t blockCols() const { return colDims_.size(); }
+    std::size_t totalRows() const { return rowOffsets_.back(); }
+    std::size_t totalCols() const { return colOffsets_.back(); }
+
+    /** Scalar row index where block row @p br starts. */
+    std::size_t rowOffset(std::size_t br) const { return rowOffsets_[br]; }
+
+    /** Scalar column index where block column @p bc starts. */
+    std::size_t colOffset(std::size_t bc) const { return colOffsets_[bc]; }
+
+    std::size_t rowDim(std::size_t br) const { return rowDims_[br]; }
+    std::size_t colDim(std::size_t bc) const { return colDims_[bc]; }
+
+    /**
+     * Insert (or overwrite) the block at (@p br, @p bc). The block
+     * shape must match the partition dims.
+     */
+    void setBlock(std::size_t br, std::size_t bc, Matrix value);
+
+    /** Block at (@p br, @p bc), or nullptr when structurally zero. */
+    const Matrix *findBlock(std::size_t br, std::size_t bc) const;
+
+    /** Block columns that have a nonzero block in block row @p br. */
+    std::vector<std::size_t> blocksInRow(std::size_t br) const;
+
+    /** Block rows that have a nonzero block in block column @p bc. */
+    std::vector<std::size_t> blocksInCol(std::size_t bc) const;
+
+    /** Number of stored (structurally nonzero) blocks. */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /** Number of scalar nonzeros across all stored blocks. */
+    std::size_t nonZeros(double tol = 1e-12) const;
+
+    /** Scalar density of the equivalent dense matrix. */
+    double density(double tol = 1e-12) const;
+
+    /** Materialize as a dense matrix (for baselines and tests). */
+    Matrix toDense() const;
+
+  private:
+    std::vector<std::size_t> rowDims_;
+    std::vector<std::size_t> colDims_;
+    std::vector<std::size_t> rowOffsets_;
+    std::vector<std::size_t> colOffsets_;
+    std::map<std::pair<std::size_t, std::size_t>, Matrix> blocks_;
+};
+
+} // namespace orianna::mat

@@ -1,0 +1,430 @@
+#include "matrix/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "matrix/mac_counter.hpp"
+
+namespace orianna::mat {
+
+namespace {
+
+void
+requireSameSize(std::size_t a, std::size_t b, const char *what)
+{
+    if (a != b)
+        throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+
+} // namespace
+
+Vector
+Vector::operator+(const Vector &other) const
+{
+    requireSameSize(size(), other.size(), "Vector::operator+");
+    Vector out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = data_[i] + other[i];
+    return out;
+}
+
+Vector
+Vector::operator-(const Vector &other) const
+{
+    requireSameSize(size(), other.size(), "Vector::operator-");
+    Vector out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = data_[i] - other[i];
+    return out;
+}
+
+Vector
+Vector::operator-() const
+{
+    Vector out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = -data_[i];
+    return out;
+}
+
+Vector
+Vector::operator*(double scale) const
+{
+    Vector out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = data_[i] * scale;
+    MacCounter::add(size());
+    return out;
+}
+
+Vector &
+Vector::operator+=(const Vector &other)
+{
+    requireSameSize(size(), other.size(), "Vector::operator+=");
+    for (std::size_t i = 0; i < size(); ++i)
+        data_[i] += other[i];
+    return *this;
+}
+
+Vector &
+Vector::operator-=(const Vector &other)
+{
+    requireSameSize(size(), other.size(), "Vector::operator-=");
+    for (std::size_t i = 0; i < size(); ++i)
+        data_[i] -= other[i];
+    return *this;
+}
+
+double
+Vector::dot(const Vector &other) const
+{
+    requireSameSize(size(), other.size(), "Vector::dot");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < size(); ++i)
+        acc += data_[i] * other[i];
+    MacCounter::add(size());
+    return acc;
+}
+
+double
+Vector::norm() const
+{
+    return std::sqrt(dot(*this));
+}
+
+double
+Vector::maxAbs() const
+{
+    double best = 0.0;
+    for (double v : data_)
+        best = std::max(best, std::abs(v));
+    return best;
+}
+
+Vector
+Vector::segment(std::size_t start, std::size_t len) const
+{
+    if (start + len > size())
+        throw std::out_of_range("Vector::segment: out of range");
+    Vector out(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = data_[start + i];
+    return out;
+}
+
+void
+Vector::setSegment(std::size_t start, const Vector &value)
+{
+    if (start + value.size() > size())
+        throw std::out_of_range("Vector::setSegment: out of range");
+    for (std::size_t i = 0; i < value.size(); ++i)
+        data_[start + i] = value[i];
+}
+
+Vector
+Vector::concat(const Vector &other) const
+{
+    Vector out(size() + other.size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = data_[i];
+    for (std::size_t i = 0; i < other.size(); ++i)
+        out[size() + i] = other[i];
+    return out;
+}
+
+Matrix
+Vector::asColumn() const
+{
+    Matrix out(size(), 1);
+    for (std::size_t i = 0; i < size(); ++i)
+        out(i, 0) = data_[i];
+    return out;
+}
+
+std::string
+Vector::str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < size(); ++i)
+        os << (i ? ", " : "") << data_[i];
+    os << "]";
+    return os.str();
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &r : rows) {
+        if (r.size() != cols_)
+            throw std::invalid_argument("Matrix: ragged initializer");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        out(i, i) = 1.0;
+    return out;
+}
+
+Matrix
+Matrix::zero(std::size_t rows, std::size_t cols)
+{
+    return Matrix(rows, cols);
+}
+
+Matrix
+Matrix::diagonal(const Vector &diag)
+{
+    Matrix out(diag.size(), diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i)
+        out(i, i) = diag[i];
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    requireSameSize(rows_, other.rows_, "Matrix::operator+ rows");
+    requireSameSize(cols_, other.cols_, "Matrix::operator+ cols");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    requireSameSize(rows_, other.rows_, "Matrix::operator- rows");
+    requireSameSize(cols_, other.cols_, "Matrix::operator- cols");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-() const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = -data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    requireSameSize(cols_, other.rows_, "Matrix::operator* inner");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += a * other(k, j);
+        }
+    }
+    MacCounter::add(rows_ * cols_ * other.cols_);
+    return out;
+}
+
+Matrix
+Matrix::operator*(double scale) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * scale;
+    MacCounter::add(data_.size());
+    return out;
+}
+
+Vector
+Matrix::operator*(const Vector &vec) const
+{
+    requireSameSize(cols_, vec.size(), "Matrix::operator* vector");
+    Vector out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            acc += (*this)(i, j) * vec[j];
+        out[i] = acc;
+    }
+    MacCounter::add(rows_ * cols_);
+    return out;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    *this = *this + other;
+    return *this;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+Matrix
+Matrix::block(std::size_t i0, std::size_t j0, std::size_t r,
+              std::size_t c) const
+{
+    if (i0 + r > rows_ || j0 + c > cols_)
+        throw std::out_of_range("Matrix::block: out of range");
+    Matrix out(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+        for (std::size_t j = 0; j < c; ++j)
+            out(i, j) = (*this)(i0 + i, j0 + j);
+    return out;
+}
+
+void
+Matrix::setBlock(std::size_t i0, std::size_t j0, const Matrix &value)
+{
+    if (i0 + value.rows() > rows_ || j0 + value.cols() > cols_)
+        throw std::out_of_range("Matrix::setBlock: out of range");
+    for (std::size_t i = 0; i < value.rows(); ++i)
+        for (std::size_t j = 0; j < value.cols(); ++j)
+            (*this)(i0 + i, j0 + j) = value(i, j);
+}
+
+Vector
+Matrix::row(std::size_t i) const
+{
+    Vector out(cols_);
+    for (std::size_t j = 0; j < cols_; ++j)
+        out[j] = (*this)(i, j);
+    return out;
+}
+
+Vector
+Matrix::col(std::size_t j) const
+{
+    Vector out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        out[i] = (*this)(i, j);
+    return out;
+}
+
+double
+Matrix::norm() const
+{
+    double acc = 0.0;
+    for (double v : data_)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+double
+Matrix::maxAbs() const
+{
+    double best = 0.0;
+    for (double v : data_)
+        best = std::max(best, std::abs(v));
+    return best;
+}
+
+double
+Matrix::density(double tol) const
+{
+    if (data_.empty())
+        return 0.0;
+    return static_cast<double>(nonZeros(tol)) /
+           static_cast<double>(data_.size());
+}
+
+std::size_t
+Matrix::nonZeros(double tol) const
+{
+    std::size_t count = 0;
+    for (double v : data_)
+        if (std::abs(v) > tol)
+            ++count;
+    return count;
+}
+
+bool
+Matrix::isUpperTriangular(double tol) const
+{
+    for (std::size_t i = 1; i < rows_; ++i)
+        for (std::size_t j = 0; j < std::min(i, cols_); ++j)
+            if (std::abs((*this)(i, j)) > tol)
+                return false;
+    return true;
+}
+
+Matrix
+Matrix::vstack(const Matrix &other) const
+{
+    if (cols_ == 0 && rows_ == 0)
+        return other;
+    requireSameSize(cols_, other.cols_, "Matrix::vstack");
+    Matrix out(rows_ + other.rows_, cols_);
+    out.setBlock(0, 0, *this);
+    out.setBlock(rows_, 0, other);
+    return out;
+}
+
+Matrix
+Matrix::hstack(const Matrix &other) const
+{
+    if (cols_ == 0 && rows_ == 0)
+        return other;
+    requireSameSize(rows_, other.rows_, "Matrix::hstack");
+    Matrix out(rows_, cols_ + other.cols_);
+    out.setBlock(0, 0, *this);
+    out.setBlock(0, cols_, other);
+    return out;
+}
+
+std::string
+Matrix::str() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        os << (i ? "\n[" : "[");
+        for (std::size_t j = 0; j < cols_; ++j)
+            os << (j ? ", " : "") << (*this)(i, j);
+        os << "]";
+    }
+    return os.str();
+}
+
+double
+maxDifference(const Matrix &a, const Matrix &b)
+{
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            best = std::max(best, std::abs(a(i, j) - b(i, j)));
+    return best;
+}
+
+double
+maxDifference(const Vector &a, const Vector &b)
+{
+    assert(a.size() == b.size());
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        best = std::max(best, std::abs(a[i] - b[i]));
+    return best;
+}
+
+} // namespace orianna::mat

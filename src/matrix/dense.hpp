@@ -1,0 +1,193 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace orianna::mat {
+
+class Matrix;
+
+/**
+ * Dense column vector of doubles.
+ *
+ * The workhorse value type for robot states, errors and right-hand
+ * sides. Sizes in optimization-based robotics are small (2-12), so the
+ * implementation favours clarity and correct MAC accounting over
+ * vectorization.
+ */
+class Vector
+{
+  public:
+    /** Empty (zero-length) vector. */
+    Vector() = default;
+
+    /** Zero vector of dimension @p n. */
+    explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+    /** Vector from an explicit list of entries. */
+    Vector(std::initializer_list<double> values) : data_(values) {}
+
+    /** Vector wrapping existing storage. */
+    explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double &operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    /** Bounds-checked element access. */
+    double &at(std::size_t i) { return data_.at(i); }
+    double at(std::size_t i) const { return data_.at(i); }
+
+    const std::vector<double> &data() const { return data_; }
+
+    Vector operator+(const Vector &other) const;
+    Vector operator-(const Vector &other) const;
+    Vector operator-() const;
+    Vector operator*(double scale) const;
+    Vector &operator+=(const Vector &other);
+    Vector &operator-=(const Vector &other);
+
+    /** Dot product; dimensions must agree. */
+    double dot(const Vector &other) const;
+
+    /** Euclidean (2-) norm. */
+    double norm() const;
+
+    /** Largest absolute entry; 0 for an empty vector. */
+    double maxAbs() const;
+
+    /** Contiguous sub-vector [start, start+len). */
+    Vector segment(std::size_t start, std::size_t len) const;
+
+    /** Overwrite the sub-vector starting at @p start with @p value. */
+    void setSegment(std::size_t start, const Vector &value);
+
+    /** Concatenate @p other after this vector. */
+    Vector concat(const Vector &other) const;
+
+    /** This vector as an n-by-1 matrix. */
+    Matrix asColumn() const;
+
+    /** Human-readable single-line rendering, for logs and tests. */
+    std::string str() const;
+
+  private:
+    std::vector<double> data_;
+};
+
+/**
+ * Dense row-major matrix of doubles.
+ *
+ * Covers every kernel the ORIANNA templates implement in hardware:
+ * multiply (systolic-array template), transpose, and the QR /
+ * back-substitution kernels declared in qr.hpp. All arithmetic kernels
+ * report MACs through MacCounter.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0-by-0 matrix. */
+    Matrix() = default;
+
+    /** Zero matrix of shape @p rows by @p cols. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    /** Matrix from nested initializer lists (row major). */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /** n-by-n identity. */
+    static Matrix identity(std::size_t n);
+
+    /** Zero matrix of shape @p rows by @p cols. */
+    static Matrix zero(std::size_t rows, std::size_t cols);
+
+    /** Diagonal matrix with the entries of @p diag. */
+    static Matrix diagonal(const Vector &diag);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Total number of entries. */
+    std::size_t size() const { return data_.size(); }
+
+    double &operator()(std::size_t i, std::size_t j)
+    {
+        return data_[i * cols_ + j];
+    }
+
+    double operator()(std::size_t i, std::size_t j) const
+    {
+        return data_[i * cols_ + j];
+    }
+
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix operator-() const;
+    Matrix operator*(const Matrix &other) const;
+    Matrix operator*(double scale) const;
+    Vector operator*(const Vector &vec) const;
+    Matrix &operator+=(const Matrix &other);
+
+    /** Matrix transpose. */
+    Matrix transpose() const;
+
+    /** Copy of the sub-block at (@p i0, @p j0) of shape @p r by @p c. */
+    Matrix block(std::size_t i0, std::size_t j0, std::size_t r,
+                 std::size_t c) const;
+
+    /** Overwrite the sub-block at (@p i0, @p j0) with @p value. */
+    void setBlock(std::size_t i0, std::size_t j0, const Matrix &value);
+
+    /** Row @p i as a vector. */
+    Vector row(std::size_t i) const;
+
+    /** Column @p j as a vector. */
+    Vector col(std::size_t j) const;
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** Largest absolute entry; 0 for an empty matrix. */
+    double maxAbs() const;
+
+    /** Fraction of entries with |a_ij| > tol; 0 for an empty matrix. */
+    double density(double tol = 1e-12) const;
+
+    /** Number of entries with |a_ij| > tol. */
+    std::size_t nonZeros(double tol = 1e-12) const;
+
+    /** True if all entries below the main diagonal are within tol of 0. */
+    bool isUpperTriangular(double tol = 1e-9) const;
+
+    /** Stack @p other below this matrix (column counts must match). */
+    Matrix vstack(const Matrix &other) const;
+
+    /** Place @p other to the right of this matrix (row counts match). */
+    Matrix hstack(const Matrix &other) const;
+
+    /** Human-readable multi-line rendering, for logs and tests. */
+    std::string str() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Scalar-first scaling. */
+inline Matrix operator*(double scale, const Matrix &m) { return m * scale; }
+inline Vector operator*(double scale, const Vector &v) { return v * scale; }
+
+/** Max-abs difference between two equally shaped matrices. */
+double maxDifference(const Matrix &a, const Matrix &b);
+
+/** Max-abs difference between two equally sized vectors. */
+double maxDifference(const Vector &a, const Vector &b);
+
+} // namespace orianna::mat

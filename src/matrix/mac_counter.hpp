@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+namespace orianna::mat {
+
+/**
+ * Process-wide multiply-accumulate (MAC) counter.
+ *
+ * Every dense kernel in this library reports the number of MAC
+ * operations it performs. The counter backs the Sec. 4.3 experiment
+ * (52.7% MAC savings of <so(n),T(n)> over SE(n)) and the platform
+ * models in src/baselines, which convert operation counts into
+ * latency and energy estimates.
+ *
+ * The counter is thread-local so parallel test shards do not race.
+ */
+class MacCounter
+{
+  public:
+    /** Add @p n MAC operations to the running total. */
+    static void add(std::uint64_t n) { counter() += n; }
+
+    /** Current MAC total since the last reset(). */
+    static std::uint64_t value() { return counter(); }
+
+    /** Reset the running total to zero. */
+    static void reset() { counter() = 0; }
+
+  private:
+    static std::uint64_t &
+    counter()
+    {
+        thread_local std::uint64_t count = 0;
+        return count;
+    }
+};
+
+/**
+ * RAII scope that measures the MACs executed while it is alive.
+ *
+ * Usage:
+ * @code
+ *   MacScope scope;
+ *   ... kernels ...
+ *   std::uint64_t macs = scope.elapsed();
+ * @endcode
+ */
+class MacScope
+{
+  public:
+    MacScope() : start_(MacCounter::value()) {}
+
+    /** MACs executed since construction. */
+    std::uint64_t elapsed() const { return MacCounter::value() - start_; }
+
+  private:
+    std::uint64_t start_;
+};
+
+} // namespace orianna::mat

@@ -1,0 +1,134 @@
+#include "matrix/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "matrix/mac_counter.hpp"
+
+namespace orianna::mat {
+
+QrResult
+householderQr(const Matrix &a, const Vector &b)
+{
+    if (a.rows() != b.size())
+        throw std::invalid_argument("householderQr: A/b row mismatch");
+
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix r = a;
+    Vector rhs = b;
+
+    const std::size_t steps = std::min(m == 0 ? 0 : m - 1, n);
+    for (std::size_t k = 0; k < steps; ++k) {
+        // Build the Householder reflector for column k below row k.
+        double sigma = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            sigma += r(i, k) * r(i, k);
+        MacCounter::add(m - k);
+        double alpha = std::sqrt(sigma);
+        if (alpha == 0.0)
+            continue;
+        if (r(k, k) > 0.0)
+            alpha = -alpha;
+
+        Vector v(m - k);
+        v[0] = r(k, k) - alpha;
+        for (std::size_t i = k + 1; i < m; ++i)
+            v[i - k] = r(i, k);
+        const double vnorm2 = sigma - 2.0 * alpha * r(k, k) + alpha * alpha;
+        if (vnorm2 == 0.0)
+            continue;
+
+        // Apply I - 2 v v^T / (v^T v) to the trailing columns and rhs.
+        for (std::size_t j = k; j < n; ++j) {
+            double dot = 0.0;
+            for (std::size_t i = k; i < m; ++i)
+                dot += v[i - k] * r(i, j);
+            const double beta = 2.0 * dot / vnorm2;
+            for (std::size_t i = k; i < m; ++i)
+                r(i, j) -= beta * v[i - k];
+            MacCounter::add(2 * (m - k));
+        }
+        double dot = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            dot += v[i - k] * rhs[i];
+        const double beta = 2.0 * dot / vnorm2;
+        for (std::size_t i = k; i < m; ++i)
+            rhs[i] -= beta * v[i - k];
+        MacCounter::add(2 * (m - k));
+    }
+    return {std::move(r), std::move(rhs)};
+}
+
+QrResult
+givensQr(const Matrix &a, const Vector &b)
+{
+    if (a.rows() != b.size())
+        throw std::invalid_argument("givensQr: A/b row mismatch");
+
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix r = a;
+    Vector rhs = b;
+
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = m; i-- > j + 1;) {
+            const double x = r(j, j);
+            const double y = r(i, j);
+            if (y == 0.0)
+                continue;
+            const double hyp = std::hypot(x, y);
+            const double c = x / hyp;
+            const double s = y / hyp;
+            for (std::size_t k = j; k < n; ++k) {
+                const double rj = r(j, k);
+                const double ri = r(i, k);
+                r(j, k) = c * rj + s * ri;
+                r(i, k) = -s * rj + c * ri;
+            }
+            MacCounter::add(4 * (n - j));
+            const double tj = rhs[j];
+            const double ti = rhs[i];
+            rhs[j] = c * tj + s * ti;
+            rhs[i] = -s * tj + c * ti;
+            MacCounter::add(4);
+            r(i, j) = 0.0;
+        }
+    }
+    return {std::move(r), std::move(rhs)};
+}
+
+Vector
+backSubstitute(const Matrix &r, const Vector &y)
+{
+    const std::size_t n = r.cols();
+    if (r.rows() < n || y.size() < n)
+        throw std::invalid_argument("backSubstitute: system too short");
+
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j)
+            acc -= r(ii, j) * x[j];
+        MacCounter::add(n - ii - 1);
+        const double diag = r(ii, ii);
+        if (std::abs(diag) < 1e-12)
+            throw std::runtime_error("backSubstitute: singular diagonal");
+        x[ii] = acc / diag;
+    }
+    return x;
+}
+
+Vector
+leastSquares(const Matrix &a, const Vector &b)
+{
+    QrResult qr = householderQr(a, b);
+    const std::size_t n = a.cols();
+    Matrix top = qr.r.block(0, 0, n, n);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = qr.rhs[i];
+    return backSubstitute(top, y);
+}
+
+} // namespace orianna::mat

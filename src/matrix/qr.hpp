@@ -1,0 +1,53 @@
+#pragma once
+
+#include "matrix/dense.hpp"
+
+namespace orianna::mat {
+
+/**
+ * Result of an orthogonal triangularization of the stacked system
+ * [A | b]: R is upper trapezoidal with the same shape as A, and rhs is
+ * Q^T b. Q itself is never materialized; factor-graph elimination only
+ * needs R and Q^T b (Sec. 2.2 of the paper).
+ */
+struct QrResult
+{
+    Matrix r;   //!< Upper-trapezoidal factor, same shape as the input A.
+    Vector rhs; //!< Q^T b, same length as b.
+};
+
+/**
+ * Householder QR of the augmented system [A | b].
+ *
+ * This is the software-reference kernel used by the CPU baselines and
+ * the Gauss-Newton solver. Cost is accounted through MacCounter.
+ */
+QrResult householderQr(const Matrix &a, const Vector &b);
+
+/**
+ * Givens-rotation QR of the augmented system [A | b].
+ *
+ * Functional model of the hardware QR template (a Givens array is the
+ * standard systolic QR structure the paper's template follows, cf.
+ * prior factor-graph accelerators [19][21][36]). Produces the same R
+ * and Q^T b as householderQr up to row signs; the accelerator
+ * simulator executes this kernel so software/accelerator accuracy can
+ * be compared honestly.
+ */
+QrResult givensQr(const Matrix &a, const Vector &b);
+
+/**
+ * Solve R x = y by back substitution for square upper-triangular R
+ * (the top rows of a QR result).
+ *
+ * @throws std::runtime_error when a diagonal entry is (near) zero.
+ */
+Vector backSubstitute(const Matrix &r, const Vector &y);
+
+/**
+ * Least-squares solve of min ||A x - b||_2 via Householder QR and back
+ * substitution. Requires A to have full column rank.
+ */
+Vector leastSquares(const Matrix &a, const Vector &b);
+
+} // namespace orianna::mat

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "lie/pose.hpp"
+
+namespace orianna::sensors {
+
+using lie::Pose;
+using mat::Vector;
+
+/**
+ * One inertial-odometry sample: body angular rate (gyroscope) and
+ * body-frame linear velocity (gravity-compensated accelerometer
+ * integrated once, or wheel/visual odometry), over a small dt.
+ */
+struct ImuSample
+{
+    Vector gyro;     //!< rad/s in the body frame (1-dim in 2-D).
+    Vector velocity; //!< m/s in the body frame.
+    double dt = 0.0; //!< Sample period in seconds.
+};
+
+/**
+ * Preintegration of inertial samples between two keyframes into one
+ * relative-pose measurement (the m4/m5 constants the Sec. 5.1 listing
+ * feeds to IMUFactor):
+ *
+ *   R <- R Exp(omega dt),   p <- p + R v dt.
+ *
+ * Works for 2-D (1-dim gyro) and 3-D (3-dim gyro) bodies.
+ */
+class ImuPreintegrator
+{
+  public:
+    /** @param space_dim 2 or 3. */
+    explicit ImuPreintegrator(std::size_t space_dim);
+
+    /** Integrate one sample. @throws on dimension mismatch. */
+    void add(const ImuSample &sample);
+
+    /** Accumulated relative pose since the last reset. */
+    const Pose &delta() const { return delta_; }
+
+    /** Total integrated time. */
+    double elapsed() const { return elapsed_; }
+
+    std::size_t count() const { return count_; }
+
+    /** Start a new preintegration window. */
+    void reset();
+
+  private:
+    std::size_t spaceDim_;
+    Pose delta_;
+    double elapsed_ = 0.0;
+    std::size_t count_ = 0;
+};
+
+/**
+ * Synthesize noisy inertial samples along the segment from @p a to
+ * @p b: the exact body rates are recovered from the relative pose and
+ * perturbed with white noise, so preintegrating them reproduces the
+ * true motion up to integration and sensor error.
+ */
+std::vector<ImuSample> synthesizeImuSegment(const Pose &a, const Pose &b,
+                                            std::size_t steps,
+                                            double duration,
+                                            std::mt19937 &rng,
+                                            double gyro_noise,
+                                            double velocity_noise);
+
+} // namespace orianna::sensors

@@ -1,0 +1,103 @@
+#include "sensors/scan_matching.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lie/so.hpp"
+
+namespace orianna::sensors {
+
+Scan
+renderScan(const Pose &pose, const std::vector<Vector> &landmarks,
+           double max_range, double noise, std::mt19937 &rng)
+{
+    if (pose.spaceDim() != 2)
+        throw std::invalid_argument("renderScan: pose must be planar");
+    std::normal_distribution<double> dist(0.0, noise);
+    const mat::Matrix rt = pose.rotation().transpose();
+
+    Scan scan;
+    for (const Vector &landmark : landmarks) {
+        const Vector local = rt * (landmark - pose.t());
+        if (local.norm() > max_range)
+            continue;
+        scan.points.push_back(
+            local + Vector{dist(rng), dist(rng)});
+    }
+    return scan;
+}
+
+IcpResult
+icp2d(const Scan &from, const Scan &to, const Pose &initial_guess,
+      const IcpParams &params)
+{
+    if (from.points.empty() || to.points.empty())
+        throw std::invalid_argument("icp2d: empty scan");
+
+    IcpResult result;
+    result.relative = initial_guess;
+
+    for (std::size_t iter = 0; iter < params.maxIterations; ++iter) {
+        ++result.iterations;
+        const mat::Matrix r = result.relative.rotation();
+
+        // Nearest-neighbor correspondences under the current motion.
+        std::vector<std::pair<Vector, Vector>> pairs; // (from, to).
+        double residual = 0.0;
+        for (const Vector &q : to.points) {
+            const Vector mapped = r * q + result.relative.t();
+            double best = std::numeric_limits<double>::max();
+            const Vector *match = nullptr;
+            for (const Vector &p : from.points) {
+                const double d = (mapped - p).norm();
+                if (d < best) {
+                    best = d;
+                    match = &p;
+                }
+            }
+            if (match != nullptr && best <= params.maxCorrespondence) {
+                pairs.emplace_back(*match, q);
+                residual += best;
+            }
+        }
+        if (pairs.size() < 2)
+            break; // Not enough overlap to align.
+        result.meanResidual =
+            residual / static_cast<double>(pairs.size());
+
+        // Closed-form 2-D alignment of the correspondences.
+        Vector p_bar(2);
+        Vector q_bar(2);
+        for (const auto &[p, q] : pairs) {
+            p_bar += p;
+            q_bar += q;
+        }
+        const double inv = 1.0 / static_cast<double>(pairs.size());
+        p_bar = p_bar * inv;
+        q_bar = q_bar * inv;
+        double sxx = 0.0;
+        double sxy = 0.0;
+        for (const auto &[p, q] : pairs) {
+            const Vector pc = p - p_bar;
+            const Vector qc = q - q_bar;
+            sxx += qc[0] * pc[0] + qc[1] * pc[1];
+            sxy += qc[0] * pc[1] - qc[1] * pc[0];
+        }
+        const double theta = std::atan2(sxy, sxx);
+        const mat::Matrix r_new = lie::expSo(Vector{theta});
+        const Vector t_new = p_bar - r_new * q_bar;
+        const Pose updated(Vector{theta}, t_new);
+
+        const double step =
+            lie::poseDistance(updated, result.relative);
+        result.relative = updated;
+        if (step < params.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace orianna::sensors

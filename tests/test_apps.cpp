@@ -1,0 +1,170 @@
+// Tests for the Application API, the four Tbl. 4 benchmark
+// applications, and the sphere validation benchmark of Sec. 4.3.
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark_apps.hpp"
+#include "apps/sphere.hpp"
+#include "matrix/mac_counter.hpp"
+
+namespace {
+
+using namespace orianna;
+using apps::AppKind;
+using apps::BenchmarkApp;
+using hw::AcceleratorConfig;
+
+TEST(Application, RegistrationAndCompile)
+{
+    BenchmarkApp bench = apps::buildMobileRobot(1);
+    core::Application &app = bench.app;
+    EXPECT_EQ(app.size(), 3u);
+    EXPECT_NE(app.find("localization"), nullptr);
+    EXPECT_NE(app.find("planning"), nullptr);
+    EXPECT_NE(app.find("control"), nullptr);
+    EXPECT_EQ(app.find("nonsense"), nullptr);
+
+    const auto work = app.frameWork();
+    ASSERT_EQ(work.size(), 3u);
+    // Algorithm tags are distinct (coarse-grained OoO labels).
+    EXPECT_EQ(work[0].program->algorithm, 0);
+    EXPECT_EQ(work[1].program->algorithm, 1);
+    EXPECT_EQ(work[2].program->algorithm, 2);
+    for (const auto &item : work)
+        EXPECT_GT(item.program->instructions.size(), 50u);
+
+    // Dense (VANILLA-HLS) variants exist and are bigger in QR shape.
+    const auto dense = app.denseFrameWork();
+    ASSERT_EQ(dense.size(), 3u);
+}
+
+TEST(Application, BadRateRejected)
+{
+    core::Application app("x");
+    EXPECT_THROW(app.add("a", fg::FactorGraph{}, fg::Values{}, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(app.frameWork(), std::logic_error);
+}
+
+class AllAppsSolve : public ::testing::TestWithParam<AppKind>
+{};
+
+TEST_P(AllAppsSolve, SoftwareMissionSucceeds)
+{
+    BenchmarkApp bench = apps::buildApp(GetParam(), 7);
+    const auto solved = bench.app.solveSoftware();
+    EXPECT_TRUE(bench.success(solved))
+        << apps::appName(GetParam()) << " software mission failed";
+}
+
+TEST_P(AllAppsSolve, AcceleratorMatchesSoftwareMission)
+{
+    // The Tbl. 5 property: identical missions succeed or fail the
+    // same way on the software path and on the simulated accelerator.
+    BenchmarkApp bench = apps::buildApp(GetParam(), 11);
+    const auto sw = bench.app.solveSoftware();
+    const auto hw_solved = bench.app.solveAccelerated(
+        AcceleratorConfig::minimal(true), 15);
+    EXPECT_EQ(bench.success(sw), bench.success(hw_solved))
+        << apps::appName(GetParam());
+}
+
+TEST_P(AllAppsSolve, DimensionsMatchTable4)
+{
+    BenchmarkApp bench = apps::buildApp(GetParam(), 3);
+    const core::Application &app = bench.app;
+    const fg::Values &loc = app.algorithm(0).values;
+    const fg::Values &plan = app.algorithm(1).values;
+
+    std::size_t loc_dim = 0;
+    for (fg::Key key : loc.keys()) {
+        if (loc.isPose(key)) {
+            loc_dim = loc.pose(key).dof();
+            break;
+        }
+        loc_dim = loc.vector(key).size();
+        break;
+    }
+    std::size_t plan_dim = plan.dof(plan.keys().front());
+
+    switch (GetParam()) {
+      case AppKind::MobileRobot:
+        EXPECT_EQ(loc_dim, 3u);
+        EXPECT_EQ(plan_dim, 6u);
+        break;
+      case AppKind::Manipulator:
+        EXPECT_EQ(loc_dim, 2u);
+        EXPECT_EQ(plan_dim, 4u);
+        break;
+      case AppKind::AutoVehicle:
+        EXPECT_EQ(loc_dim, 3u);
+        EXPECT_EQ(plan_dim, 6u);
+        break;
+      case AppKind::Quadrotor:
+        EXPECT_EQ(loc_dim, 6u);
+        EXPECT_EQ(plan_dim, 12u);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, AllAppsSolve,
+    ::testing::ValuesIn(apps::allApps()),
+    [](const ::testing::TestParamInfo<AppKind> &info) {
+        return apps::appName(info.param);
+    });
+
+// --- Sphere benchmark -------------------------------------------------------
+
+TEST(Sphere, DatasetShape)
+{
+    auto data = apps::makeSphere(6, 12, 10.0, 1);
+    EXPECT_EQ(data.truth.size(), 72u);
+    EXPECT_EQ(data.initial.size(), 72u);
+    // Odometry (n-1) plus loop closures (n - per_ring).
+    EXPECT_EQ(data.edges.size(), 71u + 60u);
+    // Dead reckoning drifts away from the truth.
+    const auto initial_ate = apps::computeAte(data.initial, data.truth);
+    EXPECT_GT(initial_ate.max, 0.1);
+}
+
+TEST(Sphere, UnifiedOptimizationRecoversTrajectory)
+{
+    auto data = apps::makeSphere(6, 12, 10.0, 2, 0.002, 0.01);
+    const auto optimized = apps::optimizeSphereUnified(data);
+    const auto ate = apps::computeAte(optimized, data.truth);
+    const auto initial_ate = apps::computeAte(data.initial, data.truth);
+    EXPECT_LT(ate.mean, initial_ate.mean / 3.0);
+    EXPECT_LT(ate.mean, 0.06);
+}
+
+TEST(Sphere, Se3MatchesUnifiedAccuracy)
+{
+    // Tbl. 1: both representations reach the same accuracy.
+    auto data = apps::makeSphere(5, 10, 10.0, 3);
+    const auto unified = apps::optimizeSphereUnified(data);
+    const auto se3 = apps::optimizeSphereSe3(data);
+    const auto ate_unified = apps::computeAte(unified, data.truth);
+    const auto ate_se3 = apps::computeAte(se3, data.truth);
+    EXPECT_NEAR(ate_unified.mean, ate_se3.mean,
+                0.25 * std::max(ate_unified.mean, ate_se3.mean) + 0.01);
+}
+
+TEST(Sphere, UnifiedSavesMacs)
+{
+    // The Sec. 4.3 efficiency claim, measured end to end.
+    auto data = apps::makeSphere(4, 8, 10.0, 4);
+
+    mat::MacCounter::reset();
+    (void)apps::optimizeSphereUnified(data, 5);
+    const std::uint64_t unified_macs = mat::MacCounter::value();
+
+    mat::MacCounter::reset();
+    (void)apps::optimizeSphereSe3(data, 5);
+    const std::uint64_t se3_macs = mat::MacCounter::value();
+
+    EXPECT_GT(unified_macs, 0u);
+    EXPECT_GT(se3_macs, unified_macs);
+}
+
+} // namespace

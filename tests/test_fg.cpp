@@ -1,0 +1,346 @@
+// Tests for Values, the MO-DFG (forward/backward), and every factor
+// in the library: analytic (backward propagation) Jacobians are
+// validated against central finite differences.
+
+#include <gtest/gtest.h>
+
+#include "fg/factors.hpp"
+#include "test_fg_common.hpp"
+
+namespace {
+
+using namespace orianna;
+using orianna::test::expectJacobiansMatch;
+using orianna::test::randomPose;
+using orianna::test::randomVector;
+using fg::CameraModel;
+using fg::Dfg;
+using fg::Key;
+using fg::PoseExpr;
+using fg::Values;
+using lie::Pose;
+using mat::Matrix;
+using mat::maxDifference;
+using mat::Vector;
+
+// --- Values ---------------------------------------------------------------
+
+TEST(Values, InsertAccessAndKinds)
+{
+    Values values;
+    values.insert(1, Pose::identity(3));
+    values.insert(2, Vector{1.0, 2.0});
+    EXPECT_TRUE(values.exists(1));
+    EXPECT_TRUE(values.isPose(1));
+    EXPECT_FALSE(values.isPose(2));
+    EXPECT_EQ(values.dof(1), 6u);
+    EXPECT_EQ(values.dof(2), 2u);
+    EXPECT_THROW(values.insert(1, Pose::identity(3)),
+                 std::invalid_argument);
+    EXPECT_THROW(values.pose(2), std::invalid_argument);
+    EXPECT_THROW(values.vector(1), std::invalid_argument);
+    EXPECT_THROW(values.pose(99), std::out_of_range);
+}
+
+TEST(Values, RetractDispatch)
+{
+    Values values;
+    values.insert(1, Pose::identity(2));
+    values.insert(2, Vector{1.0});
+    values.retract(1, Vector{0.1, 1.0, 2.0});
+    values.retract(2, Vector{0.5});
+    EXPECT_NEAR(values.pose(1).phi()[0], 0.1, 1e-12);
+    EXPECT_NEAR(values.pose(1).t()[0], 1.0, 1e-12);
+    EXPECT_NEAR(values.vector(2)[0], 1.5, 1e-12);
+}
+
+TEST(Values, UpdateKindMismatchThrows)
+{
+    Values values;
+    values.insert(1, Pose::identity(2));
+    EXPECT_THROW(values.update(1, Vector{1.0}), std::invalid_argument);
+    EXPECT_THROW(values.update(7, Pose::identity(2)), std::out_of_range);
+}
+
+// --- DFG structure ----------------------------------------------------------
+
+TEST(Dfg, BuilderTracksKeysInFirstUseOrder)
+{
+    Dfg dfg;
+    PoseExpr b = dfg.inputPose(5);
+    PoseExpr a = dfg.inputPose(2);
+    dfg.addPoseOutput(dfg.ominus(a, b));
+    const auto keys = dfg.variableKeys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], 5u);
+    EXPECT_EQ(keys[1], 2u);
+}
+
+TEST(Dfg, RejectsRotationOutputs)
+{
+    Dfg dfg;
+    PoseExpr a = dfg.inputPose(1);
+    EXPECT_THROW(dfg.addOutput(a.rot), std::invalid_argument);
+    EXPECT_THROW(dfg.constRot(Matrix::identity(4)),
+                 std::invalid_argument);
+}
+
+TEST(Dfg, ForwardMatchesPoseAlgebra)
+{
+    std::mt19937 rng(1);
+    for (std::size_t n : {2u, 3u}) {
+        Pose a = randomPose(n, rng);
+        Pose b = randomPose(n, rng);
+        Values values;
+        values.insert(1, a);
+        values.insert(2, b);
+
+        Dfg dfg;
+        PoseExpr ae = dfg.inputPose(1);
+        PoseExpr be = dfg.inputPose(2);
+        dfg.addPoseOutput(dfg.oplus(ae, be));
+        fg::DfgForward fwd = evalForward(dfg, values);
+
+        const Pose expected = a.oplus(b);
+        EXPECT_LT(maxDifference(fwd.error, expected.asVector()), 1e-9)
+            << "n = " << n;
+    }
+}
+
+TEST(Dfg, SdfNodeRequiresMap)
+{
+    Dfg dfg;
+    fg::NodeId v = dfg.inputVec(1);
+    EXPECT_THROW(dfg.sdf(v, nullptr), std::invalid_argument);
+}
+
+TEST(Dfg, ProjBehindCameraThrows)
+{
+    Dfg dfg;
+    fg::NodeId v = dfg.inputVec(1);
+    dfg.addOutput(dfg.proj(v, CameraModel{100, 100, 0, 0}));
+    Values values;
+    values.insert(1, Vector{0.0, 0.0, -1.0});
+    EXPECT_THROW(evalForward(dfg, values), std::runtime_error);
+}
+
+// --- Factor Jacobians vs finite differences -------------------------------
+
+class FactorJacobians : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::mt19937 rng_{static_cast<unsigned>(GetParam())};
+};
+
+TEST_P(FactorJacobians, Prior2d)
+{
+    Values values;
+    values.insert(1, randomPose(2, rng_));
+    fg::PriorFactor factor(1, randomPose(2, rng_),
+                           fg::isotropicSigmas(3, 0.5));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, Prior3d)
+{
+    Values values;
+    values.insert(1, randomPose(3, rng_));
+    fg::PriorFactor factor(1, randomPose(3, rng_),
+                           fg::isotropicSigmas(6, 2.0));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, Between2d)
+{
+    Values values;
+    values.insert(1, randomPose(2, rng_));
+    values.insert(2, randomPose(2, rng_));
+    fg::BetweenFactor factor(1, 2, randomPose(2, rng_),
+                             fg::isotropicSigmas(3, 1.0));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, Between3d)
+{
+    Values values;
+    values.insert(1, randomPose(3, rng_));
+    values.insert(2, randomPose(3, rng_));
+    fg::BetweenFactor factor(1, 2, randomPose(3, rng_),
+                             fg::isotropicSigmas(6, 1.0));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, Gps)
+{
+    Values values;
+    values.insert(1, randomPose(3, rng_));
+    fg::GPSFactor factor(1, randomVector(3, rng_, 5.0),
+                         fg::isotropicSigmas(3, 0.3));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, Camera)
+{
+    Values values;
+    Pose pose = randomPose(3, rng_, 0.3, 1.0);
+    values.insert(1, pose);
+    // Put the landmark safely in front of the camera.
+    Vector local{0.3, -0.2, 4.0};
+    Vector world = pose.rotation() * local + pose.t();
+    values.insert(2, world);
+    fg::CameraFactor factor(1, 2, Vector{5.0, -3.0},
+                            CameraModel{450.0, 450.0, 320.0, 240.0},
+                            fg::isotropicSigmas(2, 1.0));
+    expectJacobiansMatch(factor, values, 2e-4);
+}
+
+TEST_P(FactorJacobians, Smooth)
+{
+    Values values;
+    values.insert(1, randomVector(6, rng_, 2.0));
+    values.insert(2, randomVector(6, rng_, 2.0));
+    fg::SmoothFactor factor(1, 2, 3, 0.1, fg::isotropicSigmas(6, 0.7));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, CollisionFreeActive)
+{
+    auto map = std::make_shared<fg::SdfMap>();
+    map->addObstacle(Vector{0.0, 0.0}, 1.0);
+    Values values;
+    // Inside the eps margin: hinge active, gradient nonzero.
+    values.insert(1, Vector{1.2, 0.3, 0.0, 0.0});
+    fg::CollisionFreeFactor factor(1, map, 4, 2, 1.0, 0.5);
+    expectJacobiansMatch(factor, values, 1e-5);
+    EXPECT_GT(factor.error(values)[0], 0.0);
+}
+
+TEST_P(FactorJacobians, CollisionFreeInactive)
+{
+    auto map = std::make_shared<fg::SdfMap>();
+    map->addObstacle(Vector{0.0, 0.0}, 1.0);
+    Values values;
+    values.insert(1, Vector{10.0, 10.0, 0.0, 0.0});
+    fg::CollisionFreeFactor factor(1, map, 4, 2, 1.0, 0.5);
+    EXPECT_EQ(factor.error(values)[0], 0.0);
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, Kinematics)
+{
+    Values values;
+    // Velocities straddle the limit so both hinges have active and
+    // inactive rows.
+    values.insert(1, Vector{0.0, 0.0, 2.5, -0.4});
+    fg::KinematicsFactor factor(1, 4, 2, 2, 2.0, 1.0);
+    Vector e = factor.error(values);
+    EXPECT_NEAR(e[0], 0.5, 1e-12); // v0 = 2.5 over vmax = 2.0.
+    EXPECT_EQ(e[1], 0.0);
+    EXPECT_EQ(e[2], 0.0);
+    EXPECT_EQ(e[3], 0.0);
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, Dynamics)
+{
+    Values values;
+    values.insert(1, randomVector(3, rng_));
+    values.insert(2, randomVector(2, rng_));
+    values.insert(3, randomVector(3, rng_));
+    Matrix a = Matrix::identity(3);
+    a(0, 2) = 0.1;
+    Matrix b(3, 2);
+    b(0, 0) = 0.05;
+    b(1, 1) = 0.05;
+    b(2, 1) = 0.1;
+    fg::DynamicsFactor factor(1, 2, 3, a, b, fg::isotropicSigmas(3, 0.2));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, VectorPrior)
+{
+    Values values;
+    values.insert(1, randomVector(4, rng_));
+    fg::VectorPriorFactor factor(1, randomVector(4, rng_),
+                                 fg::isotropicSigmas(4, 0.9));
+    expectJacobiansMatch(factor, values);
+}
+
+TEST_P(FactorJacobians, CustomExpressionEqu3)
+{
+    // The paper's custom-factor walk-through: Equ. 3/4 built by hand
+    // through the public expression API.
+    std::size_t n = 3;
+    Values values;
+    values.insert(1, randomPose(n, rng_));
+    values.insert(2, randomPose(n, rng_));
+    Pose z = randomPose(n, rng_);
+
+    fg::Dfg dfg;
+    PoseExpr xi = dfg.inputPose(1);
+    PoseExpr xj = dfg.inputPose(2);
+    PoseExpr ze = dfg.constPose(z);
+    dfg.addPoseOutput(dfg.ominus(dfg.ominus(xi, xj), ze));
+    fg::ExpressionFactor factor(std::move(dfg),
+                                fg::isotropicSigmas(6, 1.0));
+    expectJacobiansMatch(factor, values);
+
+    // And it must agree with the closed-form Equ. 4.
+    const Pose xi_v = values.pose(1);
+    const Pose xj_v = values.pose(2);
+    const Vector expected = xi_v.ominus(xj_v).ominus(z).asVector();
+    EXPECT_LT(maxDifference(factor.error(values), expected), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactorJacobians, ::testing::Range(0, 5));
+
+// --- Factor plumbing --------------------------------------------------------
+
+TEST(Factor, WhiteningScalesErrorAndJacobian)
+{
+    Values values;
+    values.insert(1, Pose(Vector{0.0}, Vector{2.0, 0.0}));
+    fg::GPSFactor raw(1, Vector{0.0, 0.0}, fg::isotropicSigmas(2, 1.0));
+    fg::GPSFactor scaled(1, Vector{0.0, 0.0},
+                         fg::isotropicSigmas(2, 2.0));
+    EXPECT_LT(maxDifference(scaled.whitenedError(values),
+                            raw.whitenedError(values) * 0.5),
+              1e-12);
+    EXPECT_NEAR(scaled.cost(values), 0.25 * raw.cost(values), 1e-12);
+}
+
+TEST(Factor, BadSigmasThrow)
+{
+    EXPECT_THROW(fg::GPSFactor(1, Vector{0.0, 0.0},
+                               fg::isotropicSigmas(2, -1.0)),
+                 std::invalid_argument);
+    EXPECT_THROW(fg::isotropicSigmas(3, 0.0), std::invalid_argument);
+}
+
+TEST(Factor, CameraRejectsBadPixel)
+{
+    EXPECT_THROW(fg::CameraFactor(1, 2, Vector{1.0, 2.0, 3.0},
+                                  CameraModel{}, fg::isotropicSigmas(2, 1)),
+                 std::invalid_argument);
+}
+
+TEST(Factor, BlockDimensionsMatchPaperExample)
+{
+    // Sec. 5.1: a camera factor corresponds to a 2x6 block (pose) and
+    // a 2x3 block (landmark) plus a length-2 error.
+    Values values;
+    Pose pose = orianna::lie::Pose::identity(3);
+    values.insert(1, pose);
+    values.insert(2, Vector{0.1, -0.1, 3.0});
+    fg::CameraFactor factor(1, 2, Vector{0.0, 0.0},
+                            CameraModel{400, 400, 0, 0},
+                            fg::isotropicSigmas(2, 1.0));
+    auto jacobians = factor.whitenedJacobians(values);
+    EXPECT_EQ(jacobians.at(1).rows(), 2u);
+    EXPECT_EQ(jacobians.at(1).cols(), 6u);
+    EXPECT_EQ(jacobians.at(2).rows(), 2u);
+    EXPECT_EQ(jacobians.at(2).cols(), 3u);
+    EXPECT_EQ(factor.dim(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+#pragma once
+
+// Shared helpers for the factor-graph test suites.
+
+#include <random>
+
+#include "fg/factor.hpp"
+#include "fg/values.hpp"
+#include "lie/pose.hpp"
+#include "matrix/dense.hpp"
+
+namespace orianna::test {
+
+using fg::Key;
+using fg::Values;
+using lie::Pose;
+using mat::Matrix;
+using mat::Vector;
+
+inline Vector
+randomVector(std::size_t n, std::mt19937 &rng, double scale = 1.0)
+{
+    std::uniform_real_distribution<double> dist(-scale, scale);
+    Vector out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = dist(rng);
+    return out;
+}
+
+inline Pose
+randomPose(std::size_t n, std::mt19937 &rng, double rot_scale = 1.2,
+           double trans_scale = 3.0)
+{
+    return Pose(randomVector(orianna::lie::tangentDim(n), rng, rot_scale),
+                randomVector(n, rng, trans_scale));
+}
+
+/**
+ * Central finite-difference Jacobian of a factor's whitened error with
+ * respect to the tangent of @p key, for validating backward
+ * propagation.
+ */
+inline Matrix
+numericalJacobian(const fg::Factor &factor, const Values &values, Key key,
+                  double h = 1e-6)
+{
+    const std::size_t dof = values.dof(key);
+    const std::size_t dim = factor.dim();
+    Matrix j(dim, dof);
+    for (std::size_t c = 0; c < dof; ++c) {
+        Vector delta(dof);
+        delta[c] = h;
+        Values plus = values;
+        plus.retract(key, delta);
+        delta[c] = -h;
+        Values minus = values;
+        minus.retract(key, delta);
+        const Vector ep = factor.whitenedError(plus);
+        const Vector em = factor.whitenedError(minus);
+        for (std::size_t r = 0; r < dim; ++r)
+            j(r, c) = (ep[r] - em[r]) / (2.0 * h);
+    }
+    return j;
+}
+
+/** Assert analytic (DFG backward) and numeric Jacobians agree. */
+inline void
+expectJacobiansMatch(const fg::Factor &factor, const Values &values,
+                     double tol = 1e-6)
+{
+    const auto analytic = factor.whitenedJacobians(values);
+    for (Key key : factor.keys()) {
+        ASSERT_TRUE(analytic.count(key))
+            << factor.name() << ": missing Jacobian for key " << key;
+        const Matrix numeric = numericalJacobian(factor, values, key);
+        EXPECT_LT(orianna::mat::maxDifference(analytic.at(key), numeric),
+                  tol)
+            << factor.name() << ": Jacobian mismatch for key " << key
+            << "\nanalytic:\n"
+            << analytic.at(key).str() << "\nnumeric:\n"
+            << numeric.str();
+    }
+}
+
+} // namespace orianna::test

@@ -1,0 +1,198 @@
+// Tests for quaternion conversions and g2o pose-graph I/O.
+
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fg/factors.hpp"
+#include "fg/io_g2o.hpp"
+#include "fg/optimizer.hpp"
+#include "lie/quaternion.hpp"
+#include "test_fg_common.hpp"
+
+namespace {
+
+using namespace orianna;
+using orianna::test::randomPose;
+using orianna::test::randomVector;
+using fg::FactorGraph;
+using fg::Values;
+using lie::Pose;
+using mat::Matrix;
+using mat::Vector;
+
+class QuaternionRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(QuaternionRoundTrip, MatrixQuatMatrix)
+{
+    std::mt19937 rng(130 + GetParam());
+    const Matrix r = lie::expSo(randomVector(3, rng, 1.5));
+    const Vector q = lie::toQuaternion(r);
+    EXPECT_NEAR(q.norm(), 1.0, 1e-12);
+    EXPECT_GE(q[3], 0.0); // Canonical sign.
+    EXPECT_LT(mat::maxDifference(lie::fromQuaternion(q), r), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuaternionRoundTrip,
+                         ::testing::Range(0, 10));
+
+TEST(Quaternion, NearPiRotations)
+{
+    // Shepperd branches: axis-aligned rotations by ~pi hit each one.
+    for (int axis = 0; axis < 3; ++axis) {
+        Vector phi(3);
+        phi[axis] = 3.14;
+        const Matrix r = lie::expSo(phi);
+        EXPECT_LT(mat::maxDifference(
+                      lie::fromQuaternion(lie::toQuaternion(r)), r),
+                  1e-12)
+            << "axis " << axis;
+    }
+}
+
+TEST(Quaternion, InvalidInputs)
+{
+    EXPECT_THROW(lie::toQuaternion(Matrix::identity(2)),
+                 std::invalid_argument);
+    EXPECT_THROW(lie::fromQuaternion(Vector{1.0, 0.0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(lie::fromQuaternion(Vector{0.0, 0.0, 0.0, 0.0}),
+                 std::invalid_argument);
+    // Non-unit quaternions are normalized.
+    const Matrix r =
+        lie::fromQuaternion(Vector{0.0, 0.0, 0.0, 2.0});
+    EXPECT_LT(mat::maxDifference(r, Matrix::identity(3)), 1e-12);
+}
+
+TEST(G2o, RoundTrip2d)
+{
+    std::mt19937 rng(131);
+    FactorGraph graph;
+    Values values;
+    Pose current = Pose::identity(2);
+    for (std::size_t i = 0; i < 5; ++i) {
+        values.insert(i, current);
+        if (i + 1 < 5)
+            graph.emplace<fg::BetweenFactor>(
+                i, i + 1, randomPose(2, rng, 0.3, 1.0),
+                fg::isotropicSigmas(3, 0.1));
+        current = current.oplus(randomPose(2, rng, 0.3, 1.0));
+    }
+
+    std::stringstream stream;
+    fg::writeG2o(stream, graph, values);
+    const auto loaded = fg::readG2o(stream);
+
+    ASSERT_EQ(loaded.initial.size(), values.size());
+    ASSERT_EQ(loaded.graph.size(), graph.size());
+    for (fg::Key key : values.keys())
+        EXPECT_LT(lie::poseDistance(loaded.initial.pose(key),
+                                    values.pose(key)),
+                  1e-9);
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+        const auto &a =
+            dynamic_cast<const fg::BetweenFactor &>(graph.factor(i));
+        const auto &b = dynamic_cast<const fg::BetweenFactor &>(
+            loaded.graph.factor(i));
+        EXPECT_LT(lie::poseDistance(a.measured(), b.measured()), 1e-9);
+        EXPECT_LT(mat::maxDifference(a.sigmas(), b.sigmas()), 1e-9);
+    }
+}
+
+TEST(G2o, RoundTrip3d)
+{
+    std::mt19937 rng(132);
+    FactorGraph graph;
+    Values values;
+    for (std::size_t i = 0; i < 4; ++i)
+        values.insert(i, randomPose(3, rng, 0.8, 3.0));
+    for (std::size_t i = 0; i + 1 < 4; ++i)
+        graph.emplace<fg::BetweenFactor>(
+            i, i + 1,
+            values.pose(i + 1).ominus(values.pose(i)),
+            fg::isotropicSigmas(6, 0.05));
+
+    std::stringstream stream;
+    fg::writeG2o(stream, graph, values);
+    const auto loaded = fg::readG2o(stream);
+    for (fg::Key key : values.keys())
+        EXPECT_LT(lie::poseDistance(loaded.initial.pose(key),
+                                    values.pose(key)),
+                  1e-9);
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+        const auto &a =
+            dynamic_cast<const fg::BetweenFactor &>(graph.factor(i));
+        const auto &b = dynamic_cast<const fg::BetweenFactor &>(
+            loaded.graph.factor(i));
+        EXPECT_LT(lie::poseDistance(a.measured(), b.measured()), 1e-9);
+    }
+}
+
+TEST(G2o, LoadedGraphOptimizes)
+{
+    // A hand-written 2-D square with a loop closure; optimization from
+    // the perturbed vertices recovers consistency.
+    const char *text =
+        "VERTEX_SE2 0 0 0 0\n"
+        "VERTEX_SE2 1 1.1 0.1 1.62\n"
+        "VERTEX_SE2 2 0.9 1.1 3.1\n"
+        "VERTEX_SE2 3 -0.1 0.95 -1.5\n"
+        "EDGE_SE2 0 1 1 0 1.5708 100 0 0 100 0 400\n"
+        "EDGE_SE2 1 2 1 0 1.5708 100 0 0 100 0 400\n"
+        "EDGE_SE2 2 3 1 0 1.5708 100 0 0 100 0 400\n"
+        "EDGE_SE2 3 0 1 0 1.5708 100 0 0 100 0 400\n";
+    std::istringstream stream(text);
+    auto data = fg::readG2o(stream);
+    EXPECT_EQ(data.initial.size(), 4u);
+    EXPECT_EQ(data.graph.size(), 4u);
+
+    // Anchor the gauge and solve.
+    data.graph.emplace<fg::PriorFactor>(
+        0u, data.initial.pose(0), fg::isotropicSigmas(3, 1e-3));
+    auto result = fg::optimize(data.graph, data.initial);
+    EXPECT_LT(result.finalError, 1e-3);
+    // The optimized loop is consistent: composing the four relative
+    // poses returns to the start.
+    Pose composed = result.values.pose(0);
+    for (fg::Key key : {1, 2, 3, 0})
+        composed = result.values.pose(key); // Last = back at 0.
+    EXPECT_LT(lie::poseDistance(result.values.pose(0), composed),
+              1e-6);
+}
+
+TEST(G2o, MalformedInputsRejected)
+{
+    {
+        std::istringstream bad("VERTEX_SE2 0 1.0\n");
+        EXPECT_THROW(fg::readG2o(bad), std::runtime_error);
+    }
+    {
+        std::istringstream bad("FOO 1 2 3\n");
+        EXPECT_THROW(fg::readG2o(bad), std::runtime_error);
+    }
+    {
+        std::istringstream bad(
+            "EDGE_SE2 0 1 1 0 0 -1 0 0 1 0 1\n"); // Negative info.
+        EXPECT_THROW(fg::readG2o(bad), std::runtime_error);
+    }
+    EXPECT_THROW(fg::loadG2o("/nonexistent/x.g2o"),
+                 std::runtime_error);
+
+    // Comments and blank lines are fine.
+    std::istringstream ok("# comment\n\nVERTEX_SE2 0 0 0 0\n");
+    EXPECT_EQ(fg::readG2o(ok).initial.size(), 1u);
+}
+
+TEST(G2o, NonPoseVariablesRejected)
+{
+    FactorGraph graph;
+    Values values;
+    values.insert(1, Vector{1.0, 2.0});
+    std::stringstream stream;
+    EXPECT_THROW(fg::writeG2o(stream, graph, values),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,314 @@
+// Unit and property tests for the Lie machinery and the unified pose
+// representation <so(n), T(n)>.
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "lie/pose.hpp"
+#include "lie/se3.hpp"
+#include "lie/so.hpp"
+#include "matrix/mac_counter.hpp"
+
+namespace {
+
+using orianna::lie::Pose;
+using orianna::lie::Se3;
+using orianna::mat::Matrix;
+using orianna::mat::maxDifference;
+using orianna::mat::Vector;
+
+Vector
+randomTangent(std::size_t dim, std::mt19937 &rng, double scale = 1.5)
+{
+    std::uniform_real_distribution<double> dist(-scale, scale);
+    Vector out(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        out[i] = dist(rng);
+    return out;
+}
+
+Pose
+randomPose(std::size_t n, std::mt19937 &rng)
+{
+    return Pose(randomTangent(orianna::lie::tangentDim(n), rng),
+                randomTangent(n, rng, 5.0));
+}
+
+TEST(So, TangentDims)
+{
+    EXPECT_EQ(orianna::lie::tangentDim(2), 1u);
+    EXPECT_EQ(orianna::lie::tangentDim(3), 3u);
+    EXPECT_THROW(orianna::lie::tangentDim(4), std::invalid_argument);
+    EXPECT_EQ(orianna::lie::spaceDimFromTangent(1), 2u);
+    EXPECT_EQ(orianna::lie::spaceDimFromTangent(3), 3u);
+}
+
+TEST(So, HatVeeRoundTrip)
+{
+    Vector phi2{0.3};
+    EXPECT_EQ(maxDifference(orianna::lie::vee(orianna::lie::hat(phi2)),
+                            phi2),
+              0.0);
+    Vector phi3{0.1, -0.2, 0.3};
+    EXPECT_EQ(maxDifference(orianna::lie::vee(orianna::lie::hat(phi3)),
+                            phi3),
+              0.0);
+}
+
+TEST(So, HatIsSkew)
+{
+    Vector phi{0.4, 0.5, -0.6};
+    Matrix w = orianna::lie::hat(phi);
+    EXPECT_LT(maxDifference(w.transpose(), -w), 1e-15);
+}
+
+class SoExpLog : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SoExpLog, ExpIsRotationAndLogInverts)
+{
+    std::mt19937 rng(GetParam());
+    for (std::size_t n : {2u, 3u}) {
+        Vector phi =
+            randomTangent(orianna::lie::tangentDim(n), rng, 1.2);
+        Matrix r = orianna::lie::expSo(phi);
+        EXPECT_TRUE(orianna::lie::isRotation(r));
+        EXPECT_LT(maxDifference(orianna::lie::logSo(r), phi), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoExpLog, ::testing::Range(0, 16));
+
+TEST(So, ExpOfZeroIsIdentity)
+{
+    EXPECT_LT(maxDifference(orianna::lie::expSo(Vector{0.0}),
+                            Matrix::identity(2)),
+              1e-15);
+    EXPECT_LT(maxDifference(orianna::lie::expSo(Vector{0.0, 0.0, 0.0}),
+                            Matrix::identity(3)),
+              1e-15);
+}
+
+TEST(So, LogNearPiBranch)
+{
+    // Rotation by (almost) pi about a skew axis: the generic formula
+    // is singular there; the dedicated branch must still recover phi.
+    Vector axis{1.0 / std::sqrt(3.0), 1.0 / std::sqrt(3.0),
+                1.0 / std::sqrt(3.0)};
+    const double theta = std::numbers::pi - 1e-9;
+    Matrix r = orianna::lie::expSo(axis * theta);
+    Vector phi = orianna::lie::logSo(r);
+    EXPECT_NEAR(phi.norm(), theta, 1e-6);
+    EXPECT_LT(maxDifference(orianna::lie::expSo(phi), r), 1e-6);
+}
+
+TEST(So, SmallAngleStability)
+{
+    Vector tiny{1e-13, -2e-13, 5e-14};
+    Matrix r = orianna::lie::expSo(tiny);
+    EXPECT_TRUE(orianna::lie::isRotation(r));
+    EXPECT_LT(maxDifference(orianna::lie::logSo(r), tiny), 1e-15);
+    // Jacobians degrade gracefully to identity.
+    EXPECT_LT(maxDifference(orianna::lie::rightJacobian(tiny),
+                            Matrix::identity(3)),
+              1e-12);
+    EXPECT_LT(maxDifference(orianna::lie::rightJacobianInv(tiny),
+                            Matrix::identity(3)),
+              1e-12);
+}
+
+class RightJacobianProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RightJacobianProperty, FirstOrderExpansionHolds)
+{
+    // Exp(phi + d) ~= Exp(phi) Exp(Jr(phi) d) for small d.
+    std::mt19937 rng(300 + GetParam());
+    Vector phi = randomTangent(3, rng, 1.0);
+    Vector d = randomTangent(3, rng, 1.0) * 1e-6;
+    Matrix lhs = orianna::lie::expSo(phi + d);
+    Matrix rhs = orianna::lie::expSo(phi) *
+                 orianna::lie::expSo(orianna::lie::rightJacobian(phi) * d);
+    EXPECT_LT(maxDifference(lhs, rhs), 1e-10);
+}
+
+TEST_P(RightJacobianProperty, InverseIsInverse)
+{
+    std::mt19937 rng(400 + GetParam());
+    Vector phi = randomTangent(3, rng, 1.4);
+    Matrix prod = orianna::lie::rightJacobian(phi) *
+                  orianna::lie::rightJacobianInv(phi);
+    EXPECT_LT(maxDifference(prod, Matrix::identity(3)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RightJacobianProperty,
+                         ::testing::Range(0, 12));
+
+// --- Unified pose representation ----------------------------------------
+
+class PoseGroupAxioms : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(PoseGroupAxioms, IdentityAndInverse)
+{
+    const auto [n, seed] = GetParam();
+    std::mt19937 rng(seed);
+    Pose x = randomPose(n, rng);
+    Pose id = Pose::identity(n);
+
+    EXPECT_LT(orianna::lie::poseDistance(x.oplus(id), x), 1e-9);
+    EXPECT_LT(orianna::lie::poseDistance(id.oplus(x), x), 1e-9);
+    EXPECT_LT(orianna::lie::poseDistance(x.inverse().oplus(x), id), 1e-9);
+    EXPECT_LT(orianna::lie::poseDistance(x.oplus(x.inverse()), id), 1e-9);
+}
+
+TEST_P(PoseGroupAxioms, OminusIsRelativePose)
+{
+    // a (-) b == relative pose z such that b (+) z == a (Equ. 2).
+    const auto [n, seed] = GetParam();
+    std::mt19937 rng(seed + 1000);
+    Pose a = randomPose(n, rng);
+    Pose b = randomPose(n, rng);
+    Pose z = a.ominus(b);
+    EXPECT_LT(orianna::lie::poseDistance(b.oplus(z), a), 1e-9);
+}
+
+TEST_P(PoseGroupAxioms, Associativity)
+{
+    const auto [n, seed] = GetParam();
+    std::mt19937 rng(seed + 2000);
+    Pose a = randomPose(n, rng);
+    Pose b = randomPose(n, rng);
+    Pose c = randomPose(n, rng);
+    EXPECT_LT(orianna::lie::poseDistance(a.oplus(b).oplus(c),
+                                         a.oplus(b.oplus(c))),
+              1e-9);
+}
+
+TEST_P(PoseGroupAxioms, RetractLocalCoordinatesRoundTrip)
+{
+    const auto [n, seed] = GetParam();
+    std::mt19937 rng(seed + 3000);
+    Pose x = randomPose(n, rng);
+    Vector delta = randomTangent(x.dof(), rng, 0.7);
+    Pose moved = x.retract(delta);
+    EXPECT_LT(maxDifference(x.localCoordinates(moved), delta), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PoseGroupAxioms,
+    ::testing::Values(std::pair{2, 1}, std::pair{2, 2}, std::pair{2, 3},
+                      std::pair{3, 1}, std::pair{3, 2}, std::pair{3, 3},
+                      std::pair{3, 4}, std::pair{3, 5}));
+
+TEST(Pose, VectorRoundTrip)
+{
+    Pose x(Vector{0.2, -0.1, 0.4}, Vector{1.0, 2.0, 3.0});
+    Pose back = Pose::fromVector(3, x.asVector());
+    EXPECT_LT(orianna::lie::poseDistance(x, back), 1e-15);
+    EXPECT_EQ(x.dof(), 6u);
+    EXPECT_EQ(Pose::identity(2).dof(), 3u);
+}
+
+TEST(Pose, DimensionMismatchThrows)
+{
+    EXPECT_THROW(Pose(Vector{0.1}, Vector{1.0, 2.0, 3.0}),
+                 std::invalid_argument);
+    Pose planar = Pose::identity(2);
+    Pose spatial = Pose::identity(3);
+    EXPECT_THROW(planar.oplus(spatial), std::invalid_argument);
+    EXPECT_THROW(planar.retract(Vector{0.0}), std::invalid_argument);
+}
+
+// --- SE(3) baseline and Fig. 8 conversions ------------------------------
+
+TEST(Se3, ExpLogRoundTrip)
+{
+    std::mt19937 rng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        Vector twist = randomTangent(6, rng, 1.2);
+        Se3 t = Se3::exp(twist);
+        EXPECT_LT(maxDifference(t.log(), twist), 1e-8);
+    }
+}
+
+TEST(Se3, ComposeMatchesUnifiedOplus)
+{
+    // Fig. 8: the two representations describe the same rigid motion,
+    // so composing in SE(3) and composing with (+) must agree.
+    std::mt19937 rng(78);
+    for (int trial = 0; trial < 10; ++trial) {
+        Pose a = randomPose(3, rng);
+        Pose b = randomPose(3, rng);
+        Se3 composed = Se3::fromPose(a).compose(Se3::fromPose(b));
+        EXPECT_LT(orianna::lie::poseDistance(composed.toPose(),
+                                             a.oplus(b)),
+                  1e-9);
+    }
+}
+
+TEST(Se3, BetweenMatchesUnifiedOminus)
+{
+    std::mt19937 rng(79);
+    for (int trial = 0; trial < 10; ++trial) {
+        Pose a = randomPose(3, rng);
+        Pose b = randomPose(3, rng);
+        Se3 rel = Se3::fromPose(b).between(Se3::fromPose(a));
+        EXPECT_LT(orianna::lie::poseDistance(rel.toPose(), a.ominus(b)),
+                  1e-9);
+    }
+}
+
+TEST(Se3, InverseAndRetract)
+{
+    std::mt19937 rng(80);
+    Se3 t = Se3::exp(randomTangent(6, rng, 1.0));
+    EXPECT_LT(orianna::lie::se3Distance(t.compose(t.inverse()), Se3()),
+              1e-10);
+
+    Vector delta = randomTangent(6, rng, 0.5);
+    Se3 moved = t.retract(delta);
+    EXPECT_LT(maxDifference(t.localCoordinates(moved), delta), 1e-8);
+}
+
+TEST(Se3, TranslationJacobianRelatesTangents)
+{
+    // Fig. 8 bottom: t = V(phi) rho links se(3) to <so(3),T(3)>.
+    std::mt19937 rng(81);
+    Vector twist = randomTangent(6, rng, 1.0);
+    Se3 t = Se3::exp(twist);
+    Vector phi = twist.segment(0, 3);
+    Vector rho = twist.segment(3, 3);
+    Vector expected =
+        orianna::lie::se3TranslationJacobian(phi) * rho;
+    EXPECT_LT(maxDifference(t.translation(), expected), 1e-12);
+}
+
+TEST(Se3, PaddedRetractionCostsMoreMacs)
+{
+    // The motivating efficiency claim of Sec. 4.1: the per-iteration
+    // Gauss-Newton update (retraction) is more expensive in SE(3)
+    // because it needs the 6-dim exponential (with the V matrix) and a
+    // padded 4x4 product, versus a 3-dim exponential and a 3x3 product
+    // for <so(3),T(3)>.
+    std::mt19937 rng(82);
+    Pose a = randomPose(3, rng);
+    Se3 sa = Se3::fromPose(a);
+    Vector delta = randomTangent(6, rng, 0.3);
+
+    orianna::mat::MacScope unified_scope;
+    (void)a.retract(delta);
+    const std::uint64_t unified = unified_scope.elapsed();
+
+    orianna::mat::MacScope padded_scope;
+    (void)sa.retract(delta);
+    const std::uint64_t padded = padded_scope.elapsed();
+
+    EXPECT_GT(unified, 0u);
+    EXPECT_GT(padded, unified);
+}
+
+} // namespace

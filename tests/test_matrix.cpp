@@ -1,0 +1,296 @@
+// Unit and property tests for the dense-matrix substrate.
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "matrix/block_sparse.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/mac_counter.hpp"
+#include "matrix/qr.hpp"
+
+namespace {
+
+using orianna::mat::BlockSparseMatrix;
+using orianna::mat::MacCounter;
+using orianna::mat::MacScope;
+using orianna::mat::Matrix;
+using orianna::mat::maxDifference;
+using orianna::mat::QrResult;
+using orianna::mat::Vector;
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    Matrix out(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            out(i, j) = dist(rng);
+    return out;
+}
+
+Vector
+randomVector(std::size_t n, std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    Vector out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = dist(rng);
+    return out;
+}
+
+TEST(Vector, ArithmeticBasics)
+{
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{4.0, -1.0, 0.5};
+    EXPECT_EQ((a + b)[0], 5.0);
+    EXPECT_EQ((a - b)[1], 3.0);
+    EXPECT_EQ((-a)[2], -3.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 4.0 - 2.0 + 1.5);
+    EXPECT_DOUBLE_EQ(Vector({3.0, 4.0}).norm(), 5.0);
+    EXPECT_DOUBLE_EQ(a.maxAbs(), 3.0);
+}
+
+TEST(Vector, SegmentAndConcat)
+{
+    Vector a{1.0, 2.0, 3.0, 4.0};
+    Vector mid = a.segment(1, 2);
+    ASSERT_EQ(mid.size(), 2u);
+    EXPECT_EQ(mid[0], 2.0);
+    EXPECT_EQ(mid[1], 3.0);
+
+    Vector joined = mid.concat(Vector{9.0});
+    ASSERT_EQ(joined.size(), 3u);
+    EXPECT_EQ(joined[2], 9.0);
+
+    a.setSegment(2, Vector{7.0, 8.0});
+    EXPECT_EQ(a[2], 7.0);
+    EXPECT_EQ(a[3], 8.0);
+}
+
+TEST(Vector, SizeMismatchThrows)
+{
+    Vector a{1.0, 2.0};
+    Vector b{1.0};
+    EXPECT_THROW(a + b, std::invalid_argument);
+    EXPECT_THROW(a.dot(b), std::invalid_argument);
+    EXPECT_THROW(a.segment(1, 2), std::out_of_range);
+}
+
+TEST(Matrix, InitializerAndAccess)
+{
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m(1, 0), 3.0);
+    EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal)
+{
+    Matrix i3 = Matrix::identity(3);
+    EXPECT_EQ(i3(0, 0), 1.0);
+    EXPECT_EQ(i3(0, 1), 0.0);
+
+    Matrix d = Matrix::diagonal(Vector{2.0, 5.0});
+    EXPECT_EQ(d(1, 1), 5.0);
+    EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownValues)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    Matrix c = a * b;
+    EXPECT_EQ(c(0, 0), 19.0);
+    EXPECT_EQ(c(0, 1), 22.0);
+    EXPECT_EQ(c(1, 0), 43.0);
+    EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    std::mt19937 rng(7);
+    Matrix a = randomMatrix(4, 6, rng);
+    EXPECT_EQ(maxDifference(a.transpose().transpose(), a), 0.0);
+}
+
+TEST(Matrix, BlockRoundTrip)
+{
+    std::mt19937 rng(11);
+    Matrix a = randomMatrix(5, 5, rng);
+    Matrix sub = a.block(1, 2, 3, 2);
+    Matrix b(5, 5);
+    b.setBlock(1, 2, sub);
+    EXPECT_EQ(maxDifference(b.block(1, 2, 3, 2), sub), 0.0);
+    EXPECT_THROW(a.block(3, 3, 3, 3), std::out_of_range);
+}
+
+TEST(Matrix, StackOperations)
+{
+    Matrix a{{1.0, 2.0}};
+    Matrix b{{3.0, 4.0}};
+    Matrix v = a.vstack(b);
+    EXPECT_EQ(v.rows(), 2u);
+    EXPECT_EQ(v(1, 1), 4.0);
+
+    Matrix h = a.hstack(b);
+    EXPECT_EQ(h.cols(), 4u);
+    EXPECT_EQ(h(0, 3), 4.0);
+}
+
+TEST(Matrix, DensityAndNonZeros)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 1.0;
+    EXPECT_EQ(m.nonZeros(), 1u);
+    EXPECT_DOUBLE_EQ(m.density(), 0.25);
+    EXPECT_TRUE(m.isUpperTriangular());
+    m(1, 0) = 0.5;
+    EXPECT_FALSE(m.isUpperTriangular());
+}
+
+TEST(MacCounter, CountsMultiplies)
+{
+    MacCounter::reset();
+    Matrix a = Matrix::identity(3);
+    Matrix b = Matrix::identity(3);
+    {
+        MacScope scope;
+        (void)(a * b);
+        EXPECT_EQ(scope.elapsed(), 27u);
+    }
+}
+
+// --- QR property tests over random shapes -------------------------------
+
+class QrShapes : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(QrShapes, HouseholderTriangularizesAndPreservesNormalEquations)
+{
+    const auto [m, n] = GetParam();
+    std::mt19937 rng(100 + m * 17 + n);
+    Matrix a = randomMatrix(m, n, rng);
+    Vector b = randomVector(m, rng);
+
+    QrResult qr = orianna::mat::householderQr(a, b);
+    EXPECT_TRUE(qr.r.isUpperTriangular(1e-9));
+    // Orthogonal transforms preserve A^T A and A^T b.
+    EXPECT_LT(maxDifference(qr.r.transpose() * qr.r, a.transpose() * a),
+              1e-9);
+    EXPECT_LT(maxDifference(qr.r.transpose() * qr.rhs,
+                            a.transpose() * b),
+              1e-9);
+}
+
+TEST_P(QrShapes, GivensMatchesHouseholderUpToRowSign)
+{
+    const auto [m, n] = GetParam();
+    std::mt19937 rng(200 + m * 17 + n);
+    Matrix a = randomMatrix(m, n, rng);
+    Vector b = randomVector(m, rng);
+
+    QrResult hh = orianna::mat::householderQr(a, b);
+    QrResult gv = orianna::mat::givensQr(a, b);
+    EXPECT_TRUE(gv.r.isUpperTriangular(1e-9));
+    // R^T R is sign-invariant, so compare through the Gram matrix.
+    EXPECT_LT(maxDifference(gv.r.transpose() * gv.r,
+                            hh.r.transpose() * hh.r),
+              1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapes,
+    ::testing::Values(std::pair{1, 1}, std::pair{3, 2}, std::pair{4, 4},
+                      std::pair{6, 3}, std::pair{8, 5}, std::pair{12, 7},
+                      std::pair{20, 12}, std::pair{5, 5}));
+
+TEST(Qr, LeastSquaresRecoversExactSolution)
+{
+    std::mt19937 rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        Matrix a = randomMatrix(8, 4, rng);
+        Vector x_true = randomVector(4, rng);
+        Vector b = a * x_true;
+        Vector x = orianna::mat::leastSquares(a, b);
+        EXPECT_LT(maxDifference(x, x_true), 1e-8);
+    }
+}
+
+TEST(Qr, BackSubstituteSolvesTriangularSystem)
+{
+    Matrix r{{2.0, 1.0, -1.0}, {0.0, 3.0, 0.5}, {0.0, 0.0, 4.0}};
+    Vector x_true{1.0, -2.0, 0.5};
+    Vector y = r * x_true;
+    Vector x = orianna::mat::backSubstitute(r, y);
+    EXPECT_LT(maxDifference(x, x_true), 1e-12);
+}
+
+TEST(Qr, BackSubstituteRejectsSingular)
+{
+    Matrix r{{1.0, 1.0}, {0.0, 0.0}};
+    EXPECT_THROW(orianna::mat::backSubstitute(r, Vector{1.0, 1.0}),
+                 std::runtime_error);
+}
+
+TEST(Qr, MismatchedShapesThrow)
+{
+    Matrix a(3, 2);
+    Vector b(2);
+    EXPECT_THROW(orianna::mat::householderQr(a, b), std::invalid_argument);
+    EXPECT_THROW(orianna::mat::givensQr(a, b), std::invalid_argument);
+}
+
+// --- Block-sparse assembly ----------------------------------------------
+
+TEST(BlockSparse, OffsetsAndShape)
+{
+    BlockSparseMatrix m({2, 3}, {3, 1, 2});
+    EXPECT_EQ(m.totalRows(), 5u);
+    EXPECT_EQ(m.totalCols(), 6u);
+    EXPECT_EQ(m.rowOffset(1), 2u);
+    EXPECT_EQ(m.colOffset(2), 4u);
+}
+
+TEST(BlockSparse, SetAndFindBlock)
+{
+    BlockSparseMatrix m({2, 2}, {2, 2});
+    EXPECT_EQ(m.findBlock(0, 1), nullptr);
+    m.setBlock(0, 1, Matrix{{1.0, 2.0}, {3.0, 4.0}});
+    ASSERT_NE(m.findBlock(0, 1), nullptr);
+    EXPECT_EQ((*m.findBlock(0, 1))(1, 1), 4.0);
+    EXPECT_THROW(m.setBlock(0, 0, Matrix(3, 3)), std::invalid_argument);
+    EXPECT_THROW(m.setBlock(5, 0, Matrix(2, 2)), std::out_of_range);
+}
+
+TEST(BlockSparse, DenseRoundTripAndDensity)
+{
+    BlockSparseMatrix m({1, 1}, {1, 1});
+    m.setBlock(0, 0, Matrix{{2.0}});
+    m.setBlock(1, 1, Matrix{{3.0}});
+    Matrix dense = m.toDense();
+    EXPECT_EQ(dense(0, 0), 2.0);
+    EXPECT_EQ(dense(1, 1), 3.0);
+    EXPECT_EQ(dense(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(m.density(), 0.5);
+    EXPECT_EQ(m.nonZeros(), 2u);
+}
+
+TEST(BlockSparse, RowAndColQueries)
+{
+    BlockSparseMatrix m({1, 1, 1}, {1, 1});
+    m.setBlock(0, 0, Matrix{{1.0}});
+    m.setBlock(0, 1, Matrix{{1.0}});
+    m.setBlock(2, 1, Matrix{{1.0}});
+    EXPECT_EQ(m.blocksInRow(0).size(), 2u);
+    EXPECT_EQ(m.blocksInRow(1).size(), 0u);
+    auto col1 = m.blocksInCol(1);
+    ASSERT_EQ(col1.size(), 2u);
+    EXPECT_EQ(col1[0], 0u);
+    EXPECT_EQ(col1[1], 2u);
+}
+
+} // namespace

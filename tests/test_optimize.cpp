@@ -1,0 +1,151 @@
+// Tests for the post-codegen optimization passes: constant
+// deduplication and dead-code elimination.
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hpp"
+#include "compiler/executor.hpp"
+#include "compiler/optimize.hpp"
+#include "fg/factors.hpp"
+#include "test_fg_common.hpp"
+
+namespace {
+
+using namespace orianna;
+using orianna::test::randomPose;
+using orianna::test::randomVector;
+using comp::IsaOp;
+using comp::Program;
+using fg::FactorGraph;
+using fg::Values;
+using lie::Pose;
+using mat::Vector;
+
+/** A chain graph with plenty of repeated constants (identity seeds). */
+FactorGraph
+chainGraph(std::size_t n, Values &values, std::mt19937 &rng)
+{
+    FactorGraph graph;
+    values = Values();
+    Pose current = Pose::identity(3);
+    for (std::size_t i = 0; i < n; ++i) {
+        values.insert(i, current.retract(randomVector(6, rng, 0.05)));
+        Pose step = randomPose(3, rng, 0.2, 1.0);
+        if (i + 1 < n)
+            graph.emplace<fg::BetweenFactor>(
+                i, i + 1, step, fg::isotropicSigmas(6, 0.1));
+        current = current.oplus(step);
+    }
+    graph.emplace<fg::PriorFactor>(0u, Pose::identity(3),
+                                   fg::isotropicSigmas(6, 0.01));
+    return graph;
+}
+
+TEST(Optimize, MergesConstantsAndShrinksProgram)
+{
+    std::mt19937 rng(101);
+    Values values;
+    FactorGraph graph = chainGraph(6, values, rng);
+    const Program original = comp::compileGraph(graph, values);
+
+    comp::OptimizeStats stats;
+    const Program optimized = comp::optimizeProgram(original, &stats);
+
+    EXPECT_EQ(stats.before, original.instructions.size());
+    EXPECT_EQ(stats.after, optimized.instructions.size());
+    EXPECT_LT(stats.after, stats.before);
+    // Between factors share identity-seed constants across factors.
+    EXPECT_GT(stats.mergedConstants, 3u);
+    EXPECT_LE(optimized.valueSlots, original.valueSlots);
+
+    // Dependences stay well formed.
+    for (std::size_t i = 0; i < optimized.instructions.size(); ++i)
+        for (std::uint32_t dep : optimized.instructions[i].deps)
+            EXPECT_LT(dep, i);
+}
+
+TEST(Optimize, PreservesSemantics)
+{
+    std::mt19937 rng(102);
+    Values values;
+    FactorGraph graph = chainGraph(7, values, rng);
+    const Program original = comp::compileGraph(graph, values);
+    const Program optimized = comp::optimizeProgram(original);
+
+    comp::Executor exec_a(original);
+    comp::Executor exec_b(optimized);
+    const auto da = exec_a.run(values);
+    const auto db = exec_b.run(values);
+    ASSERT_EQ(da.size(), db.size());
+    for (const auto &[key, delta] : da)
+        EXPECT_LT(mat::maxDifference(delta, db.at(key)), 1e-15);
+}
+
+TEST(Optimize, RemovesUnreachableWork)
+{
+    // A hand-built program with a dead instruction chain.
+    Program program;
+    program.name = "dead-test";
+    program.valueSlots = 4;
+    comp::Instruction load;
+    load.op = IsaOp::LOADC;
+    load.constVec = Vector{1.0, 2.0};
+    load.dst = 0;
+    load.rows = 2;
+    load.cols = 1;
+    program.instructions.push_back(load);
+
+    comp::Instruction dead;
+    dead.op = IsaOp::NEG;
+    dead.srcs = {0};
+    dead.dst = 1;
+    dead.deps = {0};
+    dead.rows = 2;
+    dead.cols = 1;
+    program.instructions.push_back(dead); // Result never stored.
+
+    comp::Instruction live;
+    live.op = IsaOp::VADD;
+    live.srcs = {0, 0};
+    live.dst = 2;
+    live.deps = {0, 0};
+    live.rows = 2;
+    live.cols = 1;
+    program.instructions.push_back(live);
+
+    comp::Instruction store;
+    store.op = IsaOp::STORE;
+    store.srcs = {2};
+    store.dst = 2;
+    store.deps = {2};
+    program.instructions.push_back(store);
+    program.deltas.push_back({7, 2});
+
+    comp::OptimizeStats stats;
+    const Program optimized = comp::optimizeProgram(program, &stats);
+    EXPECT_EQ(stats.removedDead, 1u);
+    EXPECT_EQ(optimized.instructions.size(), 3u);
+
+    fg::Values values;
+    comp::Executor executor(optimized);
+    const auto deltas = executor.run(values);
+    EXPECT_LT(mat::maxDifference(deltas.at(7), Vector{2.0, 4.0}),
+              1e-15);
+}
+
+TEST(Optimize, AcceleratesOnTheSimulatedHardware)
+{
+    // Fewer instructions means fewer cycles on the same accelerator.
+    std::mt19937 rng(103);
+    Values values;
+    FactorGraph graph = chainGraph(8, values, rng);
+    const Program original = comp::compileGraph(graph, values);
+    const Program optimized = comp::optimizeProgram(original);
+
+    // (Include hw only through the executor-equivalent check here;
+    // the cycle comparison lives in the ablation bench.)
+    EXPECT_LT(optimized.instructions.size(),
+              original.instructions.size());
+}
+
+} // namespace

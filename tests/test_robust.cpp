@@ -1,0 +1,134 @@
+// Tests for the Huber robust kernel: outlier rejection in software,
+// and parity with the compiled accelerator program.
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hpp"
+#include "compiler/executor.hpp"
+#include "fg/factors.hpp"
+#include "fg/optimizer.hpp"
+#include "test_fg_common.hpp"
+
+namespace {
+
+using namespace orianna;
+using orianna::test::randomPose;
+using orianna::test::randomVector;
+using fg::FactorGraph;
+using fg::Values;
+using lie::Pose;
+using mat::Vector;
+
+TEST(Robust, WeightKicksInBeyondThreshold)
+{
+    Values values;
+    values.insert(1, Pose(Vector{0.0}, Vector{3.0, 0.0}));
+    auto factor = std::make_shared<fg::GPSFactor>(
+        1, Vector{0.0, 0.0}, fg::isotropicSigmas(2, 1.0));
+    const Vector plain = factor->whitenedError(values);
+    EXPECT_NEAR(plain.norm(), 3.0, 1e-12);
+
+    factor->setRobust(1.0);
+    const Vector robust = factor->whitenedError(values);
+    // |e| = 3, k = 1: scaled by sqrt(1/3).
+    EXPECT_NEAR(robust.norm(), 3.0 * std::sqrt(1.0 / 3.0), 1e-12);
+    // Inside the threshold nothing changes.
+    values.update(1, Pose(Vector{0.0}, Vector{0.5, 0.0}));
+    EXPECT_NEAR(factor->whitenedError(values).norm(), 0.5, 1e-12);
+
+    EXPECT_THROW(factor->setRobust(0.0), std::invalid_argument);
+}
+
+TEST(Robust, JacobiansScaleConsistently)
+{
+    std::mt19937 rng(111);
+    Values values;
+    values.insert(1, randomPose(2, rng, 0.3, 4.0));
+    auto factor = std::make_shared<fg::GPSFactor>(
+        1, Vector{0.0, 0.0}, fg::isotropicSigmas(2, 0.5));
+    const auto plain = factor->whitenedJacobians(values);
+    factor->setRobust(0.8);
+    const double w = factor->whitenedError(values).norm() /
+                     [&] {
+                         auto copy = std::make_shared<fg::GPSFactor>(
+                             1, Vector{0.0, 0.0},
+                             fg::isotropicSigmas(2, 0.5));
+                         return copy->whitenedError(values).norm();
+                     }();
+    const auto robust = factor->whitenedJacobians(values);
+    for (const auto &[key, j] : plain)
+        EXPECT_LT(mat::maxDifference(j * w, robust.at(key)), 1e-10);
+}
+
+TEST(Robust, OutlierRejectedInOptimization)
+{
+    // Ten consistent GPS fixes plus one gross outlier: the robust
+    // solve lands on the consensus, the plain solve is dragged off.
+    Values init;
+    const Vector truth{1.0, 2.0};
+    init.insert(1, Pose(Vector{0.0}, Vector{0.0, 0.0}));
+
+    auto build = [&](bool robust) {
+        FactorGraph graph;
+        std::mt19937 rng(5);
+        for (int i = 0; i < 10; ++i) {
+            auto gps = std::make_shared<fg::GPSFactor>(
+                1, truth + randomVector(2, rng, 0.01),
+                fg::isotropicSigmas(2, 0.1));
+            if (robust)
+                gps->setRobust(1.0);
+            graph.add(gps);
+        }
+        auto outlier = std::make_shared<fg::GPSFactor>(
+            1, Vector{30.0, -20.0}, fg::isotropicSigmas(2, 0.1));
+        if (robust)
+            outlier->setRobust(1.0);
+        graph.add(outlier);
+        graph.emplace<fg::PriorFactor>(1, Pose::identity(2),
+                                       fg::isotropicSigmas(3, 10.0));
+        return graph;
+    };
+
+    auto plain = fg::optimize(build(false), init);
+    auto robust = fg::optimize(build(true), init);
+    const double plain_err =
+        (plain.values.pose(1).t() - truth).norm();
+    const double robust_err =
+        (robust.values.pose(1).t() - truth).norm();
+    EXPECT_GT(plain_err, 1.0);    // Dragged toward the outlier.
+    EXPECT_LT(robust_err, 0.15);  // Consensus wins.
+}
+
+TEST(Robust, CompiledProgramMatchesSoftware)
+{
+    std::mt19937 rng(112);
+    Values values;
+    values.insert(1, randomPose(2, rng, 0.3, 2.0));
+    values.insert(2, randomPose(2, rng, 0.3, 2.0));
+
+    FactorGraph graph;
+    auto between = std::make_shared<fg::BetweenFactor>(
+        1, 2, randomPose(2, rng, 0.3, 2.0),
+        fg::isotropicSigmas(3, 0.1));
+    between->setRobust(0.7);
+    graph.add(between);
+    auto gps = std::make_shared<fg::GPSFactor>(
+        1, Vector{5.0, 5.0}, fg::isotropicSigmas(2, 0.2));
+    gps->setRobust(1.2);
+    graph.add(gps);
+    graph.emplace<fg::PriorFactor>(1, values.pose(1),
+                                   fg::isotropicSigmas(3, 0.01));
+    graph.emplace<fg::PriorFactor>(2, values.pose(2),
+                                   fg::isotropicSigmas(3, 0.5));
+
+    const auto program = comp::compileGraph(graph, values);
+    comp::Executor executor(program);
+    const auto hw_delta = executor.run(values);
+    const auto sw_delta = fg::solveLinearSystem(
+        graph.linearize(values), graph.allKeys());
+    for (const auto &[key, sw] : sw_delta)
+        EXPECT_LT(mat::maxDifference(hw_delta.at(key), sw), 1e-9)
+            << "key " << key;
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+// orianna-compile: command-line front end of the ORIANNA toolchain.
+//
+// Load a pose graph in g2o format, compile it into the ORIANNA ISA
+// (anchoring the first vertex, minimum-degree ordering, cleanup
+// passes), report the instruction mix, optionally run one
+// Gauss-Newton step on the simulated accelerator, and save the binary
+// program.
+//
+// Usage:
+//   orianna_compile <input.g2o> [-o out.oprog] [--simulate]
+//                   [--trace out.json] [--dot out.dot]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "compiler/encoding.hpp"
+#include "compiler/optimize.hpp"
+#include "fg/dot.hpp"
+#include "fg/factors.hpp"
+#include "fg/io_g2o.hpp"
+#include "fg/ordering.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/trace.hpp"
+
+#include <fstream>
+
+using namespace orianna;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <input.g2o> [-o out.oprog] [--simulate] "
+                 "[--trace out.json] [--dot out.dot]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+
+    std::string input;
+    std::string output;
+    std::string trace_path;
+    std::string dot_path;
+    bool simulate = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--simulate") {
+            simulate = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--dot" && i + 1 < argc) {
+            dot_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            input = arg;
+        }
+    }
+    if (input.empty())
+        return usage(argv[0]);
+
+    try {
+        fg::PoseGraphData data = fg::loadG2o(input);
+        std::printf("loaded %s: %zu vertices, %zu edges\n",
+                    input.c_str(), data.initial.size(),
+                    data.graph.size());
+        if (data.initial.size() == 0)
+            throw std::runtime_error("empty pose graph");
+
+        // Anchor the gauge at the first vertex.
+        const fg::Key first = data.initial.keys().front();
+        const std::size_t dof = data.initial.dof(first);
+        data.graph.emplace<fg::PriorFactor>(
+            first, data.initial.pose(first),
+            fg::isotropicSigmas(dof, 1e-3));
+
+        comp::CompileOptions options;
+        options.name = input;
+        options.ordering = fg::ordering::minDegree(data.graph);
+        comp::OptimizeStats stats;
+        const comp::Program program = comp::optimizeProgram(
+            comp::compileGraph(data.graph, data.initial, options),
+            &stats);
+
+        std::printf("compiled: %zu instructions (%zu before cleanup; "
+                    "%zu constants merged, %zu dead removed), %zu "
+                    "value slots\n",
+                    stats.after, stats.before, stats.mergedConstants,
+                    stats.removedDead, program.valueSlots);
+        const auto histogram = program.opHistogram();
+        std::printf("instruction mix:");
+        for (std::size_t op = 0; op < histogram.size(); ++op)
+            if (histogram[op] > 0)
+                std::printf(" %s=%zu",
+                            comp::isaOpName(
+                                static_cast<comp::IsaOp>(op)),
+                            histogram[op]);
+        std::printf("\n");
+
+        if (!output.empty()) {
+            comp::saveProgram(output, program);
+            std::printf("wrote %s\n", output.c_str());
+        }
+        if (!dot_path.empty()) {
+            std::ofstream dot(dot_path);
+            dot << fg::graphToDot(data.graph);
+            std::printf("wrote %s\n", dot_path.c_str());
+        }
+        if (simulate || !trace_path.empty()) {
+            hw::AcceleratorConfig config =
+                hw::AcceleratorConfig::minimal(true);
+            config.recordTrace = !trace_path.empty();
+            const hw::SimResult sim =
+                hw::simulate({{&program, &data.initial}}, config);
+            std::printf("one Gauss-Newton step on the minimal OoO "
+                        "accelerator: %llu cycles (%.1f us @167MHz), "
+                        "%.2f uJ\n",
+                        static_cast<unsigned long long>(sim.cycles),
+                        sim.seconds() * 1e6,
+                        sim.totalEnergyJ() * 1e6);
+            if (!trace_path.empty()) {
+                hw::writeChromeTrace(trace_path, sim.trace);
+                std::printf("wrote %s\n", trace_path.c_str());
+            }
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}
