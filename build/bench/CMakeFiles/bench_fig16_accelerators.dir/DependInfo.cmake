@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_accelerators.cpp" "bench/CMakeFiles/bench_fig16_accelerators.dir/bench_fig16_accelerators.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_accelerators.dir/bench_fig16_accelerators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/orianna_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/orianna_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orianna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/orianna_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwgen/CMakeFiles/orianna_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/orianna_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/orianna_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fg/CMakeFiles/orianna_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lie/CMakeFiles/orianna_lie.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/orianna_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

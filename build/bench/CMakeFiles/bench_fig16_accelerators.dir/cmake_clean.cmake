@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_accelerators.dir/bench_fig16_accelerators.cpp.o"
+  "CMakeFiles/bench_fig16_accelerators.dir/bench_fig16_accelerators.cpp.o.d"
+  "bench_fig16_accelerators"
+  "bench_fig16_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

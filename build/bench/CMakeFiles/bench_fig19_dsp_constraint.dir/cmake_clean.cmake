@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_dsp_constraint.dir/bench_fig19_dsp_constraint.cpp.o"
+  "CMakeFiles/bench_fig19_dsp_constraint.dir/bench_fig19_dsp_constraint.cpp.o.d"
+  "bench_fig19_dsp_constraint"
+  "bench_fig19_dsp_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_dsp_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig20_energy_constraint.
+# This may be replaced when dependencies are built.

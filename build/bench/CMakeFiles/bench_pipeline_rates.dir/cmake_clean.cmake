@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_rates.dir/bench_pipeline_rates.cpp.o"
+  "CMakeFiles/bench_pipeline_rates.dir/bench_pipeline_rates.cpp.o.d"
+  "bench_pipeline_rates"
+  "bench_pipeline_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_mac_savings.dir/bench_sec43_mac_savings.cpp.o"
+  "CMakeFiles/bench_sec43_mac_savings.dir/bench_sec43_mac_savings.cpp.o.d"
+  "bench_sec43_mac_savings"
+  "bench_sec43_mac_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_mac_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_factor.dir/custom_factor.cpp.o"
+  "CMakeFiles/custom_factor.dir/custom_factor.cpp.o.d"
+  "custom_factor"
+  "custom_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgen_explore.dir/hwgen_explore.cpp.o"
+  "CMakeFiles/hwgen_explore.dir/hwgen_explore.cpp.o.d"
+  "hwgen_explore"
+  "hwgen_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgen_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_slam.dir/incremental_slam.cpp.o"
+  "CMakeFiles/incremental_slam.dir/incremental_slam.cpp.o.d"
+  "incremental_slam"
+  "incremental_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_robot_pipeline.dir/mobile_robot_pipeline.cpp.o"
+  "CMakeFiles/mobile_robot_pipeline.dir/mobile_robot_pipeline.cpp.o.d"
+  "mobile_robot_pipeline"
+  "mobile_robot_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_robot_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

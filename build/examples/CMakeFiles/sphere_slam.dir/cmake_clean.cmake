@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_slam.dir/sphere_slam.cpp.o"
+  "CMakeFiles/sphere_slam.dir/sphere_slam.cpp.o.d"
+  "sphere_slam"
+  "sphere_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/auto_vehicle.cpp" "src/apps/CMakeFiles/orianna_apps.dir/auto_vehicle.cpp.o" "gcc" "src/apps/CMakeFiles/orianna_apps.dir/auto_vehicle.cpp.o.d"
+  "/root/repo/src/apps/benchmark_apps.cpp" "src/apps/CMakeFiles/orianna_apps.dir/benchmark_apps.cpp.o" "gcc" "src/apps/CMakeFiles/orianna_apps.dir/benchmark_apps.cpp.o.d"
+  "/root/repo/src/apps/manipulator.cpp" "src/apps/CMakeFiles/orianna_apps.dir/manipulator.cpp.o" "gcc" "src/apps/CMakeFiles/orianna_apps.dir/manipulator.cpp.o.d"
+  "/root/repo/src/apps/mobile_robot.cpp" "src/apps/CMakeFiles/orianna_apps.dir/mobile_robot.cpp.o" "gcc" "src/apps/CMakeFiles/orianna_apps.dir/mobile_robot.cpp.o.d"
+  "/root/repo/src/apps/quadrotor.cpp" "src/apps/CMakeFiles/orianna_apps.dir/quadrotor.cpp.o" "gcc" "src/apps/CMakeFiles/orianna_apps.dir/quadrotor.cpp.o.d"
+  "/root/repo/src/apps/sphere.cpp" "src/apps/CMakeFiles/orianna_apps.dir/sphere.cpp.o" "gcc" "src/apps/CMakeFiles/orianna_apps.dir/sphere.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orianna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/orianna_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/orianna_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/orianna_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fg/CMakeFiles/orianna_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lie/CMakeFiles/orianna_lie.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/orianna_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_apps.dir/auto_vehicle.cpp.o"
+  "CMakeFiles/orianna_apps.dir/auto_vehicle.cpp.o.d"
+  "CMakeFiles/orianna_apps.dir/benchmark_apps.cpp.o"
+  "CMakeFiles/orianna_apps.dir/benchmark_apps.cpp.o.d"
+  "CMakeFiles/orianna_apps.dir/manipulator.cpp.o"
+  "CMakeFiles/orianna_apps.dir/manipulator.cpp.o.d"
+  "CMakeFiles/orianna_apps.dir/mobile_robot.cpp.o"
+  "CMakeFiles/orianna_apps.dir/mobile_robot.cpp.o.d"
+  "CMakeFiles/orianna_apps.dir/quadrotor.cpp.o"
+  "CMakeFiles/orianna_apps.dir/quadrotor.cpp.o.d"
+  "CMakeFiles/orianna_apps.dir/sphere.cpp.o"
+  "CMakeFiles/orianna_apps.dir/sphere.cpp.o.d"
+  "liborianna_apps.a"
+  "liborianna_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_baselines.dir/platform_models.cpp.o"
+  "CMakeFiles/orianna_baselines.dir/platform_models.cpp.o.d"
+  "CMakeFiles/orianna_baselines.dir/stack_model.cpp.o"
+  "CMakeFiles/orianna_baselines.dir/stack_model.cpp.o.d"
+  "liborianna_baselines.a"
+  "liborianna_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

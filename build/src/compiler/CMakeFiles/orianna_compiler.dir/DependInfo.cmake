@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cpp" "src/compiler/CMakeFiles/orianna_compiler.dir/codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/orianna_compiler.dir/codegen.cpp.o.d"
+  "/root/repo/src/compiler/encoding.cpp" "src/compiler/CMakeFiles/orianna_compiler.dir/encoding.cpp.o" "gcc" "src/compiler/CMakeFiles/orianna_compiler.dir/encoding.cpp.o.d"
+  "/root/repo/src/compiler/executor.cpp" "src/compiler/CMakeFiles/orianna_compiler.dir/executor.cpp.o" "gcc" "src/compiler/CMakeFiles/orianna_compiler.dir/executor.cpp.o.d"
+  "/root/repo/src/compiler/isa.cpp" "src/compiler/CMakeFiles/orianna_compiler.dir/isa.cpp.o" "gcc" "src/compiler/CMakeFiles/orianna_compiler.dir/isa.cpp.o.d"
+  "/root/repo/src/compiler/optimize.cpp" "src/compiler/CMakeFiles/orianna_compiler.dir/optimize.cpp.o" "gcc" "src/compiler/CMakeFiles/orianna_compiler.dir/optimize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fg/CMakeFiles/orianna_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lie/CMakeFiles/orianna_lie.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/orianna_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/orianna_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/orianna_compiler.dir/encoding.cpp.o"
+  "CMakeFiles/orianna_compiler.dir/encoding.cpp.o.d"
+  "CMakeFiles/orianna_compiler.dir/executor.cpp.o"
+  "CMakeFiles/orianna_compiler.dir/executor.cpp.o.d"
+  "CMakeFiles/orianna_compiler.dir/isa.cpp.o"
+  "CMakeFiles/orianna_compiler.dir/isa.cpp.o.d"
+  "CMakeFiles/orianna_compiler.dir/optimize.cpp.o"
+  "CMakeFiles/orianna_compiler.dir/optimize.cpp.o.d"
+  "liborianna_compiler.a"
+  "liborianna_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborianna_compiler.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_core.dir/application.cpp.o"
+  "CMakeFiles/orianna_core.dir/application.cpp.o.d"
+  "liborianna_core.a"
+  "liborianna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fg/dfg.cpp" "src/fg/CMakeFiles/orianna_fg.dir/dfg.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/dfg.cpp.o.d"
+  "/root/repo/src/fg/dot.cpp" "src/fg/CMakeFiles/orianna_fg.dir/dot.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/dot.cpp.o.d"
+  "/root/repo/src/fg/eliminate.cpp" "src/fg/CMakeFiles/orianna_fg.dir/eliminate.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/eliminate.cpp.o.d"
+  "/root/repo/src/fg/factor.cpp" "src/fg/CMakeFiles/orianna_fg.dir/factor.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/factor.cpp.o.d"
+  "/root/repo/src/fg/factors.cpp" "src/fg/CMakeFiles/orianna_fg.dir/factors.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/factors.cpp.o.d"
+  "/root/repo/src/fg/graph.cpp" "src/fg/CMakeFiles/orianna_fg.dir/graph.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/graph.cpp.o.d"
+  "/root/repo/src/fg/incremental.cpp" "src/fg/CMakeFiles/orianna_fg.dir/incremental.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/incremental.cpp.o.d"
+  "/root/repo/src/fg/io_g2o.cpp" "src/fg/CMakeFiles/orianna_fg.dir/io_g2o.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/io_g2o.cpp.o.d"
+  "/root/repo/src/fg/marginals.cpp" "src/fg/CMakeFiles/orianna_fg.dir/marginals.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/marginals.cpp.o.d"
+  "/root/repo/src/fg/optimizer.cpp" "src/fg/CMakeFiles/orianna_fg.dir/optimizer.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/optimizer.cpp.o.d"
+  "/root/repo/src/fg/ordering.cpp" "src/fg/CMakeFiles/orianna_fg.dir/ordering.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/ordering.cpp.o.d"
+  "/root/repo/src/fg/sdf_map.cpp" "src/fg/CMakeFiles/orianna_fg.dir/sdf_map.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/sdf_map.cpp.o.d"
+  "/root/repo/src/fg/values.cpp" "src/fg/CMakeFiles/orianna_fg.dir/values.cpp.o" "gcc" "src/fg/CMakeFiles/orianna_fg.dir/values.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lie/CMakeFiles/orianna_lie.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/orianna_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_fg.dir/dfg.cpp.o"
+  "CMakeFiles/orianna_fg.dir/dfg.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/dot.cpp.o"
+  "CMakeFiles/orianna_fg.dir/dot.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/eliminate.cpp.o"
+  "CMakeFiles/orianna_fg.dir/eliminate.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/factor.cpp.o"
+  "CMakeFiles/orianna_fg.dir/factor.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/factors.cpp.o"
+  "CMakeFiles/orianna_fg.dir/factors.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/graph.cpp.o"
+  "CMakeFiles/orianna_fg.dir/graph.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/incremental.cpp.o"
+  "CMakeFiles/orianna_fg.dir/incremental.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/io_g2o.cpp.o"
+  "CMakeFiles/orianna_fg.dir/io_g2o.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/marginals.cpp.o"
+  "CMakeFiles/orianna_fg.dir/marginals.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/optimizer.cpp.o"
+  "CMakeFiles/orianna_fg.dir/optimizer.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/ordering.cpp.o"
+  "CMakeFiles/orianna_fg.dir/ordering.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/sdf_map.cpp.o"
+  "CMakeFiles/orianna_fg.dir/sdf_map.cpp.o.d"
+  "CMakeFiles/orianna_fg.dir/values.cpp.o"
+  "CMakeFiles/orianna_fg.dir/values.cpp.o.d"
+  "liborianna_fg.a"
+  "liborianna_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

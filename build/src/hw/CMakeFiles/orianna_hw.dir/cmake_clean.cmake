@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_hw.dir/accelerator.cpp.o"
+  "CMakeFiles/orianna_hw.dir/accelerator.cpp.o.d"
+  "CMakeFiles/orianna_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/orianna_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/orianna_hw.dir/frame_pipeline.cpp.o"
+  "CMakeFiles/orianna_hw.dir/frame_pipeline.cpp.o.d"
+  "CMakeFiles/orianna_hw.dir/trace.cpp.o"
+  "CMakeFiles/orianna_hw.dir/trace.cpp.o.d"
+  "liborianna_hw.a"
+  "liborianna_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwgen/generator.cpp" "src/hwgen/CMakeFiles/orianna_hwgen.dir/generator.cpp.o" "gcc" "src/hwgen/CMakeFiles/orianna_hwgen.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/orianna_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/orianna_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fg/CMakeFiles/orianna_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lie/CMakeFiles/orianna_lie.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/orianna_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

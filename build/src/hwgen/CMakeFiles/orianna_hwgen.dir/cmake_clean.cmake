@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_hwgen.dir/generator.cpp.o"
+  "CMakeFiles/orianna_hwgen.dir/generator.cpp.o.d"
+  "liborianna_hwgen.a"
+  "liborianna_hwgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_hwgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lie/pose.cpp" "src/lie/CMakeFiles/orianna_lie.dir/pose.cpp.o" "gcc" "src/lie/CMakeFiles/orianna_lie.dir/pose.cpp.o.d"
+  "/root/repo/src/lie/quaternion.cpp" "src/lie/CMakeFiles/orianna_lie.dir/quaternion.cpp.o" "gcc" "src/lie/CMakeFiles/orianna_lie.dir/quaternion.cpp.o.d"
+  "/root/repo/src/lie/se3.cpp" "src/lie/CMakeFiles/orianna_lie.dir/se3.cpp.o" "gcc" "src/lie/CMakeFiles/orianna_lie.dir/se3.cpp.o.d"
+  "/root/repo/src/lie/so.cpp" "src/lie/CMakeFiles/orianna_lie.dir/so.cpp.o" "gcc" "src/lie/CMakeFiles/orianna_lie.dir/so.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/orianna_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

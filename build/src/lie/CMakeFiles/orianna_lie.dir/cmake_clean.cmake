@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_lie.dir/pose.cpp.o"
+  "CMakeFiles/orianna_lie.dir/pose.cpp.o.d"
+  "CMakeFiles/orianna_lie.dir/quaternion.cpp.o"
+  "CMakeFiles/orianna_lie.dir/quaternion.cpp.o.d"
+  "CMakeFiles/orianna_lie.dir/se3.cpp.o"
+  "CMakeFiles/orianna_lie.dir/se3.cpp.o.d"
+  "CMakeFiles/orianna_lie.dir/so.cpp.o"
+  "CMakeFiles/orianna_lie.dir/so.cpp.o.d"
+  "liborianna_lie.a"
+  "liborianna_lie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_lie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/block_sparse.cpp" "src/matrix/CMakeFiles/orianna_matrix.dir/block_sparse.cpp.o" "gcc" "src/matrix/CMakeFiles/orianna_matrix.dir/block_sparse.cpp.o.d"
+  "/root/repo/src/matrix/dense.cpp" "src/matrix/CMakeFiles/orianna_matrix.dir/dense.cpp.o" "gcc" "src/matrix/CMakeFiles/orianna_matrix.dir/dense.cpp.o.d"
+  "/root/repo/src/matrix/qr.cpp" "src/matrix/CMakeFiles/orianna_matrix.dir/qr.cpp.o" "gcc" "src/matrix/CMakeFiles/orianna_matrix.dir/qr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

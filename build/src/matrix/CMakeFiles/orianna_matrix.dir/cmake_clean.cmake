@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_matrix.dir/block_sparse.cpp.o"
+  "CMakeFiles/orianna_matrix.dir/block_sparse.cpp.o.d"
+  "CMakeFiles/orianna_matrix.dir/dense.cpp.o"
+  "CMakeFiles/orianna_matrix.dir/dense.cpp.o.d"
+  "CMakeFiles/orianna_matrix.dir/qr.cpp.o"
+  "CMakeFiles/orianna_matrix.dir/qr.cpp.o.d"
+  "liborianna_matrix.a"
+  "liborianna_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_sensors.dir/imu.cpp.o"
+  "CMakeFiles/orianna_sensors.dir/imu.cpp.o.d"
+  "CMakeFiles/orianna_sensors.dir/scan_matching.cpp.o"
+  "CMakeFiles/orianna_sensors.dir/scan_matching.cpp.o.d"
+  "liborianna_sensors.a"
+  "liborianna_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fg.dir/test_fg.cpp.o"
+  "CMakeFiles/test_fg.dir/test_fg.cpp.o.d"
+  "test_fg"
+  "test_fg.pdb"
+  "test_fg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lie.dir/test_lie.cpp.o"
+  "CMakeFiles/test_lie.dir/test_lie.cpp.o.d"
+  "test_lie"
+  "test_lie.pdb"
+  "test_lie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orianna_compile.dir/orianna_compile.cpp.o"
+  "CMakeFiles/orianna_compile.dir/orianna_compile.cpp.o.d"
+  "orianna_compile"
+  "orianna_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orianna_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
