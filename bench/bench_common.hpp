@@ -10,6 +10,7 @@
 #include "baselines/platform_models.hpp"
 #include "baselines/stack_model.hpp"
 #include "hwgen/generator.hpp"
+#include "runtime/execution_context.hpp"
 
 namespace orianna::bench {
 
@@ -70,7 +71,8 @@ measureApp(apps::AppKind kind, unsigned seed = kBenchSeed)
     hw::AcceleratorConfig io_config = gen.config;
     io_config.outOfOrder = false;
     io_config.name = "orianna-io";
-    const hw::SimResult io = hw::simulate(work, io_config);
+    runtime::ExecutionContext context(work);
+    const hw::SimResult io = context.run(io_config);
     m.ioSeconds = io.seconds();
     m.ioEnergyJ = io.totalEnergyJ();
 

@@ -1,0 +1,100 @@
+// Micro-benchmark of the runtime frame hot path: the per-frame cost
+// of rebuilding schedule state versus reusing one warm
+// ExecutionContext.
+//
+// Both loops simulate the same MobileRobot frame (all three compiled
+// algorithms, one Gauss-Newton step) on the same minimal OoO
+// accelerator; they differ only in whether dependence graph, cost
+// caches, executors and scratch vectors are rebuilt per frame
+// (hw::simulate) or built once and reset in place
+// (runtime::ExecutionContext). Emits BENCH_runtime.json for CI
+// trending.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "apps/benchmark_apps.hpp"
+#include "bench_common.hpp"
+#include "runtime/execution_context.hpp"
+
+using namespace orianna;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, bench::kBenchSeed);
+    bench.app.compile();
+    const auto work = bench.app.frameWork();
+    const auto config = hw::AcceleratorConfig::minimal(true);
+
+    // Self-calibrate the frame count to keep the bench around a
+    // second per path.
+    std::size_t frames = 8;
+    {
+        const auto start = Clock::now();
+        hw::SimResult warmup = hw::simulate(work, config);
+        (void)warmup;
+        const double per_frame = secondsSince(start);
+        if (per_frame > 0.0)
+            frames = static_cast<std::size_t>(
+                std::max(8.0, 0.5 / per_frame));
+    }
+
+    // Old path: a fresh simulation context every frame.
+    std::uint64_t checksum_fresh = 0;
+    const auto fresh_start = Clock::now();
+    for (std::size_t i = 0; i < frames; ++i)
+        checksum_fresh += hw::simulate(work, config).cycles;
+    const double fresh_s = secondsSince(fresh_start);
+
+    // New path: one warm context, per-frame scratch reset in place.
+    runtime::ExecutionContext context(work);
+    std::uint64_t checksum_reused = 0;
+    const auto reused_start = Clock::now();
+    for (std::size_t i = 0; i < frames; ++i)
+        checksum_reused += context.run(config).cycles;
+    const double reused_s = secondsSince(reused_start);
+
+    const double fresh_fps = static_cast<double>(frames) / fresh_s;
+    const double reused_fps = static_cast<double>(frames) / reused_s;
+
+    std::printf("mobile_robot frame loop, %zu frames\n", frames);
+    std::printf("  fresh context per frame: %8.1f frames/s\n",
+                fresh_fps);
+    std::printf("  reused context:          %8.1f frames/s\n",
+                reused_fps);
+    std::printf("  speedup: %.2fx\n", reused_fps / fresh_fps);
+    if (checksum_fresh != checksum_reused) {
+        std::fprintf(stderr,
+                     "cycle checksums diverge: %llu vs %llu\n",
+                     static_cast<unsigned long long>(checksum_fresh),
+                     static_cast<unsigned long long>(checksum_reused));
+        return 1;
+    }
+
+    std::ofstream json("BENCH_runtime.json");
+    json << "{\n"
+         << "  \"app\": \"mobile_robot\",\n"
+         << "  \"frames\": " << frames << ",\n"
+         << "  \"fresh_context_fps\": " << fresh_fps << ",\n"
+         << "  \"reused_context_fps\": " << reused_fps << ",\n"
+         << "  \"speedup\": " << reused_fps / fresh_fps << "\n"
+         << "}\n";
+    std::printf("wrote BENCH_runtime.json\n");
+    return 0;
+}

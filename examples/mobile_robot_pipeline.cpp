@@ -11,6 +11,7 @@
 #include "hw/trace.hpp"
 #include "baselines/platform_models.hpp"
 #include "hwgen/generator.hpp"
+#include "runtime/execution_context.hpp"
 
 using namespace orianna;
 
@@ -63,8 +64,8 @@ main()
     // algorithms is directly visible on the unit lanes.
     hw::AcceleratorConfig traced = gen.config;
     traced.recordTrace = true;
-    const hw::SimResult traced_frame =
-        hw::simulate(app.frameWork(), traced);
+    runtime::ExecutionContext frame_context(app.frameWork());
+    const hw::SimResult traced_frame = frame_context.run(traced);
     hw::writeChromeTrace("mobile_robot_schedule.json",
                          traced_frame.trace);
     std::printf("  schedule trace: mobile_robot_schedule.json (%zu "

@@ -22,7 +22,15 @@ using SlotValue = std::variant<std::monostate, Matrix, Vector>;
 class Executor
 {
   public:
-    explicit Executor(const Program &program) : program_(&program) {}
+    /**
+     * Binds @p program and sizes the slot arena once; the table is
+     * never reallocated afterwards. A fresh executor starts with all
+     * slots empty, as if reset() had been called.
+     */
+    explicit Executor(const Program &program) : program_(&program)
+    {
+        slots_.resize(program.valueSlots);
+    }
 
     /**
      * Run the whole program in order. Returns the tangent updates
@@ -37,7 +45,12 @@ class Executor
      */
     void step(std::size_t index, const fg::Values &values);
 
-    /** Reset the value table (e.g. between frames). */
+    /**
+     * Clear every slot back to empty (cold reset). Rarely needed
+     * between frames: compiled programs write each slot before
+     * reading it, so long-lived contexts keep the arena warm and
+     * simply overwrite last frame's values in place.
+     */
     void reset();
 
     /** Read back a slot (for tests and delta extraction). */

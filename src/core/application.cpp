@@ -5,6 +5,7 @@
 #include "fg/optimizer.hpp"
 #include "compiler/optimize.hpp"
 #include "fg/ordering.hpp"
+#include "runtime/engine.hpp"
 
 namespace orianna::core {
 
@@ -102,16 +103,12 @@ Application::solveAccelerated(const hw::AcceleratorConfig &config,
     std::vector<fg::Values> out;
     out.reserve(algorithms_.size());
     for (const auto &algo : algorithms_) {
-        auto run = hw::simulateIterated(algo->program, algo->values,
-                                        iterations, config,
-                                        algo->stepScale);
-        if (total != nullptr) {
-            total->cycles += run.total.cycles;
-            total->dynamicEnergyJ += run.total.dynamicEnergyJ;
-            total->memoryEnergyJ += run.total.memoryEnergyJ;
-            total->staticEnergyJ += run.total.staticEnergyJ;
-        }
-        out.push_back(std::move(run.values));
+        runtime::Session session(algo->program, algo->values, config,
+                                 algo->stepScale);
+        session.iterate(iterations);
+        if (total != nullptr)
+            total->accumulate(session.totals());
+        out.push_back(session.values());
     }
     return out;
 }

@@ -1,265 +1,25 @@
+// Thin API-compatibility wrappers over the orianna::runtime layer.
+//
+// The scoreboard that used to live here as one monolithic simulate()
+// is now a pluggable runtime::Scheduler driven by a reusable
+// runtime::ExecutionContext; see src/runtime. These entry points
+// build a context per call so existing one-shot callers keep working
+// unchanged; frame loops should hold a context (or a
+// runtime::Session) and reuse it.
+
 #include "hw/accelerator.hpp"
 
-#include <algorithm>
-#include <queue>
-#include <stdexcept>
+#include "runtime/engine.hpp"
+#include "runtime/execution_context.hpp"
 
 namespace orianna::hw {
 
-namespace {
-
-/** Global instruction reference across concatenated work items. */
-struct InstrRef
-{
-    std::uint32_t work;
-    std::uint32_t index;
-};
-
-} // namespace
-
-AcceleratorConfig
-AcceleratorConfig::minimal(bool out_of_order)
-{
-    AcceleratorConfig config;
-    config.units.fill(1);
-    config.outOfOrder = out_of_order;
-    config.name = out_of_order ? "orianna-ooo" : "orianna-io";
-    return config;
-}
-
-Resources
-AcceleratorConfig::resources() const
-{
-    Resources total = CostModel::controllerResources();
-    for (std::size_t k = 0; k < kUnitKindCount; ++k)
-        total = total + CostModel::unitResources(
-                            static_cast<UnitKind>(k)) *
-                            units[k];
-    return total;
-}
-
 SimResult
-simulate(const std::vector<WorkItem> &work, const AcceleratorConfig &config)
+simulate(const std::vector<WorkItem> &work,
+         const AcceleratorConfig &config)
 {
-    for (unsigned count : config.units)
-        if (count == 0)
-            throw std::invalid_argument(
-                "simulate: every unit kind needs at least one instance");
-
-    // Flatten the work items into one global instruction list.
-    std::vector<InstrRef> order;
-    std::vector<comp::Executor> executors;
-    executors.reserve(work.size());
-    for (std::uint32_t w = 0; w < work.size(); ++w) {
-        executors.emplace_back(*work[w].program);
-        executors.back().reset();
-        const auto &instrs = work[w].program->instructions;
-        for (std::uint32_t i = 0; i < instrs.size(); ++i)
-            order.push_back({w, i});
-    }
-    const std::size_t total = order.size();
-
-    // Dependence bookkeeping (deps are intra-program).
-    std::vector<std::size_t> base(work.size(), 0);
-    for (std::size_t w = 1; w < work.size(); ++w)
-        base[w] =
-            base[w - 1] + work[w - 1].program->instructions.size();
-
-    auto instruction = [&](std::size_t g) -> const comp::Instruction & {
-        const InstrRef &ref = order[g];
-        return work[ref.work].program->instructions[ref.index];
-    };
-
-    std::vector<std::uint32_t> pending(total, 0);
-    std::vector<std::vector<std::uint32_t>> dependents(total);
-    for (std::size_t g = 0; g < total; ++g) {
-        const comp::Instruction &inst = instruction(g);
-        pending[g] = static_cast<std::uint32_t>(inst.deps.size());
-        for (std::uint32_t dep : inst.deps)
-            dependents[base[order[g].work] + dep].push_back(
-                static_cast<std::uint32_t>(g));
-    }
-
-    std::vector<std::uint64_t> finishCycle(total, 0);
-    std::vector<bool> issued(total, false);
-    std::vector<bool> done(total, false);
-
-    // Unit occupancy, tracked per instance so traces can show lanes.
-    std::array<std::vector<unsigned>, kUnitKindCount> freeInstances;
-    for (std::size_t k = 0; k < kUnitKindCount; ++k)
-        for (unsigned u = 0; u < config.units[k]; ++u)
-            freeInstances[k].push_back(config.units[k] - 1 - u);
-    std::vector<unsigned> assignedInstance(total, 0);
-
-    // Event queue of completions: (finish cycle, global index).
-    using Event = std::pair<std::uint64_t, std::size_t>;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-
-    SimResult result;
-    result.deltas.resize(work.size());
-
-    std::uint64_t now = 0;
-    std::size_t issuedCount = 0;
-    std::size_t nextInOrder = 0;
-
-    auto tryIssueAt = [&](std::size_t g) -> bool {
-        if (issued[g] || pending[g] != 0)
-            return false;
-        const comp::Instruction &inst = instruction(g);
-        const UnitKind kind = unitFor(inst.op);
-        auto &pool = freeInstances[static_cast<std::size_t>(kind)];
-        if (pool.empty())
-            return false;
-
-        assignedInstance[g] = pool.back();
-        pool.pop_back();
-        issued[g] = true;
-        ++issuedCount;
-
-        // Functional execution happens at issue: operands are final
-        // because all producers completed.
-        executors[order[g].work].step(order[g].index,
-                                      *work[order[g].work].values);
-
-        const std::uint64_t latency = CostModel::latency(inst);
-        finishCycle[g] = now + latency;
-        events.emplace(finishCycle[g], g);
-
-        if (config.recordTrace) {
-            TraceEvent event;
-            event.name = std::string(comp::isaOpName(inst.op)) + " " +
-                         std::to_string(inst.rows) + "x" +
-                         std::to_string(inst.cols);
-            event.unit = kind;
-            event.instance = assignedInstance[g];
-            event.startCycle = now;
-            event.endCycle = finishCycle[g];
-            event.algorithm = inst.algorithm;
-            event.phase = inst.phase;
-            result.trace.push_back(std::move(event));
-        }
-
-        result.unitBusyCycles[static_cast<std::size_t>(kind)] += latency;
-        result.phaseBusyCycles[std::min<std::size_t>(inst.phase, 2)] +=
-            latency;
-        result.dynamicEnergyJ +=
-            CostModel::dynamicEnergyNj(inst) * 1e-9;
-
-        // Memory energy. The OoO scoreboard captures every operand in
-        // the on-chip buffer. The in-order controller forwards only
-        // within a short program window (local register file); any
-        // operand produced farther back is re-read from DRAM, and the
-        // result of an instruction with such a distant consumer is
-        // written back - the "data stored on-chip and reused" effect
-        // of Sec. 7.3. Host DMA is off-chip in either mode.
-        const double dram = CostModel::dramEnergyPerWordNj * 1e-9;
-        const double buffer = CostModel::bufferEnergyPerWordNj * 1e-9;
-        result.memoryEnergyJ +=
-            instructionWords(inst) *
-            (kind == UnitKind::Dma ? dram : buffer);
-        for (std::uint32_t dep : inst.deps) {
-            const std::size_t producer = base[order[g].work] + dep;
-            const bool spilled =
-                !config.outOfOrder &&
-                g - producer > CostModel::inOrderForwardWindow;
-            result.memoryEnergyJ +=
-                instructionWords(instruction(producer)) *
-                (spilled ? 2.0 * dram : buffer);
-        }
-
-        return true;
-    };
-
-    // Ready list for OoO scanning; scanned oldest-first so dispatch
-    // behaves like a real age-ordered scoreboard.
-    std::vector<std::size_t> ready;
-    for (std::size_t g = 0; g < total; ++g)
-        if (pending[g] == 0)
-            ready.push_back(g);
-
-    while (issuedCount < total || !events.empty()) {
-        // Issue as much as possible at the current cycle.
-        bool progressed = true;
-        while (progressed) {
-            progressed = false;
-            if (config.outOfOrder) {
-                std::sort(ready.begin(), ready.end());
-                std::vector<std::size_t> still;
-                still.reserve(ready.size());
-                for (std::size_t g : ready) {
-                    if (issued[g])
-                        continue;
-                    if (tryIssueAt(g))
-                        progressed = true;
-                    else
-                        still.push_back(g);
-                }
-                ready.swap(still);
-            } else {
-                // Blocking sequential controller: the next instruction
-                // issues only after the previous one completes (no
-                // dispatch window at all - the paper's ORIANNA-IO).
-                while (nextInOrder < total && issued[nextInOrder])
-                    ++nextInOrder;
-                if (nextInOrder < total &&
-                    (nextInOrder == 0 || done[nextInOrder - 1]) &&
-                    tryIssueAt(nextInOrder)) {
-                    progressed = true;
-                    ++nextInOrder;
-                }
-            }
-        }
-
-        if (events.empty()) {
-            if (issuedCount < total)
-                throw std::logic_error(
-                    "simulate: deadlock (circular dependences?)");
-            break;
-        }
-
-        // Advance to the next completion.
-        const auto [when, g] = events.top();
-        events.pop();
-        now = std::max(now, when);
-        done[g] = true;
-        const comp::Instruction &inst = instruction(g);
-        freeInstances[static_cast<std::size_t>(unitFor(inst.op))]
-            .push_back(assignedInstance[g]);
-        for (std::uint32_t dep_user : dependents[g]) {
-            if (--pending[dep_user] == 0 && config.outOfOrder)
-                ready.push_back(dep_user);
-        }
-        // Drain every completion at this same cycle.
-        while (!events.empty() && events.top().first == when) {
-            const auto [w2, g2] = events.top();
-            events.pop();
-            (void)w2;
-            done[g2] = true;
-            const comp::Instruction &i2 = instruction(g2);
-            freeInstances[static_cast<std::size_t>(unitFor(i2.op))]
-                .push_back(assignedInstance[g2]);
-            for (std::uint32_t dep_user : dependents[g2]) {
-                if (--pending[dep_user] == 0 && config.outOfOrder)
-                    ready.push_back(dep_user);
-            }
-        }
-    }
-
-    result.cycles = now;
-    for (std::size_t g = 0; g < total; ++g) {
-        const comp::Instruction &inst = instruction(g);
-        auto &finish = result.algorithmFinishCycle[inst.algorithm];
-        finish = std::max(finish, finishCycle[g]);
-    }
-    result.staticEnergyJ = CostModel::staticPowerW * result.seconds();
-
-    // Read back the deltas.
-    for (std::size_t w = 0; w < work.size(); ++w)
-        for (const comp::DeltaBinding &binding : work[w].program->deltas)
-            result.deltas[w].emplace(
-                binding.key,
-                std::get<mat::Vector>(executors[w].slot(binding.slot)));
-    return result;
+    runtime::ExecutionContext context(work);
+    return context.run(config);
 }
 
 IteratedResult
@@ -267,23 +27,9 @@ simulateIterated(const comp::Program &program, const fg::Values &initial,
                  std::size_t iterations, const AcceleratorConfig &config,
                  double step_scale)
 {
-    IteratedResult out{initial, {}};
-    for (std::size_t iter = 0; iter < iterations; ++iter) {
-        SimResult step = simulate({{&program, &out.values}}, config);
-        if (step_scale != 1.0)
-            for (auto &[key, d] : step.deltas[0])
-                d = d * step_scale;
-        out.values.retractAll(step.deltas[0]);
-        out.total.cycles += step.cycles;
-        out.total.dynamicEnergyJ += step.dynamicEnergyJ;
-        out.total.memoryEnergyJ += step.memoryEnergyJ;
-        out.total.staticEnergyJ += step.staticEnergyJ;
-        for (std::size_t k = 0; k < kUnitKindCount; ++k)
-            out.total.unitBusyCycles[k] += step.unitBusyCycles[k];
-        for (std::size_t p = 0; p < 3; ++p)
-            out.total.phaseBusyCycles[p] += step.phaseBusyCycles[p];
-    }
-    return out;
+    runtime::Session session(program, initial, config, step_scale);
+    session.iterate(iterations);
+    return {session.values(), session.totals()};
 }
 
 } // namespace orianna::hw

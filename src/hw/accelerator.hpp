@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <map>
 #include <string>
@@ -85,6 +86,28 @@ struct SimResult
 
     /** Schedule trace (only when config.recordTrace is set). */
     std::vector<TraceEvent> trace;
+
+    /**
+     * Fold another frame's cycles, energies and busy-cycle counters
+     * into this result (per-algorithm finish cycles are maxed).
+     * Deltas and traces are per-frame data and are not merged.
+     */
+    void
+    accumulate(const SimResult &other)
+    {
+        cycles += other.cycles;
+        dynamicEnergyJ += other.dynamicEnergyJ;
+        memoryEnergyJ += other.memoryEnergyJ;
+        staticEnergyJ += other.staticEnergyJ;
+        for (std::size_t k = 0; k < kUnitKindCount; ++k)
+            unitBusyCycles[k] += other.unitBusyCycles[k];
+        for (std::size_t p = 0; p < phaseBusyCycles.size(); ++p)
+            phaseBusyCycles[p] += other.phaseBusyCycles[p];
+        for (const auto &[tag, cycle] : other.algorithmFinishCycle) {
+            auto &finish = algorithmFinishCycle[tag];
+            finish = std::max(finish, cycle);
+        }
+    }
 };
 
 /**
@@ -99,14 +122,21 @@ struct SimResult
  *
  * The numerics run through comp::Executor at issue time, so the
  * simulation also produces the actual Gauss-Newton updates.
+ *
+ * This is a convenience wrapper kept for API compatibility: it
+ * builds a fresh runtime::ExecutionContext and runs one frame.
+ * Frame-loop callers should build the context once and reuse it
+ * (src/runtime), which skips the per-call dependence-graph and
+ * executor setup this wrapper pays.
  */
 SimResult simulate(const std::vector<WorkItem> &work,
                    const AcceleratorConfig &config);
 
 /**
  * Convenience: run @p iterations Gauss-Newton steps of a single
- * program on the accelerator, retracting between steps. Returns the
- * final values plus the accumulated simulation statistics.
+ * program on the accelerator, retracting between steps, through one
+ * reused runtime::Session. Returns the final values plus the
+ * accumulated simulation statistics.
  */
 struct IteratedResult
 {

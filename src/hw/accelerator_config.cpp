@@ -1,0 +1,26 @@
+#include "hw/accelerator.hpp"
+
+namespace orianna::hw {
+
+AcceleratorConfig
+AcceleratorConfig::minimal(bool out_of_order)
+{
+    AcceleratorConfig config;
+    config.units.fill(1);
+    config.outOfOrder = out_of_order;
+    config.name = out_of_order ? "orianna-ooo" : "orianna-io";
+    return config;
+}
+
+Resources
+AcceleratorConfig::resources() const
+{
+    Resources total = CostModel::controllerResources();
+    for (std::size_t k = 0; k < kUnitKindCount; ++k)
+        total = total + CostModel::unitResources(
+                            static_cast<UnitKind>(k)) *
+                            units[k];
+    return total;
+}
+
+} // namespace orianna::hw

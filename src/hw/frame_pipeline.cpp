@@ -25,26 +25,51 @@ struct Frame
 
 } // namespace
 
-PipelineResult
-simulatePipeline(const std::vector<PeriodicStream> &streams,
-                 const AcceleratorConfig &config, double horizon_s)
+FramePipeline::FramePipeline(std::vector<PeriodicStream> streams,
+                             AcceleratorConfig config)
+    : streams_(std::move(streams)), config_(std::move(config))
 {
-    if (streams.empty() || horizon_s <= 0.0)
-        throw std::invalid_argument("simulatePipeline: empty workload");
-    for (unsigned count : config.units)
+    if (streams_.empty())
+        throw std::invalid_argument("FramePipeline: empty workload");
+    for (unsigned count : config_.units)
         if (count == 0)
             throw std::invalid_argument(
-                "simulatePipeline: zero-count unit kind");
+                "FramePipeline: zero-count unit kind");
+    for (const PeriodicStream &stream : streams_)
+        if (stream.rateHz <= 0.0)
+            throw std::invalid_argument(
+                "FramePipeline: rate must be positive");
+
+    // Long-lived per-stream state: one warm functional executor and
+    // the dependence adjacency shared by all of a stream's frames.
+    executors_.reserve(streams_.size());
+    for (const PeriodicStream &stream : streams_)
+        executors_.emplace_back(*stream.program);
+
+    dependents_.resize(streams_.size());
+    for (std::size_t s = 0; s < streams_.size(); ++s) {
+        const auto &instrs = streams_[s].program->instructions;
+        dependents_[s].resize(instrs.size());
+        for (std::size_t j = 0; j < instrs.size(); ++j)
+            for (std::uint32_t dep : instrs[j].deps)
+                dependents_[s][dep].push_back(
+                    static_cast<std::uint32_t>(j));
+    }
+}
+
+PipelineResult
+FramePipeline::run(double horizon_s)
+{
+    if (horizon_s <= 0.0)
+        throw std::invalid_argument(
+            "FramePipeline: horizon must be positive");
 
     const double f = CostModel::frequencyHz;
 
     // Release all frames inside the horizon.
     std::vector<Frame> frames;
-    for (std::size_t s = 0; s < streams.size(); ++s) {
-        const PeriodicStream &stream = streams[s];
-        if (stream.rateHz <= 0.0)
-            throw std::invalid_argument(
-                "simulatePipeline: rate must be positive");
+    for (std::size_t s = 0; s < streams_.size(); ++s) {
+        const PeriodicStream &stream = streams_[s];
         const double period = 1.0 / stream.rateHz;
         for (std::size_t k = 0;; ++k) {
             const double t =
@@ -91,52 +116,33 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
     };
     auto instruction = [&](std::size_t g) -> const comp::Instruction & {
         const Frame &frame = frames[frameOf(g)];
-        return streams[frame.stream]
+        return streams_[frame.stream]
             .program->instructions[g - frame.firstInstr];
     };
 
-    // Per-stream functional executors; a stream's frames are
-    // serialized (each consumes the previous frame's state), so one
-    // executor per stream suffices.
-    std::vector<comp::Executor> executors;
-    executors.reserve(streams.size());
-    for (const PeriodicStream &stream : streams)
-        executors.emplace_back(*stream.program);
-
-    // Per-stream dependents adjacency (shared by all its frames).
-    std::vector<std::vector<std::vector<std::uint32_t>>> dependents(
-        streams.size());
-    for (std::size_t s = 0; s < streams.size(); ++s) {
-        const auto &instrs = streams[s].program->instructions;
-        dependents[s].resize(instrs.size());
+    std::vector<std::uint32_t> pending(total, 0);
+    std::vector<bool> issued(total, false);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const Frame &frame = frames[i];
+        const auto &instrs =
+            streams_[frame.stream].program->instructions;
         for (std::size_t j = 0; j < instrs.size(); ++j)
-            for (std::uint32_t dep : instrs[j].deps)
-                dependents[s][dep].push_back(
-                    static_cast<std::uint32_t>(j));
+            pending[frame.firstInstr + j] =
+                static_cast<std::uint32_t>(instrs[j].deps.size());
     }
 
     // Gate: a frame may start only after the previous frame of the
     // same stream completed.
     std::vector<std::size_t> prevFrame(frames.size(), SIZE_MAX);
     {
-        std::vector<std::size_t> last(streams.size(), SIZE_MAX);
+        std::vector<std::size_t> last(streams_.size(), SIZE_MAX);
         for (std::size_t i = 0; i < frames.size(); ++i) {
             prevFrame[i] = last[frames[i].stream];
             last[frames[i].stream] = i;
         }
     }
 
-    std::vector<std::uint32_t> pending(total, 0);
-    std::vector<bool> issued(total, false);
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-        const Frame &frame = frames[i];
-        const auto &instrs = streams[frame.stream].program->instructions;
-        for (std::size_t j = 0; j < instrs.size(); ++j)
-            pending[frame.firstInstr + j] =
-                static_cast<std::uint32_t>(instrs[j].deps.size());
-    }
-
-    std::array<unsigned, kUnitKindCount> freeUnits = config.units;
+    std::array<unsigned, kUnitKindCount> freeUnits = config_.units;
     using Event = std::pair<std::uint64_t, std::size_t>;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> done;
 
@@ -152,7 +158,7 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
         if (prevFrame[fi] != SIZE_MAX &&
             frames[prevFrame[fi]].remaining > 0)
             return false;
-        if (!config.outOfOrder) {
+        if (!config_.outOfOrder) {
             // Blocking in-order controller: drain frames strictly in
             // release order.
             for (std::size_t e = frameCursor; e < fi; ++e)
@@ -172,7 +178,7 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
         const UnitKind kind = unitFor(inst.op);
         if (freeUnits[static_cast<std::size_t>(kind)] == 0)
             return false;
-        if (!config.outOfOrder) {
+        if (!config_.outOfOrder) {
             // Within a frame: blocking sequential issue.
             const std::size_t local = g - frames[fi].firstInstr;
             if (local > 0 && frames[fi].remaining !=
@@ -186,10 +192,11 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
         if (!frame.started) {
             frame.started = true;
             frame.firstIssue = now;
-            executors[frame.stream].reset();
         }
-        executors[frame.stream].step(g - frame.firstInstr,
-                                     *streams[frame.stream].values);
+        // The warm per-stream executor carries state frame to frame;
+        // programs write every slot before reading it, so no reset.
+        executors_[frame.stream].step(g - frame.firstInstr,
+                                      *streams_[frame.stream].values);
         const std::uint64_t latency = CostModel::latency(inst);
         busy[static_cast<std::size_t>(kind)] += latency;
         done.emplace(now + latency, g);
@@ -214,7 +221,7 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
                     if (!issued[g] && tryIssue(g))
                         progressed = true;
                 }
-                if (!config.outOfOrder)
+                if (!config_.outOfOrder)
                     break; // One frame at a time.
             }
         }
@@ -241,7 +248,7 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
         if (--frame.remaining == 0)
             frame.finish = when;
         const std::size_t local = g - frame.firstInstr;
-        for (std::uint32_t user : dependents[frame.stream][local])
+        for (std::uint32_t user : dependents_[frame.stream][local])
             --pending[frame.firstInstr + user];
         while (frameCursor < frames.size() &&
                frames[frameCursor].remaining == 0)
@@ -250,7 +257,7 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
 
     PipelineResult result;
     result.cycles = now;
-    result.streams.resize(streams.size());
+    result.streams.resize(streams_.size());
     for (const Frame &frame : frames) {
         StreamStats &stats = result.streams[frame.stream];
         const double latency =
@@ -262,7 +269,7 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
         stats.meanLatencyS += latency;
         stats.meanWaitS += wait;
         stats.maxLatencyS = std::max(stats.maxLatencyS, latency);
-        if (latency > 1.0 / streams[frame.stream].rateHz)
+        if (latency > 1.0 / streams_[frame.stream].rateHz)
             ++stats.deadlineMisses;
     }
     std::uint64_t hottest = 0;
@@ -279,6 +286,15 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
         }
     }
     return result;
+}
+
+PipelineResult
+simulatePipeline(const std::vector<PeriodicStream> &streams,
+                 const AcceleratorConfig &config, double horizon_s)
+{
+    if (horizon_s <= 0.0)
+        throw std::invalid_argument("simulatePipeline: empty workload");
+    return FramePipeline(streams, config).run(horizon_s);
 }
 
 } // namespace orianna::hw

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/execution_context.hpp"
+
 namespace orianna::hwgen {
 
 double
@@ -38,8 +40,13 @@ generate(const std::vector<WorkItem> &work, const Resources &budget,
         throw std::invalid_argument(
             "generate: budget below the minimal accelerator");
 
+    // One execution context serves every candidate evaluation: the
+    // dependence graph, cost-model caches, and functional executors
+    // are built once, and each run() only rebuilds per-frame scratch.
+    runtime::ExecutionContext context(work);
+
     GenerationResult out;
-    SimResult current = hw::simulate(work, config);
+    SimResult current = context.run(config);
     out.trajectory.push_back({config, current, config.resources()});
 
     // Greedy growth along the (re-simulated) critical path: try one
@@ -56,7 +63,7 @@ generate(const std::vector<WorkItem> &work, const Resources &budget,
             ++candidate.units[k];
             if (!candidate.resources().fitsIn(budget))
                 continue;
-            SimResult sim = hw::simulate(work, candidate);
+            SimResult sim = context.run(candidate);
             const double value = objectiveValue(sim, objective);
             if (value < best_value - 1e-12) {
                 best_value = value;

@@ -1,0 +1,192 @@
+#include "runtime/engine.hpp"
+
+#include <cstring>
+
+#include "compiler/optimize.hpp"
+#include "fg/factor.hpp"
+#include "fg/ordering.hpp"
+
+namespace orianna::runtime {
+
+namespace {
+
+/** FNV-1a accumulator over heterogeneous fields. */
+struct Fnv
+{
+    std::uint64_t state = 1469598103934665603ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int byte = 0; byte < 8; ++byte) {
+            state ^= (v >> (8 * byte)) & 0xffu;
+            state *= 1099511628211ull;
+        }
+    }
+
+    void
+    mix(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(static_cast<std::uint64_t>(s.size()));
+        for (char c : s) {
+            state ^= static_cast<unsigned char>(c);
+            state *= 1099511628211ull;
+        }
+    }
+
+    void
+    mix(const mat::Vector &v)
+    {
+        mix(static_cast<std::uint64_t>(v.size()));
+        for (std::size_t i = 0; i < v.size(); ++i)
+            mix(v[i]);
+    }
+
+    void
+    mix(const mat::Matrix &m)
+    {
+        mix(static_cast<std::uint64_t>(m.rows()));
+        mix(static_cast<std::uint64_t>(m.cols()));
+        for (std::size_t i = 0; i < m.rows(); ++i)
+            for (std::size_t j = 0; j < m.cols(); ++j)
+                mix(m(i, j));
+    }
+};
+
+} // namespace
+
+std::uint64_t
+graphFingerprint(const fg::FactorGraph &graph, const fg::Values &shapes,
+                 std::uint8_t algorithm_tag)
+{
+    Fnv h;
+    h.mix(static_cast<std::uint64_t>(algorithm_tag));
+
+    // Variable shapes: tangent dimension and kind per referenced key.
+    const std::vector<fg::Key> keys = graph.allKeys();
+    h.mix(static_cast<std::uint64_t>(keys.size()));
+    for (fg::Key key : keys) {
+        h.mix(static_cast<std::uint64_t>(key));
+        h.mix(static_cast<std::uint64_t>(shapes.isPose(key) ? 1 : 0));
+        h.mix(static_cast<std::uint64_t>(shapes.dof(key)));
+    }
+
+    // Factors: type, connectivity, noise, robust kernel, and the full
+    // MO-DFG including constant payloads (they become LOADC contents).
+    h.mix(static_cast<std::uint64_t>(graph.size()));
+    for (const auto &factor : graph) {
+        h.mix(factor->name());
+        h.mix(static_cast<std::uint64_t>(factor->keys().size()));
+        for (fg::Key key : factor->keys())
+            h.mix(static_cast<std::uint64_t>(key));
+        h.mix(factor->sigmas());
+        h.mix(factor->robustK());
+        const fg::Dfg &dfg = factor->dfg();
+        h.mix(static_cast<std::uint64_t>(dfg.nodes().size()));
+        for (const fg::DfgNode &node : dfg.nodes()) {
+            h.mix(static_cast<std::uint64_t>(node.op));
+            h.mix(static_cast<std::uint64_t>(node.inputs.size()));
+            for (fg::NodeId input : node.inputs)
+                h.mix(static_cast<std::uint64_t>(input));
+            h.mix(static_cast<std::uint64_t>(node.key));
+            h.mix(node.constMat);
+            h.mix(node.constVec);
+            h.mix(node.hingeEps);
+            h.mix(node.camera.fx);
+            h.mix(node.camera.fy);
+            h.mix(node.camera.cx);
+            h.mix(node.camera.cy);
+            // SDF maps hash by identity: sharing one map object means
+            // sharing its compiled lookups.
+            h.mix(reinterpret_cast<std::uintptr_t>(node.sdf.get()));
+        }
+        h.mix(static_cast<std::uint64_t>(dfg.outputs().size()));
+        for (fg::NodeId output : dfg.outputs())
+            h.mix(static_cast<std::uint64_t>(output));
+    }
+    return h.state;
+}
+
+std::shared_ptr<const comp::Program>
+Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
+                std::uint8_t algorithm_tag, const std::string &name)
+{
+    const std::uint64_t key =
+        graphFingerprint(graph, shapes, algorithm_tag);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++stats_.cacheHits;
+        return it->second;
+    }
+    comp::CompileOptions options;
+    options.algorithmTag = algorithm_tag;
+    options.name = name;
+    options.ordering = fg::ordering::minDegree(graph);
+    auto compiled = std::make_shared<comp::Program>(
+        comp::optimizeProgram(
+            comp::compileGraph(graph, shapes, options)));
+    ++stats_.compiles;
+    cache_.emplace(key, compiled);
+    return compiled;
+}
+
+Session
+Engine::session(const fg::FactorGraph &graph, fg::Values initial,
+                double step_scale, std::uint8_t algorithm_tag)
+{
+    auto compiled = program(graph, initial, algorithm_tag);
+    return Session(std::move(compiled), std::move(initial), config_,
+                   step_scale);
+}
+
+Session::Session(std::shared_ptr<const comp::Program> program,
+                 fg::Values initial, hw::AcceleratorConfig config,
+                 double step_scale)
+    : program_(std::move(program)), values_(std::move(initial)),
+      config_(std::move(config)), stepScale_(step_scale),
+      context_(std::vector<const comp::Program *>{program_.get()})
+{
+}
+
+Session::Session(const comp::Program &program, fg::Values initial,
+                 hw::AcceleratorConfig config, double step_scale)
+    : Session(std::shared_ptr<const comp::Program>(
+                  std::shared_ptr<const void>(), &program),
+              std::move(initial), std::move(config), step_scale)
+{
+}
+
+hw::SimResult
+Session::step()
+{
+    // Rebind each step so the session stays movable: values_ lives
+    // inside this object and its address follows the session.
+    context_.bindValues(0, &values_);
+    hw::SimResult frame = context_.run(config_);
+    if (stepScale_ != 1.0)
+        for (auto &[key, delta] : frame.deltas[0])
+            delta = delta * stepScale_;
+    values_.retractAll(frame.deltas[0]);
+    totals_.accumulate(frame);
+    ++frames_;
+    return frame;
+}
+
+const fg::Values &
+Session::iterate(std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        step();
+    return values_;
+}
+
+} // namespace orianna::runtime

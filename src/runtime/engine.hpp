@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "runtime/execution_context.hpp"
+
+namespace orianna::runtime {
+
+/**
+ * Fingerprint of a factor graph plus the shapes of its variables:
+ * everything that determines the compiled instruction stream (factor
+ * types, connectivity, dimensions, noise models, measurement
+ * constants baked into LOADC payloads). Two graphs with equal
+ * fingerprints compile to identical programs, so the Engine shares
+ * one compiled Program between them.
+ *
+ * Note the fingerprint must include measurement constants for
+ * correctness today: the compiler bakes them into the program. The
+ * seam for sharing programs across clients with *different*
+ * measurements (streaming constants through LOADV like variables) is
+ * a planned compiler extension; the Engine API does not change when
+ * that lands — cache hit rates just go up.
+ */
+std::uint64_t graphFingerprint(const fg::FactorGraph &graph,
+                               const fg::Values &shapes,
+                               std::uint8_t algorithm_tag = 0);
+
+class Session;
+
+/**
+ * The long-lived serving half of the runtime: owns an accelerator
+ * configuration and a cache of compiled Programs keyed by graph
+ * fingerprint. Sessions opened against the engine share cached
+ * programs; each session holds only its private mutable Values and a
+ * reusable ExecutionContext, which is the shape needed to serve many
+ * concurrent robot streams from one compiled artifact set.
+ */
+class Engine
+{
+  public:
+    explicit Engine(hw::AcceleratorConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    const hw::AcceleratorConfig &config() const { return config_; }
+
+    /**
+     * Compile @p graph (minimum-degree ordering plus cleanup passes,
+     * like core::Application), or return the cached program when a
+     * graph with the same fingerprint was compiled before.
+     */
+    std::shared_ptr<const comp::Program>
+    program(const fg::FactorGraph &graph, const fg::Values &shapes,
+            std::uint8_t algorithm_tag = 0,
+            const std::string &name = "session");
+
+    /**
+     * Open a session: compile (or fetch) the program for @p graph and
+     * pair it with the client's private @p initial values.
+     */
+    Session session(const fg::FactorGraph &graph, fg::Values initial,
+                    double step_scale = 1.0,
+                    std::uint8_t algorithm_tag = 0);
+
+    struct Stats
+    {
+        std::size_t compiles = 0;  //!< Cache misses (programs built).
+        std::size_t cacheHits = 0; //!< Sessions served from cache.
+    };
+
+    const Stats &stats() const { return stats_; }
+    std::size_t cachedPrograms() const { return cache_.size(); }
+
+  private:
+    hw::AcceleratorConfig config_;
+    std::map<std::uint64_t, std::shared_ptr<const comp::Program>>
+        cache_;
+    Stats stats_;
+};
+
+/**
+ * One client's optimization stream: a shared compiled program plus
+ * private mutable Values, executed frame after frame through one
+ * reusable ExecutionContext (no per-frame rebuild of schedule state).
+ */
+class Session
+{
+  public:
+    /** Share ownership of a cached/compiled program. */
+    Session(std::shared_ptr<const comp::Program> program,
+            fg::Values initial, hw::AcceleratorConfig config,
+            double step_scale = 1.0);
+
+    /** Non-owning: @p program must outlive the session. */
+    Session(const comp::Program &program, fg::Values initial,
+            hw::AcceleratorConfig config, double step_scale = 1.0);
+
+    const comp::Program &program() const { return *program_; }
+
+    const fg::Values &values() const { return values_; }
+    fg::Values &values() { return values_; }
+
+    /**
+     * One Gauss-Newton step: run a frame on the accelerator, scale
+     * the deltas by the session's step scale and retract in place.
+     * Returns that frame's simulation outcome.
+     */
+    hw::SimResult step();
+
+    /** Run @p n steps; returns the values after the last one. */
+    const fg::Values &iterate(std::size_t n);
+
+    /** Stats accumulated over every frame of this session. */
+    const hw::SimResult &totals() const { return totals_; }
+
+    std::size_t frames() const { return frames_; }
+
+  private:
+    std::shared_ptr<const comp::Program> program_;
+    fg::Values values_;
+    hw::AcceleratorConfig config_;
+    double stepScale_;
+    ExecutionContext context_;
+    hw::SimResult totals_;
+    std::size_t frames_ = 0;
+};
+
+} // namespace orianna::runtime

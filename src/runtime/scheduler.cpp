@@ -1,0 +1,68 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+
+namespace orianna::runtime {
+
+void
+OutOfOrderScheduler::reset(std::size_t total)
+{
+    ready_.clear();
+    if (ready_.capacity() < total)
+        ready_.reserve(total);
+}
+
+void
+OutOfOrderScheduler::markReady(std::size_t g)
+{
+    // Keep the ready list age-sorted so dispatch scans oldest-first,
+    // like a real age-ordered scoreboard. Frame-start ready marks
+    // arrive ascending (O(1) appends); completions insert mid-list.
+    if (ready_.empty() || ready_.back() < g) {
+        ready_.push_back(g);
+        return;
+    }
+    ready_.insert(std::lower_bound(ready_.begin(), ready_.end(), g), g);
+}
+
+std::size_t
+OutOfOrderScheduler::pick(const IssueContext &ctx)
+{
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (ctx.unitFree(*it)) {
+            const std::size_t g = *it;
+            ready_.erase(it);
+            return g;
+        }
+    }
+    return kNoInstruction;
+}
+
+void
+InOrderScheduler::reset(std::size_t total)
+{
+    (void)total;
+    next_ = 0;
+}
+
+std::size_t
+InOrderScheduler::pick(const IssueContext &ctx)
+{
+    if (next_ >= ctx.total())
+        return kNoInstruction;
+    if (next_ > 0 && !ctx.completed(next_ - 1))
+        return kNoInstruction;
+    if (!ctx.dataReady(next_) || !ctx.unitFree(next_))
+        return kNoInstruction;
+    return next_++;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(bool out_of_order)
+{
+    if (out_of_order)
+        return std::make_unique<OutOfOrderScheduler>();
+    return std::make_unique<InOrderScheduler>();
+}
+
+} // namespace orianna::runtime

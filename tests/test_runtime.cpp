@@ -1,0 +1,467 @@
+// The runtime layer: scheduling policies in isolation, schedule /
+// reference numerical equivalence, execution-context reuse, and the
+// Engine/Session serving API.
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark_apps.hpp"
+#include "fg/factors.hpp"
+#include "hw/frame_pipeline.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/execution_context.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace orianna;
+
+namespace {
+
+/** Scriptable engine state for driving schedulers standalone. */
+struct FakeIssueContext final : runtime::IssueContext
+{
+    std::vector<bool> ready;
+    std::vector<bool> freeUnit;
+    std::vector<bool> done;
+
+    explicit FakeIssueContext(std::size_t n)
+        : ready(n, true), freeUnit(n, true), done(n, false)
+    {
+    }
+
+    std::size_t total() const override { return ready.size(); }
+    bool dataReady(std::size_t g) const override { return ready[g]; }
+    bool unitFree(std::size_t g) const override { return freeUnit[g]; }
+    bool completed(std::size_t g) const override { return done[g]; }
+};
+
+void
+expectSameDeltas(const std::map<fg::Key, mat::Vector> &got,
+                 const std::map<fg::Key, mat::Vector> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto &[key, delta] : want) {
+        const auto it = got.find(key);
+        ASSERT_NE(it, got.end()) << "missing key " << key;
+        ASSERT_EQ(it->second.size(), delta.size());
+        for (std::size_t i = 0; i < delta.size(); ++i)
+            EXPECT_EQ(it->second[i], delta[i])
+                << "key " << key << " component " << i;
+    }
+}
+
+/** The runtime_server example's odometry chain. */
+fg::FactorGraph
+chainGraph(const std::vector<lie::Pose> &truth)
+{
+    fg::FactorGraph graph;
+    graph.emplace<fg::PriorFactor>(1, truth[0],
+                                   fg::isotropicSigmas(6, 0.01));
+    for (std::size_t i = 1; i < truth.size(); ++i)
+        graph.emplace<fg::IMUFactor>(
+            i, i + 1, truth[i].ominus(truth[i - 1]),
+            fg::isotropicSigmas(6, 0.05));
+    return graph;
+}
+
+std::vector<lie::Pose>
+chainTruth()
+{
+    std::vector<lie::Pose> truth;
+    for (int i = 0; i < 5; ++i)
+        truth.emplace_back(
+            mat::Vector{0.1 * i, 0.02 * i, 0.05 * i},
+            mat::Vector{0.4 * i, 0.04 * i, 0.0});
+    return truth;
+}
+
+fg::Values
+chainInitial(const std::vector<lie::Pose> &truth, double perturb)
+{
+    fg::Values initial;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        initial.insert(i + 1,
+                       truth[i].retract(mat::Vector{
+                           perturb, -perturb, perturb, -perturb,
+                           perturb, -perturb}));
+    return initial;
+}
+
+} // namespace
+
+// --- Scheduler policies in isolation --------------------------------
+
+TEST(Scheduler, OutOfOrderIssuesOldestReadyFirst)
+{
+    runtime::OutOfOrderScheduler scheduler;
+    FakeIssueContext ctx(4);
+    scheduler.reset(4);
+
+    // Ready marks arrive out of age order; issue order must not.
+    scheduler.markReady(2);
+    scheduler.markReady(0);
+    scheduler.markReady(3);
+    EXPECT_EQ(scheduler.pick(ctx), 0u);
+    EXPECT_EQ(scheduler.pick(ctx), 2u);
+    EXPECT_EQ(scheduler.pick(ctx), 3u);
+    EXPECT_EQ(scheduler.pick(ctx), runtime::kNoInstruction);
+}
+
+TEST(Scheduler, OutOfOrderSkipsInstructionsWithoutAFreeUnit)
+{
+    runtime::OutOfOrderScheduler scheduler;
+    FakeIssueContext ctx(3);
+    scheduler.reset(3);
+    scheduler.markReady(0);
+    scheduler.markReady(1);
+    scheduler.markReady(2);
+
+    // The oldest ready instruction stalls on its unit; younger ones
+    // with free units overtake it (that is the point of OoO).
+    ctx.freeUnit[0] = false;
+    EXPECT_EQ(scheduler.pick(ctx), 1u);
+    EXPECT_EQ(scheduler.pick(ctx), 2u);
+    EXPECT_EQ(scheduler.pick(ctx), runtime::kNoInstruction);
+    ctx.freeUnit[0] = true;
+    EXPECT_EQ(scheduler.pick(ctx), 0u);
+}
+
+TEST(Scheduler, InOrderBlocksUntilThePreviousInstructionCompletes)
+{
+    runtime::InOrderScheduler scheduler;
+    FakeIssueContext ctx(3);
+    scheduler.reset(3);
+
+    EXPECT_EQ(scheduler.pick(ctx), 0u);
+    // No dispatch window: 1 must wait for 0 to *complete*, not just
+    // issue.
+    EXPECT_EQ(scheduler.pick(ctx), runtime::kNoInstruction);
+    ctx.done[0] = true;
+    EXPECT_EQ(scheduler.pick(ctx), 1u);
+
+    ctx.done[1] = true;
+    ctx.ready[2] = false;
+    EXPECT_EQ(scheduler.pick(ctx), runtime::kNoInstruction);
+    ctx.ready[2] = true;
+    ctx.freeUnit[2] = false;
+    EXPECT_EQ(scheduler.pick(ctx), runtime::kNoInstruction);
+    ctx.freeUnit[2] = true;
+    EXPECT_EQ(scheduler.pick(ctx), 2u);
+    EXPECT_EQ(scheduler.pick(ctx), runtime::kNoInstruction);
+}
+
+TEST(Scheduler, ResetRestartsAFrame)
+{
+    runtime::InOrderScheduler in_order;
+    runtime::OutOfOrderScheduler out_of_order;
+    FakeIssueContext ctx(2);
+
+    in_order.reset(2);
+    EXPECT_EQ(in_order.pick(ctx), 0u);
+    in_order.reset(2);
+    EXPECT_EQ(in_order.pick(ctx), 0u);
+
+    out_of_order.reset(2);
+    out_of_order.markReady(1);
+    out_of_order.reset(2);
+    EXPECT_EQ(out_of_order.pick(ctx), runtime::kNoInstruction);
+}
+
+// --- Schedule / reference equivalence -------------------------------
+
+// Both dispatch policies must produce bit-identical Gauss-Newton
+// deltas to the in-order reference interpreter: scheduling reorders
+// execution, never arithmetic (operands are final at issue).
+TEST(ExecutionContext, SchedulesMatchReferenceExecutorOnEveryApp)
+{
+    for (apps::AppKind kind : apps::allApps()) {
+        apps::BenchmarkApp bench = apps::buildApp(kind, /*seed=*/7);
+        bench.app.compile();
+        for (std::size_t i = 0; i < bench.app.size(); ++i) {
+            const core::Algorithm &algo = bench.app.algorithm(i);
+            comp::Executor reference(algo.program);
+            const auto want = reference.run(algo.values);
+
+            runtime::ExecutionContext context(
+                {{&algo.program, &algo.values}});
+            const auto ooo =
+                context.run(hw::AcceleratorConfig::minimal(true));
+            const auto io =
+                context.run(hw::AcceleratorConfig::minimal(false));
+            SCOPED_TRACE(std::string(apps::appName(kind)) + "/" +
+                         algo.name);
+            expectSameDeltas(ooo.deltas.at(0), want);
+            expectSameDeltas(io.deltas.at(0), want);
+        }
+    }
+}
+
+TEST(ExecutionContext, WrapperSimulateMatchesContextRun)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, /*seed=*/3);
+    bench.app.compile();
+    const auto work = bench.app.frameWork();
+    const auto config = hw::AcceleratorConfig::minimal(true);
+
+    runtime::ExecutionContext context(work);
+    const auto via_context = context.run(config);
+    const auto via_wrapper = hw::simulate(work, config);
+
+    EXPECT_EQ(via_context.cycles, via_wrapper.cycles);
+    EXPECT_EQ(via_context.dynamicEnergyJ, via_wrapper.dynamicEnergyJ);
+    EXPECT_EQ(via_context.memoryEnergyJ, via_wrapper.memoryEnergyJ);
+    EXPECT_EQ(via_context.staticEnergyJ, via_wrapper.staticEnergyJ);
+    EXPECT_EQ(via_context.unitBusyCycles, via_wrapper.unitBusyCycles);
+    EXPECT_EQ(via_context.algorithmFinishCycle,
+              via_wrapper.algorithmFinishCycle);
+    ASSERT_EQ(via_context.deltas.size(), via_wrapper.deltas.size());
+    for (std::size_t w = 0; w < via_context.deltas.size(); ++w)
+        expectSameDeltas(via_context.deltas[w], via_wrapper.deltas[w]);
+}
+
+// --- Context reuse ---------------------------------------------------
+
+// Two consecutive frames through one warm context (rebinding updated
+// values in between) must match two fresh simulate() calls exactly:
+// warm slot arenas and reused schedule state are invisible in the
+// results.
+TEST(ExecutionContext, ReusedContextMatchesFreshSimulatePerFrame)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, /*seed=*/11);
+    bench.app.compile();
+    const auto work = bench.app.frameWork();
+
+    for (const bool out_of_order : {true, false}) {
+        const auto config =
+            hw::AcceleratorConfig::minimal(out_of_order);
+        runtime::ExecutionContext context(work);
+
+        const auto frame1 = context.run(config);
+        const auto fresh1 = hw::simulate(work, config);
+        EXPECT_EQ(frame1.cycles, fresh1.cycles);
+        EXPECT_EQ(frame1.totalEnergyJ(), fresh1.totalEnergyJ());
+
+        // Retract each algorithm's values and rebind for frame 2.
+        std::vector<fg::Values> updated;
+        updated.reserve(work.size());
+        for (std::size_t w = 0; w < work.size(); ++w) {
+            updated.push_back(*work[w].values);
+            updated.back().retractAll(frame1.deltas[w]);
+        }
+        for (std::size_t w = 0; w < work.size(); ++w)
+            context.bindValues(w, &updated[w]);
+
+        const auto frame2 = context.run(config);
+        auto work2 = work;
+        for (std::size_t w = 0; w < work2.size(); ++w)
+            work2[w].values = &updated[w];
+        const auto fresh2 = hw::simulate(work2, config);
+
+        EXPECT_EQ(frame2.cycles, fresh2.cycles);
+        EXPECT_EQ(frame2.dynamicEnergyJ, fresh2.dynamicEnergyJ);
+        EXPECT_EQ(frame2.memoryEnergyJ, fresh2.memoryEnergyJ);
+        EXPECT_EQ(frame2.staticEnergyJ, fresh2.staticEnergyJ);
+        for (std::size_t w = 0; w < work2.size(); ++w)
+            expectSameDeltas(frame2.deltas[w], fresh2.deltas[w]);
+    }
+}
+
+TEST(ExecutionContext, RejectsZeroUnitConfigs)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, /*seed=*/1);
+    bench.app.compile();
+    runtime::ExecutionContext context(bench.app.frameWork());
+    auto config = hw::AcceleratorConfig::minimal(true);
+    config.units[0] = 0;
+    EXPECT_THROW(context.run(config), std::invalid_argument);
+}
+
+TEST(ExecutionContext, RunWithoutBoundValuesIsDiagnosed)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, /*seed=*/1);
+    bench.app.compile();
+    const core::Algorithm &algo = bench.app.algorithm(0);
+    runtime::ExecutionContext context(
+        std::vector<const comp::Program *>{&algo.program});
+    EXPECT_THROW(context.run(hw::AcceleratorConfig::minimal(true)),
+                 std::logic_error);
+    context.bindValues(0, &algo.values);
+    EXPECT_NO_THROW(context.run(hw::AcceleratorConfig::minimal(true)));
+}
+
+// A circular dependence can never become data-ready; the engine must
+// say so instead of spinning.
+TEST(ExecutionContext, DeadlockOnCircularDependencesIsDiagnosed)
+{
+    comp::Program program;
+    program.name = "circular";
+    program.valueSlots = 2;
+    comp::Instruction a;
+    a.op = comp::IsaOp::VADD;
+    a.dst = 0;
+    a.deps = {1};
+    a.rows = 3;
+    comp::Instruction b;
+    b.op = comp::IsaOp::VADD;
+    b.dst = 1;
+    b.deps = {0};
+    b.rows = 3;
+    program.instructions = {a, b};
+
+    fg::Values values;
+    runtime::ExecutionContext context({{&program, &values}});
+    EXPECT_THROW(context.run(hw::AcceleratorConfig::minimal(true)),
+                 std::logic_error);
+    EXPECT_THROW(context.run(hw::AcceleratorConfig::minimal(false)),
+                 std::logic_error);
+}
+
+// --- Engine / Session ------------------------------------------------
+
+TEST(Engine, SharesCompiledProgramsBetweenEqualGraphs)
+{
+    const auto truth = chainTruth();
+    const fg::FactorGraph graph = chainGraph(truth);
+
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    const auto first = engine.program(graph, chainInitial(truth, 0.01));
+    const auto second = engine.program(graph, chainInitial(truth, 0.05));
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(engine.stats().compiles, 1u);
+    EXPECT_EQ(engine.stats().cacheHits, 1u);
+    EXPECT_EQ(engine.cachedPrograms(), 1u);
+
+    // Different measurements bake different LOADC payloads: that is a
+    // different program, not a cache hit.
+    auto shifted = truth;
+    shifted.back() = shifted.back().retract(
+        mat::Vector{0.1, 0.0, 0.0, 0.0, 0.0, 0.0});
+    const auto third =
+        engine.program(chainGraph(shifted), chainInitial(truth, 0.01));
+    EXPECT_NE(first.get(), third.get());
+    EXPECT_EQ(engine.stats().compiles, 2u);
+    EXPECT_EQ(engine.cachedPrograms(), 2u);
+}
+
+TEST(Engine, SessionsIterateThroughTheSharedProgram)
+{
+    const auto truth = chainTruth();
+    const fg::FactorGraph graph = chainGraph(truth);
+
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    runtime::Session a = engine.session(graph, chainInitial(truth, 0.02));
+    runtime::Session b = engine.session(graph, chainInitial(truth, 0.04));
+    EXPECT_EQ(engine.stats().compiles, 1u);
+    EXPECT_EQ(engine.stats().cacheHits, 1u);
+    EXPECT_EQ(&a.program(), &b.program());
+
+    const double before_a = graph.totalError(a.values());
+    const double before_b = graph.totalError(b.values());
+    a.iterate(3);
+    b.iterate(3);
+    EXPECT_EQ(a.frames(), 3u);
+    EXPECT_GT(a.totals().cycles, 0u);
+    EXPECT_LT(graph.totalError(a.values()), before_a);
+    EXPECT_LT(graph.totalError(b.values()), before_b);
+}
+
+// Session::iterate is the accelerated Gauss-Newton loop; it must
+// track the reference interpreter (run + retract per step) exactly.
+TEST(Session, IterateMatchesReferenceInterpreterLoop)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::Manipulator, /*seed=*/5);
+    bench.app.compile();
+    const core::Algorithm &algo = bench.app.algorithm(0);
+    constexpr std::size_t kSteps = 3;
+
+    runtime::Session session(algo.program, algo.values,
+                             hw::AcceleratorConfig::minimal(true));
+    session.iterate(kSteps);
+
+    fg::Values reference = algo.values;
+    comp::Executor executor(algo.program);
+    for (std::size_t step = 0; step < kSteps; ++step)
+        reference.retractAll(executor.run(reference));
+
+    for (fg::Key key : reference.keys()) {
+        if (reference.isPose(key)) {
+            const lie::Pose &got = session.values().pose(key);
+            const lie::Pose &want = reference.pose(key);
+            const mat::Vector gap = got.localCoordinates(want);
+            for (std::size_t i = 0; i < gap.size(); ++i)
+                EXPECT_EQ(gap[i], 0.0) << "pose " << key;
+        } else {
+            const mat::Vector &got = session.values().vector(key);
+            const mat::Vector &want = reference.vector(key);
+            ASSERT_EQ(got.size(), want.size());
+            for (std::size_t i = 0; i < got.size(); ++i)
+                EXPECT_EQ(got[i], want[i]) << "vector " << key;
+        }
+    }
+    EXPECT_EQ(session.frames(), kSteps);
+}
+
+TEST(Session, StepScaleDampsTheUpdate)
+{
+    const auto truth = chainTruth();
+    const fg::FactorGraph graph = chainGraph(truth);
+    const fg::Values initial = chainInitial(truth, 0.05);
+
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    const auto program = engine.program(graph, initial);
+
+    runtime::Session full(program, initial,
+                          hw::AcceleratorConfig::minimal(true), 1.0);
+    runtime::Session damped(program, initial,
+                            hw::AcceleratorConfig::minimal(true), 0.5);
+    full.step();
+    damped.step();
+    // A half step moves less than the full Gauss-Newton step.
+    const mat::Vector gap_full =
+        initial.pose(1).localCoordinates(full.values().pose(1));
+    const mat::Vector gap_damped =
+        initial.pose(1).localCoordinates(damped.values().pose(1));
+    double norm_full = 0.0;
+    double norm_damped = 0.0;
+    for (std::size_t i = 0; i < gap_full.size(); ++i) {
+        norm_full += gap_full[i] * gap_full[i];
+        norm_damped += gap_damped[i] * gap_damped[i];
+    }
+    EXPECT_LT(norm_damped, norm_full);
+}
+
+// --- Frame pipeline reuse --------------------------------------------
+
+TEST(FramePipeline, RepeatedRunsAreIdentical)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, /*seed=*/9);
+    bench.app.compile();
+
+    std::vector<hw::PeriodicStream> streams;
+    for (std::size_t i = 0; i < bench.app.size(); ++i) {
+        const core::Algorithm &algo = bench.app.algorithm(i);
+        streams.push_back(
+            {&algo.program, &algo.values, algo.rateHz, 0.0});
+    }
+    const auto config = hw::AcceleratorConfig::minimal(true);
+
+    hw::FramePipeline pipeline(streams, config);
+    const auto first = pipeline.run(0.02);
+    const auto second = pipeline.run(0.02);
+    const auto one_shot = hw::simulatePipeline(streams, config, 0.02);
+
+    ASSERT_EQ(first.streams.size(), second.streams.size());
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.cycles, one_shot.cycles);
+    for (std::size_t s = 0; s < first.streams.size(); ++s) {
+        EXPECT_EQ(first.streams[s].frames, second.streams[s].frames);
+        EXPECT_EQ(first.streams[s].meanLatencyS,
+                  second.streams[s].meanLatencyS);
+        EXPECT_EQ(first.streams[s].maxLatencyS,
+                  one_shot.streams[s].maxLatencyS);
+    }
+}

@@ -2,15 +2,15 @@
 //
 // Load a pose graph in g2o format, compile it into the ORIANNA ISA
 // (anchoring the first vertex, minimum-degree ordering, cleanup
-// passes), report the instruction mix, optionally run one
-// Gauss-Newton step on the simulated accelerator, and save the binary
-// program.
+// passes), report the instruction mix, optionally run Gauss-Newton
+// steps on the simulated accelerator, and save the binary program.
 //
 // Usage:
 //   orianna_compile <input.g2o> [-o out.oprog] [--simulate]
-//                   [--trace out.json] [--dot out.dot]
+//                   [--iterate N] [--trace out.json] [--dot out.dot]
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -21,8 +21,8 @@
 #include "fg/factors.hpp"
 #include "fg/io_g2o.hpp"
 #include "fg/ordering.hpp"
-#include "hw/accelerator.hpp"
 #include "hw/trace.hpp"
+#include "runtime/engine.hpp"
 
 #include <fstream>
 
@@ -35,7 +35,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <input.g2o> [-o out.oprog] [--simulate] "
-                 "[--trace out.json] [--dot out.dot]\n",
+                 "[--iterate N] [--trace out.json] [--dot out.dot]\n",
                  argv0);
     return 2;
 }
@@ -53,12 +53,18 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string dot_path;
     bool simulate = false;
+    std::size_t iterations = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-o" && i + 1 < argc) {
             output = argv[++i];
         } else if (arg == "--simulate") {
             simulate = true;
+        } else if (arg == "--iterate" && i + 1 < argc) {
+            simulate = true;
+            iterations = std::strtoul(argv[++i], nullptr, 10);
+            if (iterations == 0)
+                return usage(argv[0]);
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (arg == "--dot" && i + 1 < argc) {
@@ -123,16 +129,30 @@ main(int argc, char **argv)
             hw::AcceleratorConfig config =
                 hw::AcceleratorConfig::minimal(true);
             config.recordTrace = !trace_path.empty();
-            const hw::SimResult sim =
-                hw::simulate({{&program, &data.initial}}, config);
+            // A session keeps one execution context warm across
+            // Gauss-Newton steps: schedule state and slot arenas are
+            // built once, each step only re-runs the frame.
+            runtime::Session session(program, data.initial, config);
+            const hw::SimResult first = session.step();
             std::printf("one Gauss-Newton step on the minimal OoO "
                         "accelerator: %llu cycles (%.1f us @167MHz), "
                         "%.2f uJ\n",
-                        static_cast<unsigned long long>(sim.cycles),
-                        sim.seconds() * 1e6,
-                        sim.totalEnergyJ() * 1e6);
+                        static_cast<unsigned long long>(first.cycles),
+                        first.seconds() * 1e6,
+                        first.totalEnergyJ() * 1e6);
+            if (iterations > 1) {
+                session.iterate(iterations - 1);
+                const hw::SimResult &total = session.totals();
+                std::printf("%zu steps total: %llu cycles (%.1f us "
+                            "@167MHz), %.2f uJ\n",
+                            session.frames(),
+                            static_cast<unsigned long long>(
+                                total.cycles),
+                            total.seconds() * 1e6,
+                            total.totalEnergyJ() * 1e6);
+            }
             if (!trace_path.empty()) {
-                hw::writeChromeTrace(trace_path, sim.trace);
+                hw::writeChromeTrace(trace_path, first.trace);
                 std::printf("wrote %s\n", trace_path.c_str());
             }
         }
