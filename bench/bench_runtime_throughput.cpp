@@ -1,0 +1,205 @@
+// Serving throughput of the parallel runtime: one Engine under a
+// ServerPool, many MobileRobot localization sessions with fingerprint
+// churn (distinct mission seeds rotate through the session stream, so
+// the shared program cache sees both misses and hits while sessions
+// run concurrently).
+//
+// For every thread count the bench reports sessions/s, p50/p99
+// single-frame latency, and the program-cache hit rate, and asserts
+// that every session's final values are byte-identical to a
+// sequential (no pool) run of the same mission — parallelism is
+// across sessions, never inside a frame. Emits BENCH_throughput.json
+// for CI trending.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "apps/benchmark_apps.hpp"
+#include "bench_common.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/server_pool.hpp"
+
+using namespace orianna;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kDistinctGraphs = 6; //!< Cache churn: distinct seeds.
+constexpr std::size_t kSessions = 24;   //!< Sessions per serving run.
+constexpr std::size_t kFrames = 4;      //!< Gauss-Newton steps each.
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** FNV-1a over the raw bit patterns of every variable, in key order. */
+std::uint64_t
+valuesDigest(const fg::Values &values)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](double d) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (fg::Key key : values.keys()) {
+        if (values.isPose(key)) {
+            const lie::Pose &pose = values.pose(key);
+            for (double d : pose.phi().data())
+                mix(d);
+            for (double d : pose.t().data())
+                mix(d);
+        } else {
+            for (double d : values.vector(key).data())
+                mix(d);
+        }
+    }
+    return h;
+}
+
+/** One mission template: the localization graph of a distinct seed. */
+struct Mission
+{
+    fg::FactorGraph graph;
+    fg::Values initial;
+};
+
+struct RunOutcome
+{
+    std::vector<std::uint64_t> digests;  //!< Final values per session.
+    std::vector<double> frame_ms;        //!< Every frame's latency.
+    double elapsed_s = 0.0;
+    runtime::Engine::Stats stats;
+};
+
+void
+serveOne(runtime::Engine &engine, const Mission &mission,
+         std::uint64_t &digest, double *frame_ms)
+{
+    runtime::Session session =
+        engine.session(mission.graph, mission.initial);
+    for (std::size_t f = 0; f < kFrames; ++f) {
+        const auto start = Clock::now();
+        session.step();
+        frame_ms[f] = secondsSince(start) * 1e3;
+    }
+    digest = valuesDigest(session.values());
+}
+
+RunOutcome
+serve(const std::vector<Mission> &missions, runtime::ServerPool *pool)
+{
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    RunOutcome out;
+    out.digests.assign(kSessions, 0);
+    out.frame_ms.assign(kSessions * kFrames, 0.0);
+
+    const auto start = Clock::now();
+    if (pool != nullptr) {
+        pool->parallelFor(kSessions, [&](std::size_t i) {
+            serveOne(engine, missions[i % missions.size()],
+                     out.digests[i], &out.frame_ms[i * kFrames]);
+        });
+    } else {
+        for (std::size_t i = 0; i < kSessions; ++i)
+            serveOne(engine, missions[i % missions.size()],
+                     out.digests[i], &out.frame_ms[i * kFrames]);
+    }
+    out.elapsed_s = secondsSince(start);
+    out.stats = engine.stats();
+    return out;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main()
+{
+    // Mission templates, one per distinct seed: same factor-graph
+    // *shape*, different measurement constants, hence different
+    // program-cache fingerprints.
+    std::vector<Mission> missions;
+    for (unsigned seed = 1; seed <= kDistinctGraphs; ++seed) {
+        apps::BenchmarkApp bench =
+            apps::buildApp(apps::AppKind::MobileRobot, seed);
+        core::Algorithm &loc = bench.app.algorithm(0);
+        missions.push_back({std::move(loc.graph), loc.values});
+    }
+
+    std::printf("serving run: %zu mobile_robot localization sessions, "
+                "%u distinct graphs, %zu frames each\n",
+                kSessions, kDistinctGraphs, kFrames);
+
+    // Sequential reference: the byte-exact ground truth every
+    // pool-driven run must reproduce.
+    const RunOutcome reference = serve(missions, nullptr);
+
+    std::printf("%8s %12s %10s %10s %10s\n", "threads", "sessions/s",
+                "p50 ms", "p99 ms", "hit rate");
+
+    std::ofstream json("BENCH_throughput.json");
+    json << "{\n  \"sessions\": " << kSessions
+         << ",\n  \"distinct_graphs\": " << kDistinctGraphs
+         << ",\n  \"frames_per_session\": " << kFrames
+         << ",\n  \"runs\": [\n";
+
+    bool first = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        runtime::ServerPool pool(threads);
+        const RunOutcome run = serve(missions, &pool);
+
+        if (run.digests != reference.digests) {
+            std::fprintf(stderr,
+                         "FAIL: final values diverge from the "
+                         "sequential run at %u threads\n", threads);
+            return 1;
+        }
+
+        std::vector<double> sorted = run.frame_ms;
+        std::sort(sorted.begin(), sorted.end());
+        const double sessions_per_s =
+            static_cast<double>(kSessions) / run.elapsed_s;
+        const double p50 = percentile(sorted, 0.50);
+        const double p99 = percentile(sorted, 0.99);
+        const double hit_rate =
+            static_cast<double>(run.stats.cacheHits) /
+            static_cast<double>(run.stats.cacheHits +
+                                run.stats.compiles);
+
+        std::printf("%8u %12.1f %10.2f %10.2f %9.0f%%\n", threads,
+                    sessions_per_s, p50, p99, 100.0 * hit_rate);
+
+        json << (first ? "" : ",\n")
+             << "    {\"threads\": " << threads
+             << ", \"sessions_per_s\": " << sessions_per_s
+             << ", \"p50_frame_ms\": " << p50
+             << ", \"p99_frame_ms\": " << p99
+             << ", \"cache_hit_rate\": " << hit_rate << "}";
+        first = false;
+    }
+    json << "\n  ]\n}\n";
+    std::printf("all thread counts byte-identical to the sequential "
+                "run\nwrote BENCH_throughput.json\n");
+    return 0;
+}

@@ -2,16 +2,28 @@
 // path versus the software reference, over randomized missions of all
 // four applications. Because both paths execute the same MO-DFG math,
 // they succeed and fail on exactly the same missions.
+//
+// Missions are independent (each builds its app from its own seed), so
+// they fan out across a ServerPool; aggregation stays sequential and
+// the printed table is identical to the serial run.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runtime/server_pool.hpp"
 
 namespace {
 
 using namespace orianna;
 
 constexpr unsigned kMissions = 30;
+
+struct MissionResult
+{
+    bool software = false;
+    bool accelerated = false;
+};
 
 } // namespace
 
@@ -26,22 +38,34 @@ main()
 
     const hw::AcceleratorConfig config =
         hw::AcceleratorConfig::minimal(true);
-    for (apps::AppKind kind : apps::allApps()) {
+    const std::vector<apps::AppKind> kinds = apps::allApps();
+
+    // One task per (application, seed) mission; results land in a
+    // per-mission slot so the aggregation below never races.
+    std::vector<MissionResult> results(kinds.size() * kMissions);
+    runtime::ServerPool pool;
+    pool.parallelFor(results.size(), [&](std::size_t i) {
+        const apps::AppKind kind = kinds[i / kMissions];
+        const unsigned seed = 1 + static_cast<unsigned>(i % kMissions);
+        apps::BenchmarkApp bench = apps::buildApp(kind, seed);
+        MissionResult &r = results[i];
+        r.software = bench.success(bench.app.solveSoftware(12));
+        r.accelerated =
+            bench.success(bench.app.solveAccelerated(config, 12));
+    });
+
+    for (std::size_t a = 0; a < kinds.size(); ++a) {
         unsigned sw_ok = 0;
         unsigned hw_ok = 0;
         unsigned agree = 0;
-        for (unsigned seed = 1; seed <= kMissions; ++seed) {
-            apps::BenchmarkApp bench = apps::buildApp(kind, seed);
-            const bool sw =
-                bench.success(bench.app.solveSoftware(12));
-            const bool accel = bench.success(
-                bench.app.solveAccelerated(config, 12));
-            sw_ok += sw ? 1 : 0;
-            hw_ok += accel ? 1 : 0;
-            agree += (sw == accel) ? 1 : 0;
+        for (unsigned m = 0; m < kMissions; ++m) {
+            const MissionResult &r = results[a * kMissions + m];
+            sw_ok += r.software ? 1 : 0;
+            hw_ok += r.accelerated ? 1 : 0;
+            agree += (r.software == r.accelerated) ? 1 : 0;
         }
         std::printf("%-14s %11.1f%% %11.1f%% %8u/%u\n",
-                    apps::appName(kind),
+                    apps::appName(kinds[a]),
                     100.0 * sw_ok / kMissions,
                     100.0 * hw_ok / kMissions, agree, kMissions);
     }

@@ -8,11 +8,18 @@
 // compiles once, the second and third sessions are cache hits, and
 // every session converges to the same estimate through its own warm
 // execution context.
+//
+// The clients run concurrently on a ServerPool (--threads N, default
+// hardware concurrency): sessions never share mutable state, so the
+// results match the interleaved sequential loop exactly.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "fg/factors.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/server_pool.hpp"
 
 using namespace orianna;
 using lie::Pose;
@@ -40,8 +47,14 @@ buildGraph(const std::vector<Pose> &truth)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = 0; // 0: hardware_concurrency.
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--threads") == 0)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+
     std::vector<Pose> truth;
     for (int i = 0; i < 6; ++i)
         truth.emplace_back(Vector{0.1 * i, 0.02 * i, 0.05 * i},
@@ -69,10 +82,19 @@ main()
                 engine.cachedPrograms(), engine.stats().compiles,
                 engine.stats().cacheHits);
 
-    // Interleave the clients frame by frame, as a serving loop would.
-    for (int frame = 0; frame < 4; ++frame)
-        for (runtime::Session &session : sessions)
-            session.step();
+    // Serve the clients concurrently: one pool task per session,
+    // each stepping its own private state over the shared program.
+    runtime::ServerPool pool(threads);
+    pool.parallelFor(sessions.size(), [&sessions](std::size_t c) {
+        sessions[c].iterate(4);
+    });
+
+    const auto totals = pool.tasksExecuted();
+    std::printf("pool: %u thread(s)", pool.threads());
+    for (std::size_t w = 0; w < totals.size(); ++w)
+        std::printf("%s thread %zu ran %llu", w == 0 ? "," : ";", w,
+                    static_cast<unsigned long long>(totals[w]));
+    std::printf("\n");
 
     for (std::size_t c = 0; c < sessions.size(); ++c) {
         const runtime::Session &session = sessions[c];

@@ -55,7 +55,7 @@ buildQuadrotor(unsigned seed)
 
     const fg::CameraModel cam{420.0, 420.0, 320.0, 240.0};
     auto pixel = [&](const Pose &x, const Vector &l) {
-        Vector local = x.rotation().transpose() * (l - x.t());
+        Vector local = x.rotation().transposeTimes(l - x.t());
         return Vector{cam.fx * local[0] / local[2] + cam.cx,
                       cam.fy * local[1] / local[2] + cam.cy};
     };

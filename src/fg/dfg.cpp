@@ -411,7 +411,7 @@ evalBackward(const Dfg &dfg, const Values &values, const DfgForward &fwd)
             // d/dB = I (the Fig. 10 rule).
             const Matrix &b = fwd.rotValue[node.inputs[1]];
             if (b.rows() == 3) {
-                accumulate(node.inputs[0], g * b.transpose());
+                accumulate(node.inputs[0], g.timesTranspose(b));
             } else {
                 accumulate(node.inputs[0], g);
             }

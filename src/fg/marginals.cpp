@@ -41,7 +41,7 @@ Marginals::Marginals(const LinearSystem &system,
         for (std::size_t i = 0; i < ncols; ++i)
             rinv(i, j) = col[i];
     }
-    covariance_ = rinv * rinv.transpose();
+    covariance_ = rinv.timesTranspose(rinv);
 }
 
 Matrix

@@ -1,9 +1,12 @@
 #include "hwgen/generator.hpp"
 
+#include <array>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "runtime/execution_context.hpp"
+#include "runtime/server_pool.hpp"
 
 namespace orianna::hwgen {
 
@@ -32,7 +35,8 @@ objectiveValue(const SimResult &result, Objective objective)
 
 GenerationResult
 generate(const std::vector<WorkItem> &work, const Resources &budget,
-         Objective objective, bool out_of_order)
+         Objective objective, bool out_of_order,
+         runtime::ServerPool *pool)
 {
     AcceleratorConfig config = AcceleratorConfig::minimal(out_of_order);
     config.name = "orianna-generated";
@@ -45,6 +49,13 @@ generate(const std::vector<WorkItem> &work, const Resources &budget,
     // are built once, and each run() only rebuilds per-frame scratch.
     runtime::ExecutionContext context(work);
 
+    // Pool workers get their own warm contexts, built lazily on first
+    // use and reused across every greedy step. Each slot is touched
+    // only by its owning worker thread, so no lock is needed.
+    std::vector<std::unique_ptr<runtime::ExecutionContext>> contexts;
+    if (pool != nullptr)
+        contexts.resize(pool->threads());
+
     GenerationResult out;
     SimResult current = context.run(config);
     out.trajectory.push_back({config, current, config.resources()});
@@ -53,29 +64,53 @@ generate(const std::vector<WorkItem> &work, const Resources &budget,
     // more instance of every unit kind, keep the best improvement per
     // consumed resource, stop when nothing fits or nothing improves.
     while (true) {
-        double best_value = objectiveValue(current, objective);
-        const double base_value = best_value;
-        int best_kind = -1;
-        SimResult best_result;
+        const double base_value = objectiveValue(current, objective);
 
-        for (std::size_t k = 0; k < hw::kUnitKindCount; ++k) {
+        // Evaluate every fitting candidate. The simulations are
+        // independent, so with a pool they fan out across workers;
+        // selection below stays a sequential reduction in unit-kind
+        // order, giving the exact tie-breaking of the serial loop.
+        std::array<bool, hw::kUnitKindCount> fits{};
+        std::array<SimResult, hw::kUnitKindCount> sims;
+        auto evaluate = [&](std::size_t k,
+                            runtime::ExecutionContext &ctx) {
             AcceleratorConfig candidate = config;
             ++candidate.units[k];
             if (!candidate.resources().fitsIn(budget))
+                return;
+            sims[k] = ctx.run(candidate);
+            fits[k] = true;
+        };
+        if (pool != nullptr) {
+            pool->parallelFor(hw::kUnitKindCount, [&](std::size_t k) {
+                const int w = runtime::ServerPool::currentWorker();
+                auto &ctx = contexts[static_cast<std::size_t>(w)];
+                if (!ctx)
+                    ctx = std::make_unique<runtime::ExecutionContext>(
+                        work);
+                evaluate(k, *ctx);
+            });
+        } else {
+            for (std::size_t k = 0; k < hw::kUnitKindCount; ++k)
+                evaluate(k, context);
+        }
+
+        double best_value = base_value;
+        int best_kind = -1;
+        for (std::size_t k = 0; k < hw::kUnitKindCount; ++k) {
+            if (!fits[k])
                 continue;
-            SimResult sim = context.run(candidate);
-            const double value = objectiveValue(sim, objective);
+            const double value = objectiveValue(sims[k], objective);
             if (value < best_value - 1e-12) {
                 best_value = value;
                 best_kind = static_cast<int>(k);
-                best_result = sim;
             }
         }
 
         if (best_kind < 0 || best_value >= base_value)
             break;
         ++config.units[static_cast<std::size_t>(best_kind)];
-        current = best_result;
+        current = std::move(sims[static_cast<std::size_t>(best_kind)]);
         out.trajectory.push_back({config, current, config.resources()});
     }
 

@@ -5,6 +5,10 @@
 
 #include "hw/accelerator.hpp"
 
+namespace orianna::runtime {
+class ServerPool;
+}
+
 namespace orianna::hwgen {
 
 using hw::AcceleratorConfig;
@@ -44,15 +48,24 @@ struct GenerationResult
  * re-simulated, which re-evaluates the critical path exactly as
  * Sec. 6.2 describes.
  *
+ * Candidate evaluation inside each greedy step is embarrassingly
+ * parallel: when @p pool is given, the per-unit-kind re-simulations
+ * run across its workers, each worker reusing a warm per-worker
+ * ExecutionContext for the whole greedy loop. The selected design and
+ * its trajectory are identical to the sequential path (all candidates
+ * are evaluated, then reduced in unit-kind order on the caller).
+ *
  * @param work      the application's compiled programs (all
  *                  algorithms) bound to representative values.
  * @param budget    maximum on-chip resources R*.
  * @param objective what to minimize.
+ * @param pool      optional worker pool for candidate evaluation.
  */
 GenerationResult generate(const std::vector<WorkItem> &work,
                           const Resources &budget,
                           Objective objective = Objective::AvgLatency,
-                          bool out_of_order = true);
+                          bool out_of_order = true,
+                          runtime::ServerPool *pool = nullptr);
 
 /**
  * A fixed manual design point, used as the hand-tuned comparison in

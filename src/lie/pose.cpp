@@ -54,7 +54,8 @@ Pose::localCoordinates(const Pose &other) const
     if (spaceDim() != other.spaceDim())
         throw std::invalid_argument(
             "Pose::localCoordinates: dimension mismatch");
-    const Vector dphi = logSo(expSo(phi_).transpose() * expSo(other.phi_));
+    const Vector dphi =
+        logSo(expSo(phi_).transposeTimes(expSo(other.phi_)));
     const Vector dt = other.t_ - t_;
     return dphi.concat(dt);
 }
@@ -80,7 +81,7 @@ double
 poseDistance(const Pose &a, const Pose &b)
 {
     const Vector relative =
-        logSo(expSo(a.phi()).transpose() * expSo(b.phi()));
+        logSo(expSo(a.phi()).transposeTimes(expSo(b.phi())));
     return std::max(relative.maxAbs(), (a.t() - b.t()).maxAbs());
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "matrix/kernels.hpp"
 #include "matrix/mac_counter.hpp"
 
 namespace orianna::mat {
@@ -81,9 +82,8 @@ double
 Vector::dot(const Vector &other) const
 {
     requireSameSize(size(), other.size(), "Vector::dot");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < size(); ++i)
-        acc += data_[i] * other[i];
+    const double acc =
+        kernels::dot(data_.data(), other.data_.data(), size());
     MacCounter::add(size());
     return acc;
 }
@@ -226,16 +226,43 @@ Matrix::operator*(const Matrix &other) const
 {
     requireSameSize(cols_, other.rows_, "Matrix::operator* inner");
     Matrix out(rows_, other.cols_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const double a = (*this)(i, k);
-            if (a == 0.0)
-                continue;
-            for (std::size_t j = 0; j < other.cols_; ++j)
-                out(i, j) += a * other(k, j);
-        }
-    }
+    kernels::gemm(data_.data(), other.data_.data(), out.data_.data(),
+                  rows_, cols_, other.cols_);
     MacCounter::add(rows_ * cols_ * other.cols_);
+    return out;
+}
+
+Matrix
+Matrix::transposeTimes(const Matrix &other) const
+{
+    requireSameSize(rows_, other.rows_, "Matrix::transposeTimes inner");
+    Matrix out(cols_, other.cols_);
+    kernels::gemmTransA(data_.data(), other.data_.data(),
+                        out.data_.data(), rows_, cols_, other.cols_);
+    MacCounter::add(cols_ * rows_ * other.cols_);
+    return out;
+}
+
+Vector
+Matrix::transposeTimes(const Vector &vec) const
+{
+    requireSameSize(rows_, vec.size(), "Matrix::transposeTimes vector");
+    Vector out(cols_);
+    if (rows_ > 0 && cols_ > 0)
+        kernels::gemvTransA(data_.data(), vec.data().data(), &out[0],
+                            rows_, cols_);
+    MacCounter::add(cols_ * rows_);
+    return out;
+}
+
+Matrix
+Matrix::timesTranspose(const Matrix &other) const
+{
+    requireSameSize(cols_, other.cols_, "Matrix::timesTranspose inner");
+    Matrix out(rows_, other.rows_);
+    kernels::gemmTransB(data_.data(), other.data_.data(),
+                        out.data_.data(), rows_, cols_, other.rows_);
+    MacCounter::add(rows_ * cols_ * other.rows_);
     return out;
 }
 
@@ -254,12 +281,9 @@ Matrix::operator*(const Vector &vec) const
 {
     requireSameSize(cols_, vec.size(), "Matrix::operator* vector");
     Vector out(rows_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < cols_; ++j)
-            acc += (*this)(i, j) * vec[j];
-        out[i] = acc;
-    }
+    if (rows_ > 0)
+        kernels::gemv(data_.data(), vec.data().data(), &out[0], rows_,
+                      cols_);
     MacCounter::add(rows_ * cols_);
     return out;
 }
@@ -275,9 +299,7 @@ Matrix
 Matrix::transpose() const
 {
     Matrix out(cols_, rows_);
-    for (std::size_t i = 0; i < rows_; ++i)
-        for (std::size_t j = 0; j < cols_; ++j)
-            out(j, i) = (*this)(i, j);
+    kernels::transpose(data_.data(), out.data_.data(), rows_, cols_);
     return out;
 }
 

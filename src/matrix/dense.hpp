@@ -86,6 +86,11 @@ class Vector
  * multiply (systolic-array template), transpose, and the QR /
  * back-substitution kernels declared in qr.hpp. All arithmetic kernels
  * report MACs through MacCounter.
+ *
+ * Multiplies and transposes execute through the cache-blocked,
+ * write-once microkernels of kernels.hpp, which preserve the naive
+ * reference accumulation order bit-for-bit (tests/test_matrix.cpp
+ * checks exact equality on randomized shapes).
  */
 class Matrix
 {
@@ -126,6 +131,9 @@ class Matrix
         return data_[i * cols_ + j];
     }
 
+    /** Row-major backing storage (for the kernels layer). */
+    const std::vector<double> &data() const { return data_; }
+
     Matrix operator+(const Matrix &other) const;
     Matrix operator-(const Matrix &other) const;
     Matrix operator-() const;
@@ -136,6 +144,23 @@ class Matrix
 
     /** Matrix transpose. */
     Matrix transpose() const;
+
+    /**
+     * this^T * other without materializing the transpose
+     * (bit-identical to `transpose() * other`, one pass, fused
+     * microkernel). Row counts must agree.
+     */
+    Matrix transposeTimes(const Matrix &other) const;
+
+    /** this^T * vec, fused (bit-identical to `transpose() * vec`). */
+    Vector transposeTimes(const Vector &vec) const;
+
+    /**
+     * this * other^T without materializing the transpose; both
+     * operands stream along contiguous rows. Column counts must
+     * agree.
+     */
+    Matrix timesTranspose(const Matrix &other) const;
 
     /** Copy of the sub-block at (@p i0, @p j0) of shape @p r by @p c. */
     Matrix block(std::size_t i0, std::size_t j0, std::size_t r,

@@ -1,0 +1,140 @@
+#include "matrix/kernels.hpp"
+
+#include <algorithm>
+
+namespace orianna::mat::kernels {
+
+namespace {
+
+// Register-tile shape of the GEMM microkernels. MR x NR accumulators
+// live in registers for the whole k loop and are stored exactly once
+// (write-once), so the output is never re-read from memory and each
+// element remains a single accumulation chain over ascending k.
+constexpr std::size_t MR = 4;
+constexpr std::size_t NR = 8;
+
+/**
+ * Generic edge tile: mr x nr accumulators (mr <= MR, nr <= NR) over
+ * the full k range. load(ii, p) supplies a(i0+ii, p) so the same body
+ * serves the straight and transposed-A kernels.
+ */
+template <typename LoadA>
+inline void
+tile(const double *b, double *c, std::size_t ldb, std::size_t ldc,
+     std::size_t k, std::size_t mr, std::size_t nr, LoadA load)
+{
+    double acc[MR][NR] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const double *brow = b + p * ldb;
+        double avals[MR];
+        for (std::size_t ii = 0; ii < mr; ++ii)
+            avals[ii] = load(ii, p);
+        for (std::size_t ii = 0; ii < mr; ++ii)
+            for (std::size_t jj = 0; jj < nr; ++jj)
+                acc[ii][jj] += avals[ii] * brow[jj];
+    }
+    for (std::size_t ii = 0; ii < mr; ++ii)
+        for (std::size_t jj = 0; jj < nr; ++jj)
+            c[ii * ldc + jj] = acc[ii][jj];
+}
+
+} // namespace
+
+void
+gemm(const double *a, const double *b, double *c, std::size_t m,
+     std::size_t k, std::size_t n)
+{
+    for (std::size_t i0 = 0; i0 < m; i0 += MR) {
+        const std::size_t mr = std::min(MR, m - i0);
+        for (std::size_t j0 = 0; j0 < n; j0 += NR) {
+            const std::size_t nr = std::min(NR, n - j0);
+            tile(b + j0, c + i0 * n + j0, n, n, k, mr, nr,
+                 [&](std::size_t ii, std::size_t p) {
+                     return a[(i0 + ii) * k + p];
+                 });
+        }
+    }
+}
+
+void
+gemmTransA(const double *a, const double *b, double *c, std::size_t k,
+           std::size_t m, std::size_t n)
+{
+    for (std::size_t i0 = 0; i0 < m; i0 += MR) {
+        const std::size_t mr = std::min(MR, m - i0);
+        for (std::size_t j0 = 0; j0 < n; j0 += NR) {
+            const std::size_t nr = std::min(NR, n - j0);
+            // a^T(i, p) = a(p, i): consecutive ii are adjacent in
+            // memory, so the operand loads stay contiguous.
+            tile(b + j0, c + i0 * n + j0, n, n, k, mr, nr,
+                 [&](std::size_t ii, std::size_t p) {
+                     return a[p * m + i0 + ii];
+                 });
+        }
+    }
+}
+
+void
+gemmTransB(const double *a, const double *b, double *c, std::size_t m,
+           std::size_t k, std::size_t n)
+{
+    // c(i, j) is a dot of row i of a with row j of b — both
+    // contiguous. Tile over j so NR output dots share each pass over
+    // row i of a.
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *arow = a + i * k;
+        for (std::size_t j0 = 0; j0 < n; j0 += NR) {
+            const std::size_t nr = std::min(NR, n - j0);
+            double acc[NR] = {};
+            for (std::size_t p = 0; p < k; ++p) {
+                const double aval = arow[p];
+                for (std::size_t jj = 0; jj < nr; ++jj)
+                    acc[jj] += aval * b[(j0 + jj) * k + p];
+            }
+            for (std::size_t jj = 0; jj < nr; ++jj)
+                c[i * n + j0 + jj] = acc[jj];
+        }
+    }
+}
+
+void
+transpose(const double *a, double *out, std::size_t m, std::size_t n)
+{
+    // Square blocking keeps one side of every block in cache; 32x32
+    // doubles = 8 KiB per operand block.
+    constexpr std::size_t B = 32;
+    for (std::size_t i0 = 0; i0 < m; i0 += B) {
+        const std::size_t i1 = std::min(i0 + B, m);
+        for (std::size_t j0 = 0; j0 < n; j0 += B) {
+            const std::size_t j1 = std::min(j0 + B, n);
+            for (std::size_t i = i0; i < i1; ++i)
+                for (std::size_t j = j0; j < j1; ++j)
+                    out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+void
+gemv(const double *a, const double *x, double *y, std::size_t m,
+     std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        y[i] = dot(a + i * n, x, n);
+}
+
+void
+gemvTransA(const double *a, const double *x, double *y, std::size_t m,
+           std::size_t n)
+{
+    // i outer keeps the accumulation over ascending i per output —
+    // the same order as materializing a^T — while streaming the rows
+    // of a contiguously.
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *arow = a + i * n;
+        const double xi = x[i];
+        for (std::size_t j = 0; j < n; ++j)
+            y[j] += xi * arow[j];
+    }
+}
+
+} // namespace orianna::mat::kernels

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+
+namespace orianna::mat::kernels {
+
+/**
+ * Dense microkernels shared by the Matrix operators and the QR /
+ * back-substitution paths.
+ *
+ * Every kernel preserves the exact floating-point accumulation order
+ * of the naive reference loops it replaces: each output element is a
+ * single dependency chain over ascending inner index. That makes the
+ * optimized kernels bit-identical to the reference for finite inputs
+ * — the property the runtime relies on for byte-identical schedules
+ * and deltas across threads — while the speed comes from register
+ * tiling (outputs written once), pointer arithmetic instead of
+ * per-access index multiplies, and cache-blocked traversal.
+ *
+ * All matrices are row-major. Output buffers must be zero-initialized
+ * where the kernel accumulates (gemm, gemmTransA, gemv).
+ */
+
+/** c (m x n) += a (m x k) * b (k x n); c must start zeroed. */
+void gemm(const double *a, const double *b, double *c, std::size_t m,
+          std::size_t k, std::size_t n);
+
+/**
+ * c (m x n) += a^T * b with a stored k x m, b stored k x n; c must
+ * start zeroed. The fused transpose-multiply: bit-identical to
+ * materializing a^T and calling gemm, without the copy.
+ */
+void gemmTransA(const double *a, const double *b, double *c,
+                std::size_t k, std::size_t m, std::size_t n);
+
+/**
+ * c (m x n) += a * b^T with a stored m x k, b stored n x k; c must
+ * start zeroed. Both operands stream along contiguous rows.
+ */
+void gemmTransB(const double *a, const double *b, double *c,
+                std::size_t m, std::size_t k, std::size_t n);
+
+/** out (n x m) = transpose of a (m x n), cache-blocked. */
+void transpose(const double *a, double *out, std::size_t m,
+               std::size_t n);
+
+/** y (m) += a (m x n) * x (n); y must start zeroed. */
+void gemv(const double *a, const double *x, double *y, std::size_t m,
+          std::size_t n);
+
+/** y (n) += a^T x with a stored m x n, x of size m; y must start zeroed. */
+void gemvTransA(const double *a, const double *x, double *y,
+                std::size_t m, std::size_t n);
+
+/** Dot product over ascending index (single accumulation chain). */
+inline double
+dot(const double *a, const double *b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+/** Dot product with strided operands (e.g. a matrix column). */
+inline double
+dotStrided(const double *a, std::size_t stride_a, const double *b,
+           std::size_t stride_b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i * stride_a] * b[i * stride_b];
+    return acc;
+}
+
+/** acc - sum_i a[i] * x[i], subtracting in ascending order (back-sub row). */
+inline double
+fusedSubtractDot(double acc, const double *a, const double *x,
+                 std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        acc -= a[i] * x[i];
+    return acc;
+}
+
+/** y[i] -= alpha * x[i] over a strided destination (Householder update). */
+inline void
+axpyNegStrided(double *y, std::size_t stride_y, double alpha,
+               const double *x, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i * stride_y] -= alpha * x[i];
+}
+
+/** In-place Givens rotation of two row segments: (rj, ri) <- G(c,s). */
+inline void
+givensRotate(double *rj, double *ri, double c, double s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rj[i];
+        const double b = ri[i];
+        rj[i] = c * a + s * b;
+        ri[i] = -s * a + c * b;
+    }
+}
+
+} // namespace orianna::mat::kernels

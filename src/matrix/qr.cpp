@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "matrix/kernels.hpp"
 #include "matrix/mac_counter.hpp"
 
 namespace orianna::mat {
@@ -17,13 +18,16 @@ householderQr(const Matrix &a, const Vector &b)
     const std::size_t n = a.cols();
     Matrix r = a;
     Vector rhs = b;
+    // Row-major base pointers; all column accesses below stride by n.
+    double *rp = m > 0 && n > 0 ? &r(0, 0) : nullptr;
+    double *rhsp = m > 0 ? &rhs[0] : nullptr;
 
     const std::size_t steps = std::min(m == 0 ? 0 : m - 1, n);
     for (std::size_t k = 0; k < steps; ++k) {
         // Build the Householder reflector for column k below row k.
-        double sigma = 0.0;
-        for (std::size_t i = k; i < m; ++i)
-            sigma += r(i, k) * r(i, k);
+        double *col_k = rp + k * n + k;
+        const double sigma =
+            kernels::dotStrided(col_k, n, col_k, n, m - k);
         MacCounter::add(m - k);
         double alpha = std::sqrt(sigma);
         if (alpha == 0.0)
@@ -38,23 +42,21 @@ householderQr(const Matrix &a, const Vector &b)
         const double vnorm2 = sigma - 2.0 * alpha * r(k, k) + alpha * alpha;
         if (vnorm2 == 0.0)
             continue;
+        const double *vp = &v[0];
 
-        // Apply I - 2 v v^T / (v^T v) to the trailing columns and rhs.
+        // Apply I - 2 v v^T / (v^T v) to the trailing columns and rhs
+        // through the strided dot/axpy microkernels.
         for (std::size_t j = k; j < n; ++j) {
-            double dot = 0.0;
-            for (std::size_t i = k; i < m; ++i)
-                dot += v[i - k] * r(i, j);
+            double *col_j = rp + k * n + j;
+            const double dot =
+                kernels::dotStrided(vp, 1, col_j, n, m - k);
             const double beta = 2.0 * dot / vnorm2;
-            for (std::size_t i = k; i < m; ++i)
-                r(i, j) -= beta * v[i - k];
+            kernels::axpyNegStrided(col_j, n, beta, vp, m - k);
             MacCounter::add(2 * (m - k));
         }
-        double dot = 0.0;
-        for (std::size_t i = k; i < m; ++i)
-            dot += v[i - k] * rhs[i];
+        const double dot = kernels::dot(vp, rhsp + k, m - k);
         const double beta = 2.0 * dot / vnorm2;
-        for (std::size_t i = k; i < m; ++i)
-            rhs[i] -= beta * v[i - k];
+        kernels::axpyNegStrided(rhsp + k, 1, beta, vp, m - k);
         MacCounter::add(2 * (m - k));
     }
     return {std::move(r), std::move(rhs)};
@@ -70,6 +72,7 @@ givensQr(const Matrix &a, const Vector &b)
     const std::size_t n = a.cols();
     Matrix r = a;
     Vector rhs = b;
+    double *rp = m > 0 && n > 0 ? &r(0, 0) : nullptr;
 
     for (std::size_t j = 0; j < n; ++j) {
         for (std::size_t i = m; i-- > j + 1;) {
@@ -80,12 +83,8 @@ givensQr(const Matrix &a, const Vector &b)
             const double hyp = std::hypot(x, y);
             const double c = x / hyp;
             const double s = y / hyp;
-            for (std::size_t k = j; k < n; ++k) {
-                const double rj = r(j, k);
-                const double ri = r(i, k);
-                r(j, k) = c * rj + s * ri;
-                r(i, k) = -s * rj + c * ri;
-            }
+            kernels::givensRotate(rp + j * n + j, rp + i * n + j, c, s,
+                                  n - j);
             MacCounter::add(4 * (n - j));
             const double tj = rhs[j];
             const double ti = rhs[i];
@@ -106,15 +105,20 @@ backSubstitute(const Matrix &r, const Vector &y)
         throw std::invalid_argument("backSubstitute: system too short");
 
     Vector x(n);
+    if (n == 0)
+        return x;
+    const double *rp = r.data().data();
+    double *xp = &x[0];
     for (std::size_t ii = n; ii-- > 0;) {
-        double acc = y[ii];
-        for (std::size_t j = ii + 1; j < n; ++j)
-            acc -= r(ii, j) * x[j];
+        // Subtract the already-solved tail of row ii in place
+        // (ascending j, same chain as the reference loop).
+        const double acc = kernels::fusedSubtractDot(
+            y[ii], rp + ii * n + ii + 1, xp + ii + 1, n - ii - 1);
         MacCounter::add(n - ii - 1);
         const double diag = r(ii, ii);
         if (std::abs(diag) < 1e-12)
             throw std::runtime_error("backSubstitute: singular diagonal");
-        x[ii] = acc / diag;
+        xp[ii] = acc / diag;
     }
     return x;
 }

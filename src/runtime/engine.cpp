@@ -122,28 +122,91 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
 {
     const std::uint64_t key =
         graphFingerprint(graph, shapes, algorithm_tag);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++stats_.cacheHits;
-        return it->second;
+    Shard &s = shard(key);
+
+    // Fast path: shared lock, no contention between readers.
+    {
+        std::shared_lock lock(s.mutex);
+        auto it = s.cache.find(key);
+        if (it != s.cache.end()) {
+            auto future = it->second;
+            lock.unlock();
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            // Blocks only while the single-flight compile is still
+            // running; afterwards this is a plain read.
+            return future.get();
+        }
     }
-    comp::CompileOptions options;
-    options.algorithmTag = algorithm_tag;
-    options.name = name;
-    options.ordering = fg::ordering::minDegree(graph);
-    auto compiled = std::make_shared<comp::Program>(
-        comp::optimizeProgram(
-            comp::compileGraph(graph, shapes, options)));
-    ++stats_.compiles;
-    cache_.emplace(key, compiled);
-    return compiled;
+
+    // Miss: take the write lock just long enough to claim the key.
+    std::promise<std::shared_ptr<const comp::Program>> promise;
+    std::shared_future<std::shared_ptr<const comp::Program>> future;
+    {
+        std::unique_lock lock(s.mutex);
+        auto it = s.cache.find(key);
+        if (it != s.cache.end()) {
+            // Lost the race: someone claimed it between our locks.
+            auto other = it->second;
+            lock.unlock();
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            return other.get();
+        }
+        future = promise.get_future().share();
+        s.cache.emplace(key, future);
+    }
+
+    // Compile outside any lock: other fingerprints proceed in
+    // parallel, requesters of this one wait on the future.
+    try {
+        comp::CompileOptions options;
+        options.algorithmTag = algorithm_tag;
+        options.name = name;
+        options.ordering = fg::ordering::minDegree(graph);
+        auto compiled = std::make_shared<comp::Program>(
+            comp::optimizeProgram(
+                comp::compileGraph(graph, shapes, options)));
+        compiles_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard lock(logMutex_);
+            log_.push_back(
+                {name, key, compiled->instructions.size()});
+        }
+        promise.set_value(compiled);
+        return compiled;
+    } catch (...) {
+        // Propagate to every waiter, then drop the entry so a later
+        // request retries instead of caching the failure forever.
+        promise.set_exception(std::current_exception());
+        std::unique_lock lock(s.mutex);
+        s.cache.erase(key);
+        throw;
+    }
+}
+
+std::size_t
+Engine::cachedPrograms() const
+{
+    std::size_t total = 0;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        total += s.cache.size();
+    }
+    return total;
+}
+
+std::vector<Engine::CompileRecord>
+Engine::compileLog() const
+{
+    std::lock_guard lock(logMutex_);
+    return log_;
 }
 
 Session
 Engine::session(const fg::FactorGraph &graph, fg::Values initial,
-                double step_scale, std::uint8_t algorithm_tag)
+                double step_scale, std::uint8_t algorithm_tag,
+                const std::string &name)
 {
-    auto compiled = program(graph, initial, algorithm_tag);
+    auto compiled = program(graph, initial, algorithm_tag, name);
     return Session(std::move(compiled), std::move(initial), config_,
                    step_scale);
 }

@@ -1,9 +1,15 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "compiler/codegen.hpp"
 #include "runtime/execution_context.hpp"
@@ -38,6 +44,15 @@ class Session;
  * programs; each session holds only its private mutable Values and a
  * reusable ExecutionContext, which is the shape needed to serve many
  * concurrent robot streams from one compiled artifact set.
+ *
+ * Thread safety: every public method may be called from any number of
+ * threads concurrently (the ServerPool drives one Engine from all its
+ * workers). The program cache is sharded by fingerprint — each shard
+ * has its own reader/writer lock, so lookups of different programs
+ * never contend — and compilation is single-flight: N clients
+ * requesting the same fingerprint at once trigger exactly one
+ * compile, with the others blocking on the shared future until the
+ * program lands. Stats are atomic counters.
  */
 class Engine
 {
@@ -52,7 +67,9 @@ class Engine
     /**
      * Compile @p graph (minimum-degree ordering plus cleanup passes,
      * like core::Application), or return the cached program when a
-     * graph with the same fingerprint was compiled before.
+     * graph with the same fingerprint was compiled before. @p name
+     * labels the compiled program and its compile-log entry; on a
+     * cache hit the name of the first compile wins.
      */
     std::shared_ptr<const comp::Program>
     program(const fg::FactorGraph &graph, const fg::Values &shapes,
@@ -65,22 +82,62 @@ class Engine
      */
     Session session(const fg::FactorGraph &graph, fg::Values initial,
                     double step_scale = 1.0,
-                    std::uint8_t algorithm_tag = 0);
+                    std::uint8_t algorithm_tag = 0,
+                    const std::string &name = "session");
 
+    /** Snapshot of the cache counters (values are atomic loads). */
     struct Stats
     {
         std::size_t compiles = 0;  //!< Cache misses (programs built).
         std::size_t cacheHits = 0; //!< Sessions served from cache.
     };
 
-    const Stats &stats() const { return stats_; }
-    std::size_t cachedPrograms() const { return cache_.size(); }
+    Stats
+    stats() const
+    {
+        Stats s;
+        s.compiles = compiles_.load(std::memory_order_relaxed);
+        s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    std::size_t cachedPrograms() const;
+
+    /** One cache miss, in compile order: the diagnostics trail. */
+    struct CompileRecord
+    {
+        std::string name;          //!< Caller-supplied program name.
+        std::uint64_t fingerprint; //!< Cache key that missed.
+        std::size_t instructions;  //!< Compiled program size.
+    };
+
+    /** Copy of the compile log (every cache miss since construction). */
+    std::vector<CompileRecord> compileLog() const;
 
   private:
+    /**
+     * Cache entries hold a future so racing requesters of one
+     * fingerprint share a single in-flight compile.
+     */
+    struct Shard
+    {
+        mutable std::shared_mutex mutex;
+        std::map<std::uint64_t,
+                 std::shared_future<
+                     std::shared_ptr<const comp::Program>>>
+            cache;
+    };
+
+    static constexpr std::size_t kShards = 16;
+
+    Shard &shard(std::uint64_t key) { return shards_[key % kShards]; }
+
     hw::AcceleratorConfig config_;
-    std::map<std::uint64_t, std::shared_ptr<const comp::Program>>
-        cache_;
-    Stats stats_;
+    std::array<Shard, kShards> shards_;
+    std::atomic<std::size_t> compiles_{0};
+    std::atomic<std::size_t> cacheHits_{0};
+    mutable std::mutex logMutex_;
+    std::vector<CompileRecord> log_;
 };
 
 /**

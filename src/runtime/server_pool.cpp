@@ -1,0 +1,181 @@
+#include "runtime/server_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace orianna::runtime {
+
+namespace {
+
+/** Worker id of this thread within its owning pool; -1 elsewhere. */
+thread_local int tls_worker = -1;
+
+} // namespace
+
+/** Completion state of one parallelFor call. */
+struct ServerPool::Batch
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error; //!< First failure, rethrown by caller.
+
+    explicit Batch(std::size_t count) : remaining(count) {}
+
+    void
+    finishOne(std::exception_ptr e)
+    {
+        std::lock_guard lock(mutex);
+        if (e && !error)
+            error = std::move(e);
+        if (--remaining == 0)
+            done.notify_all();
+    }
+};
+
+ServerPool::ServerPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ServerPool::~ServerPool()
+{
+    {
+        std::lock_guard lock(wakeMutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+int
+ServerPool::currentWorker()
+{
+    return tls_worker;
+}
+
+bool
+ServerPool::popLocal(unsigned self, std::function<void()> &task)
+{
+    Worker &worker = *workers_[self];
+    std::lock_guard lock(worker.mutex);
+    if (worker.queue.empty())
+        return false;
+    task = std::move(worker.queue.back());
+    worker.queue.pop_back();
+    ++worker.executed;
+    return true;
+}
+
+bool
+ServerPool::steal(unsigned self, std::function<void()> &task)
+{
+    const unsigned n = threads();
+    for (unsigned step = 1; step < n; ++step) {
+        Worker &victim = *workers_[(self + step) % n];
+        std::lock_guard lock(victim.mutex);
+        if (victim.queue.empty())
+            continue;
+        // Steal the oldest task: it is the farthest from the victim's
+        // working set and the largest remaining chunk of the batch.
+        task = std::move(victim.queue.front());
+        victim.queue.pop_front();
+        ++workers_[self]->executed;
+        return true;
+    }
+    return false;
+}
+
+void
+ServerPool::workerLoop(unsigned self)
+{
+    tls_worker = static_cast<int>(self);
+    std::function<void()> task;
+    while (true) {
+        if (popLocal(self, task) || steal(self, task)) {
+            task();
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock lock(wakeMutex_);
+        if (stop_)
+            return;
+        // Re-check the queues under the wake lock: a submitter
+        // publishes tasks before notifying, so missing a task here
+        // would mean it was pushed after this check and the notify is
+        // still pending.
+        bool any = false;
+        for (const auto &worker : workers_) {
+            std::lock_guard inner(worker->mutex);
+            if (!worker->queue.empty()) {
+                any = true;
+                break;
+            }
+        }
+        if (any)
+            continue;
+        wake_.wait(lock);
+    }
+}
+
+void
+ServerPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    Batch batch(count);
+
+    // Round-robin initial placement; stealing rebalances skew. Tasks
+    // only borrow `body` and `batch`, both alive until the wait below
+    // returns.
+    const unsigned n = threads();
+    for (std::size_t i = 0; i < count; ++i) {
+        Worker &worker = *workers_[i % n];
+        std::lock_guard lock(worker.mutex);
+        worker.queue.emplace_back([&body, &batch, i] {
+            std::exception_ptr error;
+            try {
+                body(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            batch.finishOne(std::move(error));
+        });
+    }
+    // Synchronize with sleeping workers: a worker holds wakeMutex_
+    // from its final empty-queue check until it blocks, so acquiring
+    // it here guarantees either the worker re-checks after the pushes
+    // above or the notification reaches its wait.
+    {
+        std::lock_guard lock(wakeMutex_);
+    }
+    wake_.notify_all();
+
+    std::unique_lock lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+std::vector<std::uint64_t>
+ServerPool::tasksExecuted() const
+{
+    std::vector<std::uint64_t> counts;
+    counts.reserve(workers_.size());
+    for (const auto &worker : workers_) {
+        std::lock_guard lock(worker->mutex);
+        counts.push_back(worker->executed);
+    }
+    return counts;
+}
+
+} // namespace orianna::runtime

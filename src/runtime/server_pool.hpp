@@ -1,0 +1,102 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orianna::runtime {
+
+/**
+ * Work-stealing thread pool for the serving runtime: drives many
+ * Sessions (or any coarse batch of independent tasks) concurrently.
+ *
+ * Layout follows the ownership rules of the runtime layer (DESIGN.md
+ * Sec. 5): each worker owns a private task deque and pops from its
+ * back (LIFO, cache-warm); an idle worker steals from the front of a
+ * victim's deque (FIFO, oldest task — the classic Chase-Lev
+ * discipline, here with per-deque mutexes because tasks are coarse:
+ * whole frames, sessions or candidate simulations, microseconds to
+ * milliseconds each, so queue operations are not the bottleneck).
+ *
+ * Worker identity is exposed through currentWorker() so callers can
+ * keep per-worker state — warm ExecutionContexts above all — without
+ * any locking: a slot indexed by the worker id is only ever touched
+ * by that worker's thread, and parallelFor()'s completion acts as the
+ * release fence before the caller reads the slots back.
+ *
+ * parallelFor() is the only submission interface: deterministic index
+ * space, caller blocks until every index ran, first exception is
+ * rethrown on the caller. Parallelism is always *across* independent
+ * tasks (sessions, candidates, missions) — never inside one frame's
+ * scoreboard — so schedules and numeric outputs are byte-identical to
+ * sequential execution by construction.
+ */
+class ServerPool
+{
+  public:
+    /**
+     * Start @p threads workers; 0 picks
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    explicit ServerPool(unsigned threads = 0);
+
+    ~ServerPool();
+
+    ServerPool(const ServerPool &) = delete;
+    ServerPool &operator=(const ServerPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Worker id of the calling thread: 0..threads()-1 on a pool
+     * thread, -1 anywhere else (tasks always run on pool threads).
+     */
+    static int currentWorker();
+
+    /**
+     * Run @p body(i) for every i in [0, count) across the workers and
+     * wait for all of them. Tasks are distributed round-robin and
+     * rebalanced by stealing. The first exception thrown by any task
+     * is rethrown here after the batch drains; remaining tasks still
+     * run (they are independent by contract).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Tasks executed per worker since construction (the per-thread
+     * totals reported by the tools). Index = worker id.
+     */
+    std::vector<std::uint64_t> tasksExecuted() const;
+
+  private:
+    struct Batch;
+
+    struct Worker
+    {
+        mutable std::mutex mutex;
+        std::deque<std::function<void()>> queue;
+        std::uint64_t executed = 0; //!< Guarded by mutex.
+    };
+
+    bool popLocal(unsigned self, std::function<void()> &task);
+    bool steal(unsigned self, std::function<void()> &task);
+    void workerLoop(unsigned self);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex wakeMutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
+} // namespace orianna::runtime

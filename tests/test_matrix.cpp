@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <random>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -163,6 +164,142 @@ TEST(MacCounter, CountsMultiplies)
         EXPECT_EQ(scope.elapsed(), 27u);
     }
 }
+
+// --- Microkernels vs the naive reference --------------------------------
+//
+// The blocked kernels behind operator*, transpose and the fused
+// transposeTimes / timesTranspose variants promise *bit-identical*
+// results to the naive reference loops (one ascending-k accumulation
+// chain per output element), so these compare with EXPECT_EQ on the
+// raw doubles — no tolerance.
+
+namespace {
+
+Matrix
+naiveMultiply(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += a(i, k) * b(k, j);
+            out(i, j) = acc;
+        }
+    return out;
+}
+
+Matrix
+naiveTranspose(const Matrix &a)
+{
+    Matrix out(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            out(j, i) = a(i, j);
+    return out;
+}
+
+Vector
+naiveMultiply(const Matrix &a, const Vector &x)
+{
+    Vector out(a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < a.cols(); ++k)
+            acc += a(i, k) * x[k];
+        out[i] = acc;
+    }
+    return out;
+}
+
+void
+expectBitIdentical(const Matrix &got, const Matrix &want)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (std::size_t i = 0; i < got.rows(); ++i)
+        for (std::size_t j = 0; j < got.cols(); ++j)
+            EXPECT_EQ(got(i, j), want(i, j))
+                << "element (" << i << ", " << j << ")";
+}
+
+} // namespace
+
+class KernelShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(KernelShapes, MultiplyAndTransposeMatchNaiveBitForBit)
+{
+    const auto [m, k, n] = GetParam();
+    std::mt19937 rng(300 + m * 31 + k * 7 + n);
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix b = randomMatrix(k, n, rng);
+
+    expectBitIdentical(a * b, naiveMultiply(a, b));
+    expectBitIdentical(a.transpose(), naiveTranspose(a));
+
+    const Vector x = randomVector(k, rng);
+    const Vector got = a * x;
+    const Vector want = naiveMultiply(a, x);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "row " << i;
+}
+
+TEST_P(KernelShapes, FusedTransposeVariantsMatchNaiveBitForBit)
+{
+    const auto [m, k, n] = GetParam();
+    std::mt19937 rng(400 + m * 31 + k * 7 + n);
+    // For A^T B both operands have m rows; for A B^T both have k cols.
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix left = randomMatrix(m, n, rng);
+    const Matrix right = randomMatrix(n, k, rng);
+
+    expectBitIdentical(a.transposeTimes(left),
+                       naiveMultiply(naiveTranspose(a), left));
+    expectBitIdentical(a.timesTranspose(right),
+                       naiveMultiply(a, naiveTranspose(right)));
+
+    const Vector x = randomVector(m, rng);
+    const Vector got = a.transposeTimes(x);
+    const Vector want = naiveMultiply(naiveTranspose(a), x);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "row " << i;
+}
+
+TEST_P(KernelShapes, FusedVariantsCountTheSameMacs)
+{
+    const auto [m, k, n] = GetParam();
+    std::mt19937 rng(500 + m * 31 + k * 7 + n);
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix left = randomMatrix(m, n, rng);
+    const Matrix right = randomMatrix(n, k, rng);
+    const Vector x = randomVector(m, rng);
+
+    // Fusing away the materialized transpose must not change the MAC
+    // accounting the Sec. 4.3 experiment depends on.
+    const auto macsOf = [](const auto &thunk) {
+        MacScope scope;
+        thunk();
+        return scope.elapsed();
+    };
+    EXPECT_EQ(macsOf([&] { (void)a.transposeTimes(left); }),
+              macsOf([&] { (void)(a.transpose() * left); }));
+    EXPECT_EQ(macsOf([&] { (void)a.timesTranspose(right); }),
+              macsOf([&] { (void)(a * right.transpose()); }));
+    EXPECT_EQ(macsOf([&] { (void)a.transposeTimes(x); }),
+              macsOf([&] { (void)(a.transpose() * x); }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 3, 2},
+                      std::tuple{2, 1, 3}, std::tuple{3, 5, 1},
+                      std::tuple{4, 8, 8}, std::tuple{5, 7, 3},
+                      std::tuple{9, 13, 5}, std::tuple{16, 16, 16},
+                      std::tuple{17, 19, 23}, std::tuple{33, 40, 37}));
 
 // --- QR property tests over random shapes -------------------------------
 

@@ -2,6 +2,10 @@
 // reference numerical equivalence, execution-context reuse, and the
 // Engine/Session serving API.
 
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "apps/benchmark_apps.hpp"
@@ -10,6 +14,7 @@
 #include "runtime/engine.hpp"
 #include "runtime/execution_context.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/server_pool.hpp"
 
 using namespace orianna;
 
@@ -463,5 +468,224 @@ TEST(FramePipeline, RepeatedRunsAreIdentical)
                   second.streams[s].meanLatencyS);
         EXPECT_EQ(first.streams[s].maxLatencyS,
                   one_shot.streams[s].maxLatencyS);
+    }
+}
+
+// --- Graph fingerprints ----------------------------------------------
+
+TEST(Fingerprint, DeterministicAcrossRebuilds)
+{
+    const auto truth = chainTruth();
+    const fg::Values shapes = chainInitial(truth, 0.01);
+
+    // Same call twice, and a structurally identical graph rebuilt
+    // from scratch: one fingerprint.
+    const std::uint64_t a =
+        runtime::graphFingerprint(chainGraph(truth), shapes);
+    const std::uint64_t b =
+        runtime::graphFingerprint(chainGraph(truth), shapes);
+    EXPECT_EQ(a, b);
+
+    // Initial values do not enter the fingerprint, only shapes do: a
+    // different starting guess shares the compiled program.
+    EXPECT_EQ(a, runtime::graphFingerprint(chainGraph(truth),
+                                           chainInitial(truth, 0.08)));
+}
+
+TEST(Fingerprint, SensitiveToPayloadsNoiseOrderingAndTag)
+{
+    const auto truth = chainTruth();
+    const fg::Values shapes = chainInitial(truth, 0.01);
+    const std::uint64_t base =
+        runtime::graphFingerprint(chainGraph(truth), shapes);
+
+    // Different measurement constants bake different LOADC payloads.
+    auto shifted = truth;
+    shifted.back() = shifted.back().retract(
+        mat::Vector{0.05, 0.0, 0.0, 0.0, 0.0, 0.0});
+    EXPECT_NE(base,
+              runtime::graphFingerprint(chainGraph(shifted), shapes));
+
+    // Different noise models scale the whitened system differently.
+    fg::FactorGraph reweighted;
+    reweighted.emplace<fg::PriorFactor>(1, truth[0],
+                                        fg::isotropicSigmas(6, 0.02));
+    for (std::size_t i = 1; i < truth.size(); ++i)
+        reweighted.emplace<fg::IMUFactor>(
+            i, i + 1, truth[i].ominus(truth[i - 1]),
+            fg::isotropicSigmas(6, 0.05));
+    EXPECT_NE(base, runtime::graphFingerprint(reweighted, shapes));
+
+    // Factor registration order changes the instruction stream, so it
+    // is (conservatively) a different program.
+    fg::FactorGraph reordered;
+    for (std::size_t i = 1; i < truth.size(); ++i)
+        reordered.emplace<fg::IMUFactor>(
+            i, i + 1, truth[i].ominus(truth[i - 1]),
+            fg::isotropicSigmas(6, 0.05));
+    reordered.emplace<fg::PriorFactor>(1, truth[0],
+                                       fg::isotropicSigmas(6, 0.01));
+    EXPECT_NE(base, runtime::graphFingerprint(reordered, shapes));
+
+    // The coarse-grained OoO algorithm tag is part of the program.
+    EXPECT_NE(base, runtime::graphFingerprint(chainGraph(truth), shapes,
+                                              /*algorithm_tag=*/1));
+}
+
+// --- ServerPool ------------------------------------------------------
+
+TEST(ServerPool, ParallelForRunsEveryIndexExactlyOnce)
+{
+    runtime::ServerPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+
+    constexpr std::size_t kCount = 257; // Not a multiple of 4.
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ServerPool, ReportsWorkerIdsAndPerThreadTotals)
+{
+    EXPECT_EQ(runtime::ServerPool::currentWorker(), -1);
+
+    runtime::ServerPool pool(3);
+    std::atomic<int> bad_ids{0};
+    pool.parallelFor(64, [&pool, &bad_ids](std::size_t) {
+        const int w = runtime::ServerPool::currentWorker();
+        if (w < 0 || w >= static_cast<int>(pool.threads()))
+            bad_ids.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(bad_ids.load(), 0);
+    EXPECT_EQ(runtime::ServerPool::currentWorker(), -1);
+
+    const auto totals = pool.tasksExecuted();
+    ASSERT_EQ(totals.size(), 3u);
+    std::uint64_t sum = 0;
+    for (std::uint64_t t : totals)
+        sum += t;
+    EXPECT_EQ(sum, 64u);
+}
+
+TEST(ServerPool, PropagatesExceptionsAndSurvivesThem)
+{
+    runtime::ServerPool pool(2);
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [](std::size_t i) {
+                                      if (i == 5)
+                                          throw std::runtime_error(
+                                              "task 5 failed");
+                                  }),
+                 std::runtime_error);
+
+    // The failed batch drained completely; the pool keeps serving.
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&ran](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ServerPool, ZeroCountIsANoOp)
+{
+    runtime::ServerPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&called](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+// --- Concurrent serving ----------------------------------------------
+
+TEST(Engine, ConcurrentRequestsOfOneGraphCompileOnce)
+{
+    const auto truth = chainTruth();
+    const fg::FactorGraph graph = chainGraph(truth);
+    const fg::Values shapes = chainInitial(truth, 0.01);
+
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    constexpr std::size_t kThreads = 8;
+    std::vector<std::shared_ptr<const comp::Program>> got(kThreads);
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < kThreads; ++t)
+            threads.emplace_back([&engine, &graph, &shapes, &got, t] {
+                got[t] = engine.program(graph, shapes);
+            });
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    // Single-flight: one compile, everyone shares one Program object.
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        ASSERT_NE(got[t], nullptr);
+        EXPECT_EQ(got[t].get(), got[0].get());
+    }
+    EXPECT_EQ(engine.stats().compiles, 1u);
+    EXPECT_EQ(engine.stats().cacheHits, kThreads - 1);
+    EXPECT_EQ(engine.cachedPrograms(), 1u);
+
+    ASSERT_EQ(engine.compileLog().size(), 1u);
+    EXPECT_EQ(engine.compileLog()[0].fingerprint,
+              runtime::graphFingerprint(graph, shapes));
+    EXPECT_GT(engine.compileLog()[0].instructions, 0u);
+}
+
+TEST(Engine, ConcurrentSessionsMatchSequentialByteForByte)
+{
+    // Two distinct mission graphs (different measurements), many
+    // sessions each, served concurrently through one engine: every
+    // session must land on exactly the values the sequential loop
+    // produces, because parallelism is across sessions, never inside
+    // a frame.
+    const auto truth = chainTruth();
+    auto shifted = truth;
+    shifted.back() = shifted.back().retract(
+        mat::Vector{0.05, 0.0, 0.0, 0.0, 0.0, 0.0});
+    const std::vector<fg::FactorGraph> graphs = [&] {
+        std::vector<fg::FactorGraph> out;
+        out.push_back(chainGraph(truth));
+        out.push_back(chainGraph(shifted));
+        return out;
+    }();
+
+    constexpr std::size_t kSessions = 12;
+    constexpr std::size_t kFrames = 3;
+    auto solve = [&](runtime::ServerPool *pool) {
+        runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+        std::vector<fg::Values> finals(kSessions);
+        auto one = [&](std::size_t i) {
+            runtime::Session session = engine.session(
+                graphs[i % graphs.size()],
+                chainInitial(truth, 0.01 * (1.0 + (i % 3))));
+            session.iterate(kFrames);
+            finals[i] = session.values();
+        };
+        if (pool != nullptr)
+            pool->parallelFor(kSessions, one);
+        else
+            for (std::size_t i = 0; i < kSessions; ++i)
+                one(i);
+        return finals;
+    };
+
+    const std::vector<fg::Values> sequential = solve(nullptr);
+    runtime::ServerPool pool(4);
+    const std::vector<fg::Values> concurrent = solve(&pool);
+
+    ASSERT_EQ(concurrent.size(), sequential.size());
+    for (std::size_t i = 0; i < kSessions; ++i) {
+        for (fg::Key key : sequential[i].keys()) {
+            const lie::Pose &want = sequential[i].pose(key);
+            const lie::Pose &got = concurrent[i].pose(key);
+            for (std::size_t c = 0; c < want.phi().size(); ++c)
+                EXPECT_EQ(got.phi()[c], want.phi()[c])
+                    << "session " << i << " pose " << key;
+            for (std::size_t c = 0; c < want.t().size(); ++c)
+                EXPECT_EQ(got.t()[c], want.t()[c])
+                    << "session " << i << " pose " << key;
+        }
     }
 }

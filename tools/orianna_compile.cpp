@@ -5,14 +5,21 @@
 // passes), report the instruction mix, optionally run Gauss-Newton
 // steps on the simulated accelerator, and save the binary program.
 //
+// With --threads, the tool also demonstrates the parallel serving
+// path: one Engine, one session per worker, all sessions stepped
+// concurrently on a ServerPool and asserted byte-identical to the
+// sequential session.
+//
 // Usage:
 //   orianna_compile <input.g2o> [-o out.oprog] [--simulate]
-//                   [--iterate N] [--trace out.json] [--dot out.dot]
+//                   [--iterate N] [--threads N] [--trace out.json]
+//                   [--dot out.dot]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "compiler/codegen.hpp"
 #include "compiler/encoding.hpp"
@@ -23,6 +30,7 @@
 #include "fg/ordering.hpp"
 #include "hw/trace.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/server_pool.hpp"
 
 #include <fstream>
 
@@ -35,9 +43,29 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <input.g2o> [-o out.oprog] [--simulate] "
-                 "[--iterate N] [--trace out.json] [--dot out.dot]\n",
+                 "[--iterate N] [--threads N] [--trace out.json] "
+                 "[--dot out.dot]\n",
                  argv0);
     return 2;
+}
+
+/** Exact (bitwise) equality of two value sets over @p keys. */
+bool
+identicalValues(const fg::Values &a, const fg::Values &b)
+{
+    for (fg::Key key : a.keys()) {
+        if (a.isPose(key)) {
+            if (mat::maxDifference(a.pose(key).phi(),
+                                   b.pose(key).phi()) != 0.0 ||
+                mat::maxDifference(a.pose(key).t(),
+                                   b.pose(key).t()) != 0.0)
+                return false;
+        } else if (mat::maxDifference(a.vector(key),
+                                      b.vector(key)) != 0.0) {
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -53,7 +81,9 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string dot_path;
     bool simulate = false;
+    bool serve = false;
     std::size_t iterations = 1;
+    unsigned threads = 0; // 0: hardware_concurrency.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-o" && i + 1 < argc) {
@@ -65,6 +95,12 @@ main(int argc, char **argv)
             iterations = std::strtoul(argv[++i], nullptr, 10);
             if (iterations == 0)
                 return usage(argv[0]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            simulate = true;
+            serve = true;
+            threads =
+                static_cast<unsigned>(std::strtoul(argv[++i],
+                                                   nullptr, 10));
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (arg == "--dot" && i + 1 < argc) {
@@ -154,6 +190,47 @@ main(int argc, char **argv)
             if (!trace_path.empty()) {
                 hw::writeChromeTrace(trace_path, first.trace);
                 std::printf("wrote %s\n", trace_path.c_str());
+            }
+
+            if (serve) {
+                // Parallel serving demo: one session per worker over
+                // one shared compiled program (one compile, the rest
+                // cache hits), stepped concurrently. Every session
+                // must land on exactly the sequential session's
+                // values.
+                runtime::ServerPool pool(threads);
+                const unsigned n = pool.threads();
+                runtime::Engine engine(
+                    hw::AcceleratorConfig::minimal(true));
+                std::vector<runtime::Session> sessions;
+                sessions.reserve(n);
+                for (unsigned c = 0; c < n; ++c)
+                    sessions.push_back(engine.session(
+                        data.graph, data.initial, 1.0, 0, input));
+                pool.parallelFor(n, [&](std::size_t c) {
+                    sessions[c].iterate(iterations);
+                });
+
+                bool identical = true;
+                for (const runtime::Session &served : sessions)
+                    identical = identical &&
+                                identicalValues(session.values(),
+                                                served.values());
+                std::printf("served %u concurrent session(s) on %u "
+                            "thread(s): %zu compile(s), %zu cache "
+                            "hit(s), results %s\n",
+                            n, n, engine.stats().compiles,
+                            engine.stats().cacheHits,
+                            identical
+                                ? "identical to the sequential session"
+                                : "DIVERGED");
+                const auto totals = pool.tasksExecuted();
+                for (std::size_t w = 0; w < totals.size(); ++w)
+                    std::printf("  thread %zu: %llu task(s)\n", w,
+                                static_cast<unsigned long long>(
+                                    totals[w]));
+                if (!identical)
+                    return 1;
             }
         }
     } catch (const std::exception &error) {
