@@ -18,6 +18,7 @@
 #include "apps/benchmark_apps.hpp"
 #include "bench_common.hpp"
 #include "runtime/execution_context.hpp"
+#include "runtime/metrics.hpp"
 
 using namespace orianna;
 
@@ -36,6 +37,12 @@ secondsSince(Clock::time_point start)
 int
 main()
 {
+    // The headline numbers measure the undisturbed hot path (metrics
+    // runtime-disabled, the mode a latency-critical deployment runs
+    // in); the enabled-mode loop below quantifies the instrumentation
+    // overhead separately.
+    runtime::MetricsRegistry::setEnabled(false);
+
     apps::BenchmarkApp bench =
         apps::buildApp(apps::AppKind::MobileRobot, bench::kBenchSeed);
     bench.app.compile();
@@ -73,12 +80,30 @@ main()
     const double fresh_fps = static_cast<double>(frames) / fresh_s;
     const double reused_fps = static_cast<double>(frames) / reused_s;
 
+    // Same warm-context loop with metrics recording on: the cost of
+    // the observability layer when enabled (flushes per-unit busy
+    // cycles and counters once per frame).
+    runtime::MetricsRegistry::setEnabled(true);
+    std::uint64_t checksum_metrics = 0;
+    const auto metrics_start = Clock::now();
+    for (std::size_t i = 0; i < frames; ++i)
+        checksum_metrics += context.run(config).cycles;
+    const double metrics_s = secondsSince(metrics_start);
+    runtime::MetricsRegistry::setEnabled(false);
+    const double metrics_fps = static_cast<double>(frames) / metrics_s;
+
     std::printf("mobile_robot frame loop, %zu frames\n", frames);
     std::printf("  fresh context per frame: %8.1f frames/s\n",
                 fresh_fps);
     std::printf("  reused context:          %8.1f frames/s\n",
                 reused_fps);
+    std::printf("  reused + metrics on:     %8.1f frames/s\n",
+                metrics_fps);
     std::printf("  speedup: %.2fx\n", reused_fps / fresh_fps);
+    if (checksum_metrics != checksum_reused) {
+        std::fprintf(stderr, "metrics-on cycle checksum diverges\n");
+        return 1;
+    }
     if (checksum_fresh != checksum_reused) {
         std::fprintf(stderr,
                      "cycle checksums diverge: %llu vs %llu\n",
@@ -93,6 +118,7 @@ main()
          << "  \"frames\": " << frames << ",\n"
          << "  \"fresh_context_fps\": " << fresh_fps << ",\n"
          << "  \"reused_context_fps\": " << reused_fps << ",\n"
+         << "  \"metrics_enabled_fps\": " << metrics_fps << ",\n"
          << "  \"speedup\": " << reused_fps / fresh_fps << "\n"
          << "}\n";
     std::printf("wrote BENCH_runtime.json\n");

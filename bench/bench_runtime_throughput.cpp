@@ -21,6 +21,7 @@
 #include "apps/benchmark_apps.hpp"
 #include "bench_common.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/server_pool.hpp"
 
 using namespace orianna;
@@ -81,7 +82,38 @@ struct RunOutcome
     std::vector<double> frame_ms;        //!< Every frame's latency.
     double elapsed_s = 0.0;
     runtime::Engine::Stats stats;
+    std::uint64_t steals = 0;
+    double sim_p50_us = 0.0; //!< Registry frame.simulate_us p50.
+    double sim_p99_us = 0.0;
+    /** Per-unit utilization (busy share) from the registry. */
+    std::vector<std::pair<std::string, double>> utilization;
 };
+
+/** Registry-derived per-unit utilization over the finished run. */
+std::vector<std::pair<std::string, double>>
+registryUtilization()
+{
+    auto &metrics = runtime::MetricsRegistry::global();
+    std::vector<std::pair<std::string, double>> util;
+    const std::uint64_t cycles = metrics.counter("hw.cycles").value();
+    if (cycles == 0)
+        return util;
+    for (std::size_t k = 0; k < hw::kUnitKindCount; ++k) {
+        const std::string unit =
+            hw::unitName(static_cast<hw::UnitKind>(k));
+        const std::uint64_t busy =
+            metrics.counter("hw.busy_cycles." + unit).value();
+        const std::int64_t instances =
+            metrics.gauge("hw.units." + unit).value();
+        if (instances <= 0)
+            continue;
+        util.emplace_back(unit,
+                          static_cast<double>(busy) /
+                              (static_cast<double>(cycles) *
+                               static_cast<double>(instances)));
+    }
+    return util;
+}
 
 void
 serveOne(runtime::Engine &engine, const Mission &mission,
@@ -100,6 +132,11 @@ serveOne(runtime::Engine &engine, const Mission &mission,
 RunOutcome
 serve(const std::vector<Mission> &missions, runtime::ServerPool *pool)
 {
+    // Fresh registry window per run so the utilization and histogram
+    // numbers describe exactly this serving run.
+    auto &metrics = runtime::MetricsRegistry::global();
+    metrics.reset();
+
     runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
     RunOutcome out;
     out.digests.assign(kSessions, 0);
@@ -118,6 +155,12 @@ serve(const std::vector<Mission> &missions, runtime::ServerPool *pool)
     }
     out.elapsed_s = secondsSince(start);
     out.stats = engine.stats();
+    out.steals = metrics.counter("pool.steals").value();
+    out.sim_p50_us =
+        metrics.histogram("frame.simulate_us").percentile(0.50);
+    out.sim_p99_us =
+        metrics.histogram("frame.simulate_us").percentile(0.99);
+    out.utilization = registryUtilization();
     return out;
 }
 
@@ -155,8 +198,9 @@ main()
     // pool-driven run must reproduce.
     const RunOutcome reference = serve(missions, nullptr);
 
-    std::printf("%8s %12s %10s %10s %10s\n", "threads", "sessions/s",
-                "p50 ms", "p99 ms", "hit rate");
+    std::printf("%8s %12s %10s %10s %10s %8s %12s\n", "threads",
+                "sessions/s", "p50 ms", "p99 ms", "hit rate", "steals",
+                "sim p99 us");
 
     std::ofstream json("BENCH_throughput.json");
     json << "{\n  \"sessions\": " << kSessions
@@ -187,15 +231,27 @@ main()
             static_cast<double>(run.stats.cacheHits +
                                 run.stats.compiles);
 
-        std::printf("%8u %12.1f %10.2f %10.2f %9.0f%%\n", threads,
-                    sessions_per_s, p50, p99, 100.0 * hit_rate);
+        std::printf("%8u %12.1f %10.2f %10.2f %9.0f%% %8llu %12.1f\n",
+                    threads, sessions_per_s, p50, p99,
+                    100.0 * hit_rate,
+                    static_cast<unsigned long long>(run.steals),
+                    run.sim_p99_us);
 
         json << (first ? "" : ",\n")
              << "    {\"threads\": " << threads
              << ", \"sessions_per_s\": " << sessions_per_s
              << ", \"p50_frame_ms\": " << p50
              << ", \"p99_frame_ms\": " << p99
-             << ", \"cache_hit_rate\": " << hit_rate << "}";
+             << ", \"cache_hit_rate\": " << hit_rate
+             << ", \"steals\": " << run.steals
+             << ", \"sim_p50_us\": " << run.sim_p50_us
+             << ", \"sim_p99_us\": " << run.sim_p99_us
+             << ", \"utilization\": {";
+        for (std::size_t u = 0; u < run.utilization.size(); ++u)
+            json << (u == 0 ? "" : ", ") << '"'
+                 << run.utilization[u].first
+                 << "\": " << run.utilization[u].second;
+        json << "}}";
         first = false;
     }
     json << "\n  ]\n}\n";

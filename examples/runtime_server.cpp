@@ -12,20 +12,63 @@
 // The clients run concurrently on a ServerPool (--threads N, default
 // hardware concurrency): sessions never share mutable state, so the
 // results match the interleaved sequential loop exactly.
+//
+// Observability (DESIGN.md §6):
+//   --metrics out.json   dump the serving metrics registry (cache hit
+//                        rate, per-stage frame p50/p99, steal counts,
+//                        per-unit utilization) after the run;
+//   --trace out.json     write the unified Perfetto trace: session ->
+//                        frame -> stage spans above the per-unit
+//                        hardware rows of every served frame.
+//
+// Usage:
+//   runtime_server [--threads N] [--metrics out.json]
+//                  [--trace out.json]
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
 
 #include "fg/factors.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/server_pool.hpp"
+#include "runtime/trace_sink.hpp"
 
 using namespace orianna;
 using lie::Pose;
 using mat::Vector;
 
 namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--threads N] [--metrics out.json] "
+                 "[--trace out.json]\n"
+                 "  --threads N   worker threads, N >= 1 (default: "
+                 "hardware concurrency)\n"
+                 "  --metrics F   write the metrics registry JSON to "
+                 "F after serving\n"
+                 "  --trace F     write the unified Perfetto trace "
+                 "JSON to F\n",
+                 argv0);
+    return 2;
+}
+
+/** Parse a strictly positive integer; returns 0 on any malformation. */
+unsigned
+parsePositive(const char *text)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value <= 0)
+        return 0;
+    return static_cast<unsigned>(value);
+}
 
 /** A small odometry chain with a loop closure and an anchored start. */
 fg::FactorGraph
@@ -50,10 +93,25 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = 0; // 0: hardware_concurrency.
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::strcmp(argv[i], "--threads") == 0)
-            threads = static_cast<unsigned>(
-                std::strtoul(argv[i + 1], nullptr, 10));
+    std::string metrics_path;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = parsePositive(argv[++i]);
+            if (threads == 0)
+                return usage(argv[0]);
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (!trace_path.empty())
+        runtime::TraceCollector::setEnabled(true);
 
     std::vector<Pose> truth;
     for (int i = 0; i < 6; ++i)
@@ -90,7 +148,8 @@ main(int argc, char **argv)
     });
 
     const auto totals = pool.tasksExecuted();
-    std::printf("pool: %u thread(s)", pool.threads());
+    std::printf("pool: %u thread(s), %llu steal(s)", pool.threads(),
+                static_cast<unsigned long long>(pool.steals()));
     for (std::size_t w = 0; w < totals.size(); ++w)
         std::printf("%s thread %zu ran %llu", w == 0 ? "," : ";", w,
                     static_cast<unsigned long long>(totals[w]));
@@ -106,5 +165,29 @@ main(int argc, char **argv)
                         session.totals().cycles),
                     err);
     }
-    return engine.stats().cacheHits == 2 ? 0 : 1;
+
+    const bool cache_ok = engine.stats().cacheHits == 2;
+
+    // Close the sessions before exporting: each destructor reports
+    // its enclosing "session" span to the unified trace.
+    sessions.clear();
+
+    try {
+        if (!metrics_path.empty()) {
+            std::ofstream out(metrics_path);
+            out << runtime::Engine::metricsJson();
+            if (!out)
+                throw std::runtime_error("cannot write " +
+                                         metrics_path);
+            std::printf("wrote %s\n", metrics_path.c_str());
+        }
+        if (!trace_path.empty()) {
+            runtime::TraceCollector::global().write(trace_path);
+            std::printf("wrote %s\n", trace_path.c_str());
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return cache_ok ? 0 : 1;
 }

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
+
 namespace orianna::hw {
 
 namespace {
@@ -258,6 +260,7 @@ FramePipeline::run(double horizon_s)
     PipelineResult result;
     result.cycles = now;
     result.streams.resize(streams_.size());
+    const bool metrics_on = runtime::MetricsRegistry::enabled();
     for (const Frame &frame : frames) {
         StreamStats &stats = result.streams[frame.stream];
         const double latency =
@@ -269,8 +272,22 @@ FramePipeline::run(double horizon_s)
         stats.meanLatencyS += latency;
         stats.meanWaitS += wait;
         stats.maxLatencyS = std::max(stats.maxLatencyS, latency);
-        if (latency > 1.0 / streams_[frame.stream].rateHz)
+        const bool missed =
+            latency > 1.0 / streams_[frame.stream].rateHz;
+        if (missed)
             ++stats.deadlineMisses;
+        if (metrics_on) {
+            // Model-time frame latency/wait: the per-stage visibility
+            // of the rate-aware pipeline (p50/p99 via the registry).
+            auto &metrics = runtime::MetricsRegistry::global();
+            metrics.histogram("pipeline.frame_latency_us")
+                .observe(static_cast<std::uint64_t>(latency * 1e6));
+            metrics.histogram("pipeline.frame_wait_us")
+                .observe(static_cast<std::uint64_t>(wait * 1e6));
+            metrics.counter("pipeline.frames").add();
+            if (missed)
+                metrics.counter("pipeline.deadline_misses").add();
+        }
     }
     std::uint64_t hottest = 0;
     for (std::uint64_t b : busy)

@@ -5,6 +5,8 @@
 #include "compiler/optimize.hpp"
 #include "fg/factor.hpp"
 #include "fg/ordering.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace_sink.hpp"
 
 namespace orianna::runtime {
 
@@ -132,6 +134,23 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
             auto future = it->second;
             lock.unlock();
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            if (MetricsRegistry::enabled()) {
+                auto &metrics = MetricsRegistry::global();
+                metrics.counter("engine.cache_hits").add();
+                // Blocks only while the single-flight compile is
+                // still running; count and time that wait.
+                if (future.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready) {
+                    metrics.counter("engine.singleflight_waits")
+                        .add();
+                    const StageTimer wait;
+                    auto program = future.get();
+                    metrics.histogram("engine.singleflight_wait_us")
+                        .observe(wait.elapsedUs());
+                    return program;
+                }
+                return future.get();
+            }
             // Blocks only while the single-flight compile is still
             // running; afterwards this is a plain read.
             return future.get();
@@ -149,6 +168,10 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
             auto other = it->second;
             lock.unlock();
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            if (MetricsRegistry::enabled())
+                MetricsRegistry::global()
+                    .counter("engine.cache_hits")
+                    .add();
             return other.get();
         }
         future = promise.get_future().share();
@@ -158,6 +181,7 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
     // Compile outside any lock: other fingerprints proceed in
     // parallel, requesters of this one wait on the future.
     try {
+        const StageTimer compile_timer;
         comp::CompileOptions options;
         options.algorithmTag = algorithm_tag;
         options.name = name;
@@ -166,6 +190,12 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
             comp::optimizeProgram(
                 comp::compileGraph(graph, shapes, options)));
         compiles_.fetch_add(1, std::memory_order_relaxed);
+        if (compile_timer.armed()) {
+            auto &metrics = MetricsRegistry::global();
+            metrics.counter("engine.compiles").add();
+            metrics.histogram("engine.compile_us")
+                .observe(compile_timer.elapsedUs());
+        }
         {
             std::lock_guard lock(logMutex_);
             log_.push_back(
@@ -201,23 +231,75 @@ Engine::compileLog() const
     return log_;
 }
 
+std::string
+Engine::metricsJson()
+{
+    return MetricsRegistry::global().toJson();
+}
+
 Session
 Engine::session(const fg::FactorGraph &graph, fg::Values initial,
                 double step_scale, std::uint8_t algorithm_tag,
                 const std::string &name)
 {
+    const StageTimer open;
     auto compiled = program(graph, initial, algorithm_tag, name);
+    if (open.armed())
+        MetricsRegistry::global()
+            .histogram("engine.session_open_us")
+            .observe(open.elapsedUs());
     return Session(std::move(compiled), std::move(initial), config_,
                    step_scale);
 }
+
+/** See engine.hpp: reports the enclosing session span on death. */
+struct SessionTraceHandle
+{
+    std::uint64_t track;
+    std::uint64_t openedUs;
+
+    ~SessionTraceHandle()
+    {
+        if (TraceCollector::enabled())
+            TraceCollector::global().addSpan(
+                track, "session", "session", openedUs,
+                MetricsRegistry::nowUs() - openedUs);
+    }
+};
+
+namespace {
+
+std::shared_ptr<SessionTraceHandle>
+openSessionTrack()
+{
+    if (!TraceCollector::enabled())
+        return nullptr;
+    static std::atomic<std::uint64_t> next{0};
+    const std::uint64_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    auto handle = std::make_shared<SessionTraceHandle>();
+    handle->track = TraceCollector::global().openTrack(
+        "session " + std::to_string(id));
+    handle->openedUs = MetricsRegistry::nowUs();
+    return handle;
+}
+
+} // namespace
 
 Session::Session(std::shared_ptr<const comp::Program> program,
                  fg::Values initial, hw::AcceleratorConfig config,
                  double step_scale)
     : program_(std::move(program)), values_(std::move(initial)),
       config_(std::move(config)), stepScale_(step_scale),
-      context_(std::vector<const comp::Program *>{program_.get()})
+      context_(std::vector<const comp::Program *>{program_.get()}),
+      trace_(openSessionTrack())
 {
+}
+
+std::int64_t
+Session::traceTrack() const
+{
+    return trace_ ? static_cast<std::int64_t>(trace_->track) : -1;
 }
 
 Session::Session(const comp::Program &program, fg::Values initial,
@@ -231,14 +313,61 @@ Session::Session(const comp::Program &program, fg::Values initial,
 hw::SimResult
 Session::step()
 {
+    const bool tracing =
+        trace_ != nullptr && TraceCollector::enabled();
+    const bool metrics_on = MetricsRegistry::enabled();
+    const bool timed = tracing || metrics_on;
+
     // Rebind each step so the session stays movable: values_ lives
     // inside this object and its address follows the session.
     context_.bindValues(0, &values_);
+
+    const std::uint64_t frame_start =
+        timed ? MetricsRegistry::nowUs() : 0;
+    // The unified trace needs the per-unit schedule even when the
+    // caller did not ask for one; restore the flag afterwards so the
+    // returned SimResult honors the caller's configuration.
+    const bool caller_trace = config_.recordTrace;
+    config_.recordTrace = caller_trace || tracing;
     hw::SimResult frame = context_.run(config_);
+    config_.recordTrace = caller_trace;
+    const std::uint64_t simulate_end =
+        timed ? MetricsRegistry::nowUs() : 0;
+
     if (stepScale_ != 1.0)
         for (auto &[key, delta] : frame.deltas[0])
             delta = delta * stepScale_;
     values_.retractAll(frame.deltas[0]);
+    const std::uint64_t update_end =
+        timed ? MetricsRegistry::nowUs() : 0;
+
+    // One set of integer durations feeds both the histograms and the
+    // trace spans, so span sums and histogram sums agree exactly.
+    const std::uint64_t simulate_us = simulate_end - frame_start;
+    const std::uint64_t update_us = update_end - simulate_end;
+    const std::uint64_t frame_us = update_end - frame_start;
+    if (metrics_on) {
+        auto &metrics = MetricsRegistry::global();
+        metrics.counter("frame.count").add();
+        metrics.histogram("frame.total_us").observe(frame_us);
+        metrics.histogram("frame.simulate_us").observe(simulate_us);
+        metrics.histogram("frame.update_us").observe(update_us);
+    }
+    if (tracing) {
+        auto &collector = TraceCollector::global();
+        const std::uint64_t track = trace_->track;
+        collector.addSpan(track,
+                          "frame " + std::to_string(frames_),
+                          "frame", frame_start, frame_us);
+        collector.addSpan(track, "simulate", "stage", frame_start,
+                          simulate_us);
+        collector.addSpan(track, "update", "stage", simulate_end,
+                          update_us);
+        collector.addHwFrame(track, frame_start, frame.trace,
+                             config_.units);
+        if (!caller_trace)
+            frame.trace.clear();
+    }
     totals_.accumulate(frame);
     ++frames_;
     return frame;

@@ -38,6 +38,14 @@ std::uint64_t graphFingerprint(const fg::FactorGraph &graph,
 class Session;
 
 /**
+ * Unified-trace bookkeeping of one session (allocated only when the
+ * TraceCollector is enabled at session construction). Held by
+ * shared_ptr so sessions stay movable; the last owner reports the
+ * enclosing "session" span when it dies.
+ */
+struct SessionTraceHandle;
+
+/**
  * The long-lived serving half of the runtime: owns an accelerator
  * configuration and a cache of compiled Programs keyed by graph
  * fingerprint. Sessions opened against the engine share cached
@@ -102,6 +110,15 @@ class Engine
     }
 
     std::size_t cachedPrograms() const;
+
+    /**
+     * JSON snapshot of the serving metrics (the process-wide
+     * MetricsRegistry): cache and single-flight counters, per-stage
+     * frame latency histograms with p50/p99, pool steal counts,
+     * per-unit utilization. Always valid JSON — before any session
+     * ran it reports zeroed instruments and null derived rates.
+     */
+    static std::string metricsJson();
 
     /** One cache miss, in compile order: the diagnostics trail. */
     struct CompileRecord
@@ -177,6 +194,12 @@ class Session
 
     std::size_t frames() const { return frames_; }
 
+    /**
+     * The session's track id in the unified trace, or -1 when the
+     * TraceCollector was disabled at construction.
+     */
+    std::int64_t traceTrack() const;
+
   private:
     std::shared_ptr<const comp::Program> program_;
     fg::Values values_;
@@ -185,6 +208,7 @@ class Session
     ExecutionContext context_;
     hw::SimResult totals_;
     std::size_t frames_ = 0;
+    std::shared_ptr<SessionTraceHandle> trace_;
 };
 
 } // namespace orianna::runtime

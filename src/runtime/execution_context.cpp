@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <string>
+
+#include "runtime/metrics.hpp"
 
 namespace orianna::runtime {
 
@@ -303,6 +306,36 @@ ExecutionContext::run(const hw::AcceleratorConfig &config,
         finish = std::max(finish, finishCycle_[g]);
     }
     result.staticEnergyJ = CostModel::staticPowerW * result.seconds();
+
+    // Flush simulator-side observability off the hot path: the issue
+    // loop above records nothing, everything here is reconstructed
+    // from the per-instruction scratch arrays once per frame, and
+    // only when metrics are enabled (one relaxed load otherwise).
+    if (MetricsRegistry::enabled()) {
+        auto &metrics = MetricsRegistry::global();
+        metrics.counter("hw.frames").add();
+        metrics.counter("hw.cycles").add(result.cycles);
+        for (std::size_t k = 0; k < hw::kUnitKindCount; ++k) {
+            instanceBusy_[k].assign(config.units[k], 0);
+        }
+        for (std::size_t g = 0; g < total; ++g)
+            instanceBusy_[unitKind_[g]][assignedInstance_[g]] +=
+                latency_[g];
+        for (std::size_t k = 0; k < hw::kUnitKindCount; ++k) {
+            if (config.units[k] == 0)
+                continue;
+            const std::string unit =
+                hw::unitName(static_cast<UnitKind>(k));
+            metrics.counter("hw.busy_cycles." + unit)
+                .add(result.unitBusyCycles[k]);
+            metrics.gauge("hw.units." + unit).set(config.units[k]);
+            for (unsigned u = 0; u < config.units[k]; ++u)
+                metrics
+                    .counter("hw.busy_cycles." + unit + "." +
+                             std::to_string(u))
+                    .add(instanceBusy_[k][u]);
+        }
+    }
 
     // Read back the deltas.
     for (std::size_t w = 0; w < programs_.size(); ++w)

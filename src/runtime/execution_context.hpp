@@ -98,6 +98,9 @@ class ExecutionContext
     std::vector<std::uint8_t> done_;
     std::vector<unsigned> assignedInstance_;
     std::array<std::vector<unsigned>, hw::kUnitKindCount> freeInstances_;
+    /** Per-(kind, instance) busy cycles, flushed to metrics. */
+    std::array<std::vector<std::uint64_t>, hw::kUnitKindCount>
+        instanceBusy_;
     /** Min-heap of (finish cycle, global index) completions. */
     std::vector<std::pair<std::uint64_t, std::size_t>> events_;
 };

@@ -1,0 +1,257 @@
+#include "runtime/metrics.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "hw/cost_model.hpp"
+
+namespace orianna::runtime {
+
+std::atomic<bool> MetricsRegistry::enabled_{true};
+
+std::size_t
+Counter::threadCell()
+{
+    // Spread threads round-robin over the cells on first use; the
+    // assignment is sticky for the thread's lifetime.
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t cell =
+        next.fetch_add(1, std::memory_order_relaxed) % kCells;
+    return cell;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if constexpr (!kMetricsCompiled)
+        return 0.0;
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    const double target = p * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b <= kBuckets; ++b) {
+        const std::uint64_t in_bucket = bucketCount(b);
+        if (in_bucket == 0)
+            continue;
+        if (cumulative + static_cast<double>(in_bucket) >= target) {
+            const double lower =
+                static_cast<double>(bucketLowerUs(b));
+            if (b == kBuckets)
+                return lower; // Overflow: clamp to its lower bound.
+            const double upper =
+                static_cast<double>(bucketLowerUs(b + 1));
+            const double within =
+                (target - cumulative) / static_cast<double>(in_bucket);
+            return lower + (upper - lower) * within;
+        }
+        cumulative += static_cast<double>(in_bucket);
+    }
+    return static_cast<double>(bucketLowerUs(kBuckets));
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::uint64_t
+MetricsRegistry::nowUs()
+{
+    using namespace std::chrono;
+    // One process-wide epoch so timestamps from every thread land on
+    // the same trace timebase.
+    static const steady_clock::time_point epoch = steady_clock::now();
+    return static_cast<std::uint64_t>(
+        duration_cast<microseconds>(steady_clock::now() - epoch)
+            .count());
+}
+
+namespace {
+
+template <class Map, class Make>
+auto &
+findOrCreate(std::shared_mutex &mutex, Map &map, std::string_view name,
+             Make make)
+{
+    {
+        std::shared_lock lock(mutex);
+        auto it = map.find(name);
+        if (it != map.end())
+            return *it->second;
+    }
+    std::unique_lock lock(mutex);
+    auto it = map.find(name);
+    if (it == map.end())
+        it = map.emplace(std::string(name), make()).first;
+    return *it->second;
+}
+
+} // namespace
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    return findOrCreate(mutex_, counters_, name,
+                        [] { return std::make_unique<Counter>(); });
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    return findOrCreate(mutex_, gauges_, name,
+                        [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    return findOrCreate(mutex_, histograms_, name,
+                        [] { return std::make_unique<Histogram>(); });
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::unique_lock lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+namespace {
+
+void
+appendNumber(std::string &out, double v)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+    out += buffer;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::shared_lock lock(mutex_);
+    std::string out;
+    out += "{\n  \"compiled\": ";
+    out += kMetricsCompiled ? "true" : "false";
+    out += ",\n  \"enabled\": ";
+    out += enabled() ? "true" : "false";
+
+    out += ",\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, counter] : counters_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name +
+               "\": " + std::to_string(counter->value());
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, gauge] : gauges_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name +
+               "\": " + std::to_string(gauge->value());
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, histogram] : histograms_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"count\": " +
+               std::to_string(histogram->count()) +
+               ", \"sum_us\": " + std::to_string(histogram->sumUs()) +
+               ", \"p50_us\": ";
+        appendNumber(out, histogram->percentile(0.50));
+        out += ", \"p99_us\": ";
+        appendNumber(out, histogram->percentile(0.99));
+        out += ", \"overflow\": " +
+               std::to_string(histogram->overflowCount()) +
+               ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b <= Histogram::kBuckets; ++b) {
+            const std::uint64_t in_bucket = histogram->bucketCount(b);
+            if (in_bucket == 0)
+                continue;
+            if (!first_bucket)
+                out += ", ";
+            first_bucket = false;
+            out += "[" +
+                   std::to_string(Histogram::bucketLowerUs(b)) + ", " +
+                   std::to_string(in_bucket) + "]";
+        }
+        out += "]}";
+    }
+    out += first ? "}" : "\n  }";
+
+    // Derived serving indicators, computed from the raw instruments
+    // by naming convention so exporters need no extra wiring.
+    out += ",\n  \"derived\": {\n    \"cache_hit_rate\": ";
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t compiles = 0;
+        if (auto it = counters_.find("engine.cache_hits");
+            it != counters_.end())
+            hits = it->second->value();
+        if (auto it = counters_.find("engine.compiles");
+            it != counters_.end())
+            compiles = it->second->value();
+        if (hits + compiles == 0)
+            out += "null";
+        else
+            appendNumber(out, static_cast<double>(hits) /
+                                  static_cast<double>(hits + compiles));
+    }
+    out += ",\n    \"utilization\": {";
+    {
+        std::uint64_t frame_cycles = 0;
+        if (auto it = counters_.find("hw.cycles");
+            it != counters_.end())
+            frame_cycles = it->second->value();
+        bool first_unit = true;
+        for (std::size_t k = 0; k < hw::kUnitKindCount; ++k) {
+            const char *unit =
+                hw::unitName(static_cast<hw::UnitKind>(k));
+            const auto busy_it = counters_.find(
+                std::string("hw.busy_cycles.") + unit);
+            const auto units_it =
+                gauges_.find(std::string("hw.units.") + unit);
+            if (busy_it == counters_.end() ||
+                units_it == gauges_.end() || frame_cycles == 0 ||
+                units_it->second->value() <= 0)
+                continue;
+            out += first_unit ? "\n" : ",\n";
+            first_unit = false;
+            out += "      \"";
+            out += unit;
+            out += "\": ";
+            appendNumber(
+                out,
+                static_cast<double>(busy_it->second->value()) /
+                    (static_cast<double>(frame_cycles) *
+                     static_cast<double>(units_it->second->value())));
+        }
+        out += first_unit ? "}" : "\n    }";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+} // namespace orianna::runtime

@@ -1,0 +1,321 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace orianna::runtime {
+
+/**
+ * Compile-time metrics gate. Building with -DORIANNA_METRICS=OFF
+ * (CMake option, defines ORIANNA_METRICS_OFF globally) turns every
+ * instrument into a constexpr no-op: recording calls compile to
+ * nothing and snapshot queries return zeros, so a metrics-free build
+ * carries no atomics on the frame hot path at all.
+ */
+#ifdef ORIANNA_METRICS_OFF
+inline constexpr bool kMetricsCompiled = false;
+#else
+inline constexpr bool kMetricsCompiled = true;
+#endif
+
+/**
+ * Sharded relaxed counter: adds go to a per-thread cache-line-padded
+ * cell (threads are spread over the cells on first use), reads sum
+ * the cells. Serving threads therefore never contend on one cache
+ * line even when they all bump the same logical counter every frame.
+ */
+class Counter
+{
+  public:
+    static constexpr std::size_t kCells = 16;
+
+    void
+    add(std::uint64_t n = 1)
+    {
+        if constexpr (kMetricsCompiled)
+            cells_[threadCell()].value.fetch_add(
+                n, std::memory_order_relaxed);
+        else
+            (void)n;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t total = 0;
+        if constexpr (kMetricsCompiled)
+            for (const Cell &cell : cells_)
+                total += cell.value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void
+    reset()
+    {
+        if constexpr (kMetricsCompiled)
+            for (Cell &cell : cells_)
+                cell.value.store(0, std::memory_order_relaxed);
+    }
+
+    /** Cell index of the calling thread (exposed for tests). */
+    static std::size_t threadCell();
+
+  private:
+    struct Cell
+    {
+        alignas(64) std::atomic<std::uint64_t> value{0};
+    };
+
+    std::array<Cell, kCells> cells_;
+};
+
+/** Last-write-wins instantaneous value (queue depths, unit counts). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        if constexpr (kMetricsCompiled)
+            value_.store(v, std::memory_order_relaxed);
+        else
+            (void)v;
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        if constexpr (kMetricsCompiled)
+            value_.fetch_add(delta, std::memory_order_relaxed);
+        else
+            (void)delta;
+    }
+
+    /** Raise to @p v if it exceeds the current value. */
+    void
+    max(std::int64_t v)
+    {
+        if constexpr (kMetricsCompiled) {
+            std::int64_t cur = value_.load(std::memory_order_relaxed);
+            while (v > cur && !value_.compare_exchange_weak(
+                                  cur, v, std::memory_order_relaxed))
+                ;
+        } else {
+            (void)v;
+        }
+    }
+
+    std::int64_t
+    value() const
+    {
+        if constexpr (kMetricsCompiled)
+            return value_.load(std::memory_order_relaxed);
+        return 0;
+    }
+
+    void reset() { set(0); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket latency histogram over microseconds: bucket k counts
+ * samples in [2^k, 2^(k+1)) us (bucket 0 also takes 0), plus an
+ * overflow bucket for anything at or beyond 2^kBuckets us (~67 s) —
+ * extreme latencies are counted there, never dropped. Count and sum
+ * are exact integers so tests can assert them against independently
+ * accumulated span durations; percentiles interpolate inside the
+ * winning bucket, which is the usual fixed-bucket estimate.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 26;
+
+    void
+    observe(std::uint64_t us)
+    {
+        if constexpr (kMetricsCompiled) {
+            buckets_[bucketOf(us)].fetch_add(
+                1, std::memory_order_relaxed);
+            count_.fetch_add(1, std::memory_order_relaxed);
+            sum_.fetch_add(us, std::memory_order_relaxed);
+        } else {
+            (void)us;
+        }
+    }
+
+    std::uint64_t
+    count() const
+    {
+        if constexpr (kMetricsCompiled)
+            return count_.load(std::memory_order_relaxed);
+        return 0;
+    }
+
+    std::uint64_t
+    sumUs() const
+    {
+        if constexpr (kMetricsCompiled)
+            return sum_.load(std::memory_order_relaxed);
+        return 0;
+    }
+
+    std::uint64_t
+    bucketCount(std::size_t bucket) const
+    {
+        if constexpr (kMetricsCompiled)
+            return buckets_.at(bucket).load(std::memory_order_relaxed);
+        return 0;
+    }
+
+    std::uint64_t
+    overflowCount() const
+    {
+        return bucketCount(kBuckets);
+    }
+
+    /** Estimated p-quantile (p in [0,1]) in microseconds. */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        if constexpr (kMetricsCompiled) {
+            for (auto &bucket : buckets_)
+                bucket.store(0, std::memory_order_relaxed);
+            count_.store(0, std::memory_order_relaxed);
+            sum_.store(0, std::memory_order_relaxed);
+        }
+    }
+
+    /** Inclusive lower bound of @p bucket, in microseconds. */
+    static std::uint64_t
+    bucketLowerUs(std::size_t bucket)
+    {
+        return bucket == 0 ? 0 : (std::uint64_t{1} << bucket);
+    }
+
+    static std::size_t
+    bucketOf(std::uint64_t us)
+    {
+        std::size_t b = 0;
+        while (b < kBuckets && us >= (std::uint64_t{1} << (b + 1)))
+            ++b;
+        return us >= (std::uint64_t{1} << kBuckets) ? kBuckets : b;
+    }
+
+  private:
+    /** One extra slot: the overflow bucket. */
+    std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/**
+ * Process-wide registry of named instruments. Components register
+ * counters/gauges/histograms once (name lookup takes a shared lock on
+ * the hit path, an exclusive lock only on first creation) and then
+ * record through the returned reference, which stays valid for the
+ * registry's lifetime.
+ *
+ * Recording is additionally gated by a runtime flag: instrument call
+ * sites check MetricsRegistry::enabled() (one relaxed load) before
+ * touching any instrument, so `setEnabled(false)` reduces the whole
+ * observability layer to a branch per call site. The flag defaults to
+ * on; benches that want the undisturbed hot path switch it off.
+ *
+ * Naming convention (see DESIGN.md §6): dotted lowercase paths,
+ * "engine.*" for the program cache, "frame.*_us" histograms for
+ * per-stage frame timings, "pool.*" for the work-stealing pool, and
+ * "hw.*" for simulator-side totals ("hw.busy_cycles.<unit>[.i]").
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry every component records into. */
+    static MetricsRegistry &global();
+
+    static bool
+    enabled()
+    {
+        if constexpr (!kMetricsCompiled)
+            return false;
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    static void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** Zero every registered instrument (names stay registered). */
+    void reset();
+
+    /**
+     * Serialize every instrument plus derived serving indicators
+     * (cache hit rate, per-unit utilization) as a JSON object. Always
+     * valid JSON; before any instrument ever recorded it reports the
+     * registered names with zero values and null derived rates.
+     */
+    std::string toJson() const;
+
+    /** Wall-clock microseconds on the shared steady timebase. */
+    static std::uint64_t nowUs();
+
+  private:
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+
+    static std::atomic<bool> enabled_;
+};
+
+/**
+ * Stage timer for the frame hot path: captures a start timestamp only
+ * when metrics are enabled, and elapsedUs() reports the integer
+ * microseconds since then (0 when disabled). The same value feeds the
+ * stage histogram and the trace span, which is what makes the
+ * "histogram sum == sum of span durations" invariant exact.
+ */
+class StageTimer
+{
+  public:
+    StageTimer() : armed_(MetricsRegistry::enabled())
+    {
+        if (armed_)
+            startUs_ = MetricsRegistry::nowUs();
+    }
+
+    bool armed() const { return armed_; }
+
+    std::uint64_t startUs() const { return startUs_; }
+
+    std::uint64_t
+    elapsedUs() const
+    {
+        return armed_ ? MetricsRegistry::nowUs() - startUs_ : 0;
+    }
+
+  private:
+    bool armed_;
+    std::uint64_t startUs_ = 0;
+};
+
+} // namespace orianna::runtime

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "runtime/metrics.hpp"
+
 namespace orianna::runtime {
 
 namespace {
@@ -72,6 +74,8 @@ ServerPool::popLocal(unsigned self, std::function<void()> &task)
     task = std::move(worker.queue.back());
     worker.queue.pop_back();
     ++worker.executed;
+    if (MetricsRegistry::enabled())
+        MetricsRegistry::global().counter("pool.tasks").add();
     return true;
 }
 
@@ -81,14 +85,29 @@ ServerPool::steal(unsigned self, std::function<void()> &task)
     const unsigned n = threads();
     for (unsigned step = 1; step < n; ++step) {
         Worker &victim = *workers_[(self + step) % n];
-        std::lock_guard lock(victim.mutex);
-        if (victim.queue.empty())
-            continue;
-        // Steal the oldest task: it is the farthest from the victim's
-        // working set and the largest remaining chunk of the batch.
-        task = std::move(victim.queue.front());
-        victim.queue.pop_front();
-        ++workers_[self]->executed;
+        {
+            std::lock_guard lock(victim.mutex);
+            if (victim.queue.empty())
+                continue;
+            // Steal the oldest task: it is the farthest from the
+            // victim's working set and the largest remaining chunk of
+            // the batch.
+            task = std::move(victim.queue.front());
+            victim.queue.pop_front();
+        }
+        // Book the theft under the thief's own mutex — the victim's
+        // lock guards the victim's counters, not ours.
+        Worker &me = *workers_[self];
+        {
+            std::lock_guard lock(me.mutex);
+            ++me.executed;
+            ++me.stolen;
+        }
+        if (MetricsRegistry::enabled()) {
+            auto &metrics = MetricsRegistry::global();
+            metrics.counter("pool.tasks").add();
+            metrics.counter("pool.steals").add();
+        }
         return true;
     }
     return false;
@@ -138,6 +157,8 @@ ServerPool::parallelFor(std::size_t count,
     // only borrow `body` and `batch`, both alive until the wait below
     // returns.
     const unsigned n = threads();
+    const bool metrics_on = MetricsRegistry::enabled();
+    std::size_t deepest = 0;
     for (std::size_t i = 0; i < count; ++i) {
         Worker &worker = *workers_[i % n];
         std::lock_guard lock(worker.mutex);
@@ -150,6 +171,13 @@ ServerPool::parallelFor(std::size_t count,
             }
             batch.finishOne(std::move(error));
         });
+        deepest = std::max(deepest, worker.queue.size());
+    }
+    if (metrics_on) {
+        auto &metrics = MetricsRegistry::global();
+        metrics.counter("pool.batches").add();
+        metrics.gauge("pool.queue_depth_peak")
+            .max(static_cast<std::int64_t>(deepest));
     }
     // Synchronize with sleeping workers: a worker holds wakeMutex_
     // from its final empty-queue check until it blocks, so acquiring
@@ -176,6 +204,27 @@ ServerPool::tasksExecuted() const
         counts.push_back(worker->executed);
     }
     return counts;
+}
+
+std::vector<std::uint64_t>
+ServerPool::stealsPerWorker() const
+{
+    std::vector<std::uint64_t> counts;
+    counts.reserve(workers_.size());
+    for (const auto &worker : workers_) {
+        std::lock_guard lock(worker->mutex);
+        counts.push_back(worker->stolen);
+    }
+    return counts;
+}
+
+std::uint64_t
+ServerPool::steals() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t s : stealsPerWorker())
+        total += s;
+    return total;
 }
 
 } // namespace orianna::runtime

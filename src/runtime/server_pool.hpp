@@ -77,6 +77,15 @@ class ServerPool
      */
     std::vector<std::uint64_t> tasksExecuted() const;
 
+    /**
+     * Tasks a worker took from another worker's deque since
+     * construction (the rebalancing traffic). Index = thief's id.
+     */
+    std::vector<std::uint64_t> stealsPerWorker() const;
+
+    /** Total steals across all workers. */
+    std::uint64_t steals() const;
+
   private:
     struct Batch;
 
@@ -85,6 +94,7 @@ class ServerPool
         mutable std::mutex mutex;
         std::deque<std::function<void()>> queue;
         std::uint64_t executed = 0; //!< Guarded by mutex.
+        std::uint64_t stolen = 0;   //!< Guarded by mutex.
     };
 
     bool popLocal(unsigned self, std::function<void()> &task);

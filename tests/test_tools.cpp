@@ -1,0 +1,221 @@
+// End-to-end tests of the command-line tools: runs the real
+// runtime_server and orianna_compile binaries (paths injected by
+// CMake) and checks their exported artifacts — the metrics registry
+// JSON and the unified Perfetto trace — plus the argument-validation
+// error paths (bad values and unknown flags must print usage and exit
+// nonzero without doing work).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include "test_json.hpp"
+
+namespace {
+
+using orianna::test::JsonPtr;
+using orianna::test::parseJson;
+
+/** Run @p command silenced; returns the tool's exit status. */
+int
+run(const std::string &command)
+{
+    const int status =
+        std::system((command + " >/dev/null 2>&1").c_str());
+    if (status == -1)
+        return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "orianna_tools_" + name;
+}
+
+/** A two-vertex pose graph in g2o text form. */
+std::string
+writeTinyG2o()
+{
+    const std::string path = tmpPath("tiny.g2o");
+    std::ofstream out(path);
+    out << "VERTEX_SE2 0 0 0 0\n"
+        << "VERTEX_SE2 1 1 0 0.1\n"
+        << "EDGE_SE2 0 1 1 0 0.1 100 0 0 100 0 100\n";
+    EXPECT_TRUE(out.good());
+    return path;
+}
+
+// --- runtime_server -------------------------------------------------
+
+TEST(RuntimeServerTool, ServesAndExportsMetricsAndTrace)
+{
+    const std::string metrics_path = tmpPath("server_metrics.json");
+    const std::string trace_path = tmpPath("server_trace.json");
+    ASSERT_EQ(run(std::string(ORIANNA_RUNTIME_SERVER) +
+                  " --threads 4 --metrics " + metrics_path +
+                  " --trace " + trace_path),
+              0);
+
+    // Metrics: the acceptance-criteria quantities must all be there.
+    // The export self-reports whether instrumentation was compiled in
+    // (ORIANNA_METRICS=OFF still emits a valid, empty registry).
+    const JsonPtr metrics = parseJson(slurp(metrics_path));
+    if (metrics->at("compiled").boolean) {
+        const auto &counters = metrics->at("counters");
+        EXPECT_EQ(counters.at("engine.compiles").asNumber(), 1.0);
+        EXPECT_EQ(counters.at("engine.cache_hits").asNumber(), 2.0);
+        EXPECT_NEAR(
+            metrics->at("derived").at("cache_hit_rate").asNumber(),
+            2.0 / 3.0, 1e-6); // Serialized to 6 digits.
+        EXPECT_GE(counters.at("pool.steals").asNumber(), 0.0);
+        // 3 clients x 4 frames each.
+        EXPECT_EQ(counters.at("frame.count").asNumber(), 12.0);
+        const auto &simulate =
+            metrics->at("histograms").at("frame.simulate_us");
+        EXPECT_EQ(simulate.at("count").asNumber(), 12.0);
+        EXPECT_GT(simulate.at("p50_us").asNumber(), 0.0);
+        EXPECT_GE(simulate.at("p99_us").asNumber(),
+                  simulate.at("p50_us").asNumber());
+        const auto &utilization =
+            metrics->at("derived").at("utilization").asObject();
+        EXPECT_FALSE(utilization.empty());
+        for (const auto &[unit, share] : utilization) {
+            EXPECT_GT(share->asNumber(), 0.0) << unit;
+            EXPECT_LE(share->asNumber(), 1.0) << unit;
+        }
+    } else {
+        EXPECT_TRUE(
+            metrics->at("derived").at("cache_hit_rate").isNull());
+    }
+
+    // Trace: one runtime process with per-session tracks; session ->
+    // frame -> stage spans nested by time; hardware rows below.
+    const JsonPtr trace = parseJson(slurp(trace_path));
+    std::size_t sessions = 0;
+    std::size_t frames = 0;
+    std::size_t stages = 0;
+    std::size_t hw_events = 0;
+    for (const JsonPtr &event : trace->asArray()) {
+        if (event->at("ph").asString() == "M")
+            continue;
+        EXPECT_EQ(event->at("ph").asString(), "X");
+        const double pid = event->at("pid").asNumber();
+        if (pid >= 1000) {
+            ++hw_events;
+            continue;
+        }
+        const std::string &category = event->at("cat").asString();
+        if (category == "session")
+            ++sessions;
+        else if (category == "frame")
+            ++frames;
+        else if (category == "stage")
+            ++stages;
+    }
+    EXPECT_EQ(sessions, 3u);
+    EXPECT_EQ(frames, 12u);
+    EXPECT_EQ(stages, 24u); // simulate + update per frame.
+    EXPECT_GT(hw_events, 0u);
+}
+
+TEST(RuntimeServerTool, RejectsBadThreadCounts)
+{
+    const std::string tool = ORIANNA_RUNTIME_SERVER;
+    EXPECT_EQ(run(tool + " --threads 0"), 2);
+    EXPECT_EQ(run(tool + " --threads -3"), 2);
+    EXPECT_EQ(run(tool + " --threads banana"), 2);
+    EXPECT_EQ(run(tool + " --threads"), 2); // Missing value.
+}
+
+TEST(RuntimeServerTool, RejectsUnknownFlags)
+{
+    EXPECT_EQ(run(std::string(ORIANNA_RUNTIME_SERVER) + " --bogus"),
+              2);
+    EXPECT_EQ(run(std::string(ORIANNA_RUNTIME_SERVER) + " extra"), 2);
+}
+
+TEST(RuntimeServerTool, FailsOnUnwritableExportPath)
+{
+    EXPECT_EQ(run(std::string(ORIANNA_RUNTIME_SERVER) +
+                  " --metrics /nonexistent-dir-orianna/m.json"),
+              1);
+}
+
+// --- orianna_compile ------------------------------------------------
+
+TEST(CompileTool, CompilesAndExportsUnifiedTrace)
+{
+    const std::string input = writeTinyG2o();
+    const std::string metrics_path = tmpPath("compile_metrics.json");
+    const std::string trace_path = tmpPath("compile_trace.json");
+    ASSERT_EQ(run(std::string(ORIANNA_COMPILE) + " " + input +
+                  " --iterate 3 --threads 2 --trace " + trace_path +
+                  " --metrics " + metrics_path),
+              0);
+
+    const JsonPtr metrics = parseJson(slurp(metrics_path));
+    if (metrics->at("compiled").boolean) {
+        // Three sequential frames plus the served sessions' frames.
+        EXPECT_GE(metrics->at("counters").at("frame.count").asNumber(),
+                  3.0);
+        EXPECT_GT(metrics->at("histograms")
+                      .at("frame.simulate_us")
+                      .at("count")
+                      .asNumber(),
+                  0.0);
+    }
+
+    const JsonPtr trace = parseJson(slurp(trace_path));
+    std::size_t sessions = 0;
+    std::size_t hw_events = 0;
+    for (const JsonPtr &event : trace->asArray()) {
+        if (event->at("ph").asString() != "X")
+            continue;
+        if (event->at("pid").asNumber() >= 1000)
+            ++hw_events;
+        else if (event->at("cat").asString() == "session")
+            ++sessions;
+    }
+    // The sequential session plus the two served sessions.
+    EXPECT_EQ(sessions, 3u);
+    EXPECT_GT(hw_events, 0u);
+}
+
+TEST(CompileTool, RejectsBadArguments)
+{
+    const std::string tool = ORIANNA_COMPILE;
+    const std::string input = writeTinyG2o();
+    EXPECT_EQ(run(tool), 2); // No input at all.
+    EXPECT_EQ(run(tool + " " + input + " --iterate 0"), 2);
+    EXPECT_EQ(run(tool + " " + input + " --iterate -5"), 2);
+    EXPECT_EQ(run(tool + " " + input + " --threads 0"), 2);
+    EXPECT_EQ(run(tool + " " + input + " --threads x"), 2);
+    EXPECT_EQ(run(tool + " " + input + " --bogus"), 2);
+    EXPECT_EQ(run(tool + " " + input + " second.g2o"), 2);
+}
+
+TEST(CompileTool, FailsCleanlyOnMissingInput)
+{
+    EXPECT_EQ(run(std::string(ORIANNA_COMPILE) +
+                  " /nonexistent-dir-orianna/missing.g2o"),
+              1);
+}
+
+} // namespace

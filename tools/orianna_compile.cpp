@@ -13,7 +13,15 @@
 // Usage:
 //   orianna_compile <input.g2o> [-o out.oprog] [--simulate]
 //                   [--iterate N] [--threads N] [--trace out.json]
-//                   [--dot out.dot]
+//                   [--metrics out.json] [--dot out.dot]
+//
+// --trace writes the unified observability trace (DESIGN.md §6):
+// session -> frame -> stage spans of the Gauss-Newton loop nested
+// above the per-unit hardware schedule rows, loadable in
+// https://ui.perfetto.dev. --metrics dumps the serving metrics
+// registry (compile times, per-stage frame p50/p99, utilization)
+// after the run. --iterate and --threads reject zero or negative
+// counts; unknown flags print usage and exit nonzero.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +38,9 @@
 #include "fg/ordering.hpp"
 #include "hw/trace.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/server_pool.hpp"
+#include "runtime/trace_sink.hpp"
 
 #include <fstream>
 
@@ -44,9 +54,21 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <input.g2o> [-o out.oprog] [--simulate] "
                  "[--iterate N] [--threads N] [--trace out.json] "
-                 "[--dot out.dot]\n",
+                 "[--metrics out.json] [--dot out.dot]\n"
+                 "  --iterate N and --threads N require N >= 1\n",
                  argv0);
     return 2;
+}
+
+/** Parse a strictly positive integer; returns 0 on any malformation. */
+unsigned long
+parsePositive(const char *text)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value <= 0)
+        return 0;
+    return static_cast<unsigned long>(value);
 }
 
 /** Exact (bitwise) equality of two value sets over @p keys. */
@@ -79,6 +101,7 @@ main(int argc, char **argv)
     std::string input;
     std::string output;
     std::string trace_path;
+    std::string metrics_path;
     std::string dot_path;
     bool simulate = false;
     bool serve = false;
@@ -92,27 +115,33 @@ main(int argc, char **argv)
             simulate = true;
         } else if (arg == "--iterate" && i + 1 < argc) {
             simulate = true;
-            iterations = std::strtoul(argv[++i], nullptr, 10);
+            iterations = parsePositive(argv[++i]);
             if (iterations == 0)
                 return usage(argv[0]);
         } else if (arg == "--threads" && i + 1 < argc) {
             simulate = true;
             serve = true;
-            threads =
-                static_cast<unsigned>(std::strtoul(argv[++i],
-                                                   nullptr, 10));
+            threads = static_cast<unsigned>(parsePositive(argv[++i]));
+            if (threads == 0)
+                return usage(argv[0]);
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else if (arg == "--dot" && i + 1 < argc) {
             dot_path = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
-        } else {
+        } else if (input.empty()) {
             input = arg;
+        } else {
+            return usage(argv[0]); // A second positional argument.
         }
     }
     if (input.empty())
         return usage(argv[0]);
+    if (!trace_path.empty())
+        runtime::TraceCollector::setEnabled(true);
 
     try {
         fg::PoseGraphData data = fg::loadG2o(input);
@@ -164,34 +193,36 @@ main(int argc, char **argv)
         if (simulate || !trace_path.empty()) {
             hw::AcceleratorConfig config =
                 hw::AcceleratorConfig::minimal(true);
-            config.recordTrace = !trace_path.empty();
             // A session keeps one execution context warm across
             // Gauss-Newton steps: schedule state and slot arenas are
-            // built once, each step only re-runs the frame.
-            runtime::Session session(program, data.initial, config);
-            const hw::SimResult first = session.step();
-            std::printf("one Gauss-Newton step on the minimal OoO "
-                        "accelerator: %llu cycles (%.1f us @167MHz), "
-                        "%.2f uJ\n",
-                        static_cast<unsigned long long>(first.cycles),
-                        first.seconds() * 1e6,
-                        first.totalEnergyJ() * 1e6);
-            if (iterations > 1) {
-                session.iterate(iterations - 1);
-                const hw::SimResult &total = session.totals();
-                std::printf("%zu steps total: %llu cycles (%.1f us "
+            // built once, each step only re-runs the frame. Scoped so
+            // its destructor closes the "session" span before the
+            // unified trace is written.
+            fg::Values sequential_values;
+            {
+                runtime::Session session(program, data.initial,
+                                         config);
+                const hw::SimResult first = session.step();
+                std::printf("one Gauss-Newton step on the minimal "
+                            "OoO accelerator: %llu cycles (%.1f us "
                             "@167MHz), %.2f uJ\n",
-                            session.frames(),
                             static_cast<unsigned long long>(
-                                total.cycles),
-                            total.seconds() * 1e6,
-                            total.totalEnergyJ() * 1e6);
+                                first.cycles),
+                            first.seconds() * 1e6,
+                            first.totalEnergyJ() * 1e6);
+                if (iterations > 1) {
+                    session.iterate(iterations - 1);
+                    const hw::SimResult &total = session.totals();
+                    std::printf("%zu steps total: %llu cycles "
+                                "(%.1f us @167MHz), %.2f uJ\n",
+                                session.frames(),
+                                static_cast<unsigned long long>(
+                                    total.cycles),
+                                total.seconds() * 1e6,
+                                total.totalEnergyJ() * 1e6);
+                }
+                sequential_values = session.values();
             }
-            if (!trace_path.empty()) {
-                hw::writeChromeTrace(trace_path, first.trace);
-                std::printf("wrote %s\n", trace_path.c_str());
-            }
-
             if (serve) {
                 // Parallel serving demo: one session per worker over
                 // one shared compiled program (one compile, the rest
@@ -214,7 +245,7 @@ main(int argc, char **argv)
                 bool identical = true;
                 for (const runtime::Session &served : sessions)
                     identical = identical &&
-                                identicalValues(session.values(),
+                                identicalValues(sequential_values,
                                                 served.values());
                 std::printf("served %u concurrent session(s) on %u "
                             "thread(s): %zu compile(s), %zu cache "
@@ -232,6 +263,19 @@ main(int argc, char **argv)
                 if (!identical)
                     return 1;
             }
+            if (!trace_path.empty()) {
+                runtime::TraceCollector::global().write(trace_path);
+                std::printf("wrote %s (unified runtime->hw trace)\n",
+                            trace_path.c_str());
+            }
+        }
+        if (!metrics_path.empty()) {
+            std::ofstream out(metrics_path);
+            out << runtime::Engine::metricsJson();
+            if (!out)
+                throw std::runtime_error("cannot write " +
+                                         metrics_path);
+            std::printf("wrote %s\n", metrics_path.c_str());
         }
     } catch (const std::exception &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
