@@ -76,10 +76,17 @@ measureApp(apps::AppKind kind, unsigned seed = kBenchSeed)
     m.ioSeconds = io.seconds();
     m.ioEnergyJ = io.totalEnergyJ();
 
-    const auto arm = baselines::runOnCpu(baselines::arm(), work);
-    const auto intel = baselines::runOnCpu(baselines::intel(), work);
-    const auto sw = baselines::runOnCpu(baselines::oriannaSw(), work);
-    const auto gpu = baselines::runOnGpu(baselines::embeddedGpu(), work);
+    // Platform models consume the pre-optimization reference streams:
+    // the software/GPU baselines they represent do not run ORIANNA's
+    // accelerator-IR pipeline (cse, fuse).
+    const auto reference = bench.app.referenceFrameWork();
+    const auto arm = baselines::runOnCpu(baselines::arm(), reference);
+    const auto intel =
+        baselines::runOnCpu(baselines::intel(), reference);
+    const auto sw =
+        baselines::runOnCpu(baselines::oriannaSw(), reference);
+    const auto gpu =
+        baselines::runOnGpu(baselines::embeddedGpu(), reference);
     m.armSeconds = arm.seconds;
     m.intelSeconds = intel.seconds;
     m.oriannaSwSeconds = sw.seconds;

@@ -22,6 +22,7 @@ main()
         apps::BenchmarkApp bench =
             apps::buildApp(kind, orianna::bench::kBenchSeed);
         const auto work = bench.app.frameWork();
+        const auto reference = bench.app.referenceFrameWork();
 
         // One accelerator generated for the whole application, then
         // each algorithm measured standalone on it (the paper's
@@ -33,8 +34,8 @@ main()
         for (std::size_t a = 0; a < 3; ++a) {
             const hw::SimResult accel =
                 hw::simulate({work[a]}, gen.config);
-            const auto arm =
-                baselines::runOnCpu(baselines::arm(), {work[a]});
+            const auto arm = baselines::runOnCpu(
+                baselines::arm(), {reference[a]});
             speedups[a] = arm.seconds / accel.seconds();
             geo[a] *= speedups[a];
         }

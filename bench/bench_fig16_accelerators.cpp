@@ -33,8 +33,8 @@ main()
             apps::buildApp(kind, orianna::bench::kBenchSeed);
         const auto work = bench.app.frameWork();
         const auto dense_work = bench.app.denseFrameWork();
-        const auto intel =
-            baselines::runOnCpu(baselines::intel(), work);
+        const auto intel = baselines::runOnCpu(
+            baselines::intel(), bench.app.referenceFrameWork());
 
         // ORIANNA generated under the full board budget.
         auto gen = hwgen::generate(work, orianna::bench::zc706Budget(),

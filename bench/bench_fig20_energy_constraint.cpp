@@ -14,7 +14,8 @@ main()
     apps::BenchmarkApp bench =
         apps::buildQuadrotor(orianna::bench::kBenchSeed);
     const auto work = bench.app.frameWork();
-    const auto intel = baselines::runOnCpu(baselines::intel(), work);
+    const auto intel = baselines::runOnCpu(
+        baselines::intel(), bench.app.referenceFrameWork());
 
     std::printf("Fig. 20: energy reduction vs Intel under a DSP budget "
                 "(Quadrotor)\n");

@@ -9,7 +9,12 @@ namespace orianna::comp {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x414e524f; // "ORNA".
-constexpr std::uint32_t kVersion = 1;
+// Version 2 added the fused opcodes (GSCALE, MVSUB). The container
+// layout is unchanged — fused opcodes were appended after STORE so
+// every version-1 byte stream decodes identically — so the decoder
+// accepts both versions.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 /** Little-endian byte writer. */
 class Writer
@@ -169,9 +174,10 @@ Instruction
 decodeInstruction(Reader &r)
 {
     Instruction inst;
-    inst.op = static_cast<IsaOp>(r.pod<std::uint8_t>());
-    if (inst.op > IsaOp::STORE)
+    const auto raw_op = r.pod<std::uint8_t>();
+    if (raw_op >= kIsaOpCount)
         throw std::runtime_error("decodeProgram: bad opcode");
+    inst.op = static_cast<IsaOp>(raw_op);
     inst.algorithm = r.pod<std::uint8_t>();
     inst.phase = r.pod<std::uint8_t>();
     inst.extractVector = r.pod<std::uint8_t>() != 0;
@@ -247,7 +253,8 @@ decodeProgram(const std::vector<std::uint8_t> &bytes)
     Reader r(bytes);
     if (r.pod<std::uint32_t>() != kMagic)
         throw std::runtime_error("decodeProgram: bad magic");
-    if (r.pod<std::uint32_t>() != kVersion)
+    const auto version = r.pod<std::uint32_t>();
+    if (version < kMinVersion || version > kVersion)
         throw std::runtime_error("decodeProgram: unsupported version");
 
     Program program;

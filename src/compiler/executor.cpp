@@ -295,6 +295,40 @@ Executor::step(std::size_t index, const fg::Values &values)
         break;
       case IsaOp::STORE:
         break; // Host-visibility marker; no data change.
+      case IsaOp::GSCALE: {
+        // Fused GATHER + SCALER: assemble exactly like GATHER, then
+        // whiten rows exactly like SCALER — same FLOPs, same order,
+        // so fusion stays bit-identical.
+        bool vector_gather = !inst.placements.empty();
+        for (const GatherPlacement &p : inst.placements)
+            vector_gather = vector_gather && p.isRhs && p.colBegin == 0;
+        if (vector_gather) {
+            Vector out(inst.rows);
+            for (const GatherPlacement &p : inst.placements)
+                out.setSegment(p.rowBegin, vectorAt(p.src));
+            dst = scaleRows(out, inst.constVec);
+        } else {
+            Matrix out(inst.rows, inst.cols);
+            for (const GatherPlacement &p : inst.placements) {
+                if (p.isRhs) {
+                    const Vector &v = vectorAt(p.src);
+                    for (std::size_t i = 0; i < v.size(); ++i)
+                        out(p.rowBegin + i, p.colBegin) = v[i];
+                } else {
+                    out.setBlock(p.rowBegin, p.colBegin,
+                                 matrixAt(p.src));
+                }
+            }
+            dst = scaleRows(out, inst.constVec);
+        }
+        break;
+      }
+      case IsaOp::MVSUB:
+        // Fused MV + VSUB: dst = src0 - src1 * src2, evaluated as the
+        // unfused pair would (gemv first, then the subtraction).
+        dst = vectorAt(inst.srcs[0]) -
+              matrixAt(inst.srcs[1]) * vectorAt(inst.srcs[2]);
+        break;
     }
 }
 

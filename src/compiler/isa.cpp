@@ -39,6 +39,8 @@ isaOpName(IsaOp op)
       case IsaOp::LOADC: return "LOADC";
       case IsaOp::LOADV: return "LOADV";
       case IsaOp::STORE: return "STORE";
+      case IsaOp::GSCALE: return "GSCALE";
+      case IsaOp::MVSUB: return "MVSUB";
     }
     return "?";
 }
@@ -46,8 +48,7 @@ isaOpName(IsaOp op)
 std::vector<std::size_t>
 Program::opHistogram() const
 {
-    std::vector<std::size_t> histogram(
-        static_cast<std::size_t>(IsaOp::STORE) + 1, 0);
+    std::vector<std::size_t> histogram(kIsaOpCount, 0);
     for (const Instruction &inst : instructions)
         ++histogram[static_cast<std::size_t>(inst.op)];
     return histogram;

@@ -57,7 +57,19 @@ enum class IsaOp : std::uint8_t {
     LOADC,  //!< dst = constant payload (on-chip after first use).
     LOADV,  //!< dst = variable component streamed from the host.
     STORE,  //!< Mark src0 as a result streamed back to the host.
+    // Fused opcodes. Never emitted by codegen: the peephole fusion
+    // pass (src/compiler/passes/fusion.cpp) rewrites single-use
+    // producer/consumer pairs into these, mapping them onto the fused
+    // microkernels the matrix layer already provides. Each fused op
+    // performs exactly the floating-point operations of the pair it
+    // replaces, in the same order, so programs stay bit-identical.
+    GSCALE, //!< GATHER placements, then rows /= payload  [buffer]
+    MVSUB,  //!< dst = src0 - src1 * src2 (gemv-subtract) [matmul unit]
 };
+
+/** Number of opcodes (histogram sizing, encoding validation). */
+constexpr std::size_t kIsaOpCount =
+    static_cast<std::size_t>(IsaOp::MVSUB) + 1;
 
 /** Mnemonic for listings. */
 const char *isaOpName(IsaOp op);

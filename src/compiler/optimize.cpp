@@ -1,155 +1,27 @@
 #include "compiler/optimize.hpp"
 
-#include <cstring>
-#include <map>
-#include <stdexcept>
-#include <string>
+#include "compiler/pass_manager.hpp"
+#include "compiler/passes/passes.hpp"
 
 namespace orianna::comp {
-
-namespace {
-
-/** Byte-exact key of a LOADC payload. */
-std::string
-constantKey(const Instruction &inst)
-{
-    std::string key;
-    auto append = [&key](const void *data, std::size_t n) {
-        key.append(static_cast<const char *>(data), n);
-    };
-    const std::uint32_t rows =
-        static_cast<std::uint32_t>(inst.constMat.rows());
-    const std::uint32_t cols =
-        static_cast<std::uint32_t>(inst.constMat.cols());
-    append(&rows, sizeof(rows));
-    append(&cols, sizeof(cols));
-    for (std::size_t i = 0; i < inst.constMat.rows(); ++i)
-        for (std::size_t j = 0; j < inst.constMat.cols(); ++j) {
-            const double v = inst.constMat(i, j);
-            append(&v, sizeof(v));
-        }
-    const std::uint32_t n =
-        static_cast<std::uint32_t>(inst.constVec.size());
-    append(&n, sizeof(n));
-    for (std::size_t i = 0; i < inst.constVec.size(); ++i) {
-        const double v = inst.constVec[i];
-        append(&v, sizeof(v));
-    }
-    return key;
-}
-
-} // namespace
 
 Program
 optimizeProgram(const Program &program, OptimizeStats *stats)
 {
-    const auto &instrs = program.instructions;
-    const std::size_t n = instrs.size();
+    // Back-compat wrapper over the pass pipeline: the historical
+    // cleanup pair, in the historical order. Callers wanting the full
+    // pipeline (CSE, peephole fusion) build a PassManager instead.
+    PassManager pm;
+    pm.add(passes::constantDedup());
+    pm.add(passes::deadCodeElimination());
 
-    // ---- Pass 1: constant deduplication (slot remapping) ----------
-    std::map<std::uint32_t, std::uint32_t> slot_remap;
-    std::vector<bool> drop(n, false);
-    std::map<std::string, std::uint32_t> seen_constants;
-    std::size_t merged = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (instrs[i].op != IsaOp::LOADC)
-            continue;
-        const std::string key = constantKey(instrs[i]);
-        auto [it, inserted] =
-            seen_constants.emplace(key, instrs[i].dst);
-        if (!inserted) {
-            slot_remap[instrs[i].dst] = it->second;
-            drop[i] = true;
-            ++merged;
-        }
-    }
-    auto remap = [&](std::uint32_t slot) {
-        auto it = slot_remap.find(slot);
-        return it == slot_remap.end() ? slot : it->second;
-    };
-
-    // ---- Pass 2: liveness from the STORE roots --------------------
-    // producerOf[slot] = instruction index defining it.
-    std::vector<std::size_t> producer(program.valueSlots, SIZE_MAX);
-    for (std::size_t i = 0; i < n; ++i)
-        if (!drop[i] && instrs[i].op != IsaOp::STORE)
-            producer[instrs[i].dst] = i;
-
-    std::vector<bool> live(n, false);
-    std::vector<std::size_t> worklist;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (instrs[i].op == IsaOp::STORE && !drop[i]) {
-            live[i] = true;
-            worklist.push_back(i);
-        }
-    }
-    while (!worklist.empty()) {
-        const std::size_t i = worklist.back();
-        worklist.pop_back();
-        for (std::uint32_t src : instrs[i].srcs) {
-            const std::size_t p = producer[remap(src)];
-            if (p != SIZE_MAX && !live[p]) {
-                live[p] = true;
-                worklist.push_back(p);
-            }
-        }
-    }
-
-    // ---- Rewrite: renumber slots, rebuild dependences --------------
-    Program out;
-    out.name = program.name;
-    out.algorithm = program.algorithm;
-
-    std::map<std::uint32_t, std::uint32_t> new_slot;
-    std::map<std::uint32_t, std::uint32_t> producer_index;
-    std::uint32_t next_slot = 0;
-    std::size_t removed = 0;
-
-    auto finalSlot = [&](std::uint32_t old_slot) {
-        auto it = new_slot.find(remap(old_slot));
-        if (it == new_slot.end())
-            throw std::logic_error(
-                "optimizeProgram: use of undefined slot");
-        return it->second;
-    };
-
-    for (std::size_t i = 0; i < n; ++i) {
-        if (drop[i] || !live[i]) {
-            if (!drop[i])
-                ++removed;
-            continue;
-        }
-        Instruction inst = instrs[i];
-        inst.deps.clear();
-        for (std::uint32_t &src : inst.srcs)
-            src = finalSlot(src);
-        for (GatherPlacement &p : inst.placements)
-            p.src = finalSlot(p.src);
-        for (std::uint32_t src : inst.srcs) {
-            auto it = producer_index.find(src);
-            if (it != producer_index.end())
-                inst.deps.push_back(it->second);
-        }
-        if (inst.op == IsaOp::STORE) {
-            inst.dst = inst.srcs[0];
-        } else {
-            new_slot[inst.dst] = next_slot;
-            inst.dst = next_slot;
-            producer_index[next_slot] = static_cast<std::uint32_t>(
-                out.instructions.size());
-            ++next_slot;
-        }
-        out.instructions.push_back(std::move(inst));
-    }
-    out.valueSlots = next_slot;
-    for (const DeltaBinding &binding : program.deltas)
-        out.deltas.push_back({binding.key, finalSlot(binding.slot)});
-
+    Program out = program;
+    const std::vector<PassStats> pass_stats = pm.run(out);
     if (stats != nullptr) {
-        stats->removedDead = removed;
-        stats->mergedConstants = merged;
-        stats->before = n;
+        stats->before = program.instructions.size();
         stats->after = out.instructions.size();
+        stats->mergedConstants = pass_stats[0].rewrites;
+        stats->removedDead = pass_stats[1].rewrites;
     }
     return out;
 }

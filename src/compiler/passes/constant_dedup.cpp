@@ -1,0 +1,82 @@
+#include "compiler/passes/passes.hpp"
+
+namespace orianna::comp::passes {
+
+namespace {
+
+/** Byte-exact key of a LOADC payload. */
+std::string
+constantKey(const Instruction &inst)
+{
+    std::string key;
+    auto append = [&key](const void *data, std::size_t n) {
+        key.append(static_cast<const char *>(data), n);
+    };
+    const std::uint32_t rows =
+        static_cast<std::uint32_t>(inst.constMat.rows());
+    const std::uint32_t cols =
+        static_cast<std::uint32_t>(inst.constMat.cols());
+    append(&rows, sizeof(rows));
+    append(&cols, sizeof(cols));
+    for (std::size_t i = 0; i < inst.constMat.rows(); ++i)
+        for (std::size_t j = 0; j < inst.constMat.cols(); ++j) {
+            const double v = inst.constMat(i, j);
+            append(&v, sizeof(v));
+        }
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(inst.constVec.size());
+    append(&n, sizeof(n));
+    for (std::size_t i = 0; i < inst.constVec.size(); ++i) {
+        const double v = inst.constVec[i];
+        append(&v, sizeof(v));
+    }
+    return key;
+}
+
+class ConstantDedupPass final : public Pass
+{
+  public:
+    const char *name() const override { return "dedup"; }
+
+    const char *
+    description() const override
+    {
+        return "merge byte-identical LOADC constants into one slot";
+    }
+
+    std::size_t
+    run(Program &program) const override
+    {
+        const auto &instrs = program.instructions;
+        const std::size_t n = instrs.size();
+
+        std::vector<bool> drop(n, false);
+        std::map<std::uint32_t, std::uint32_t> slot_remap;
+        std::map<std::string, std::uint32_t> seen;
+        std::size_t merged = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (instrs[i].op != IsaOp::LOADC)
+                continue;
+            auto [it, inserted] =
+                seen.emplace(constantKey(instrs[i]), instrs[i].dst);
+            if (!inserted) {
+                slot_remap[instrs[i].dst] = it->second;
+                drop[i] = true;
+                ++merged;
+            }
+        }
+        if (merged > 0)
+            program = rewriteProgram(program, drop, slot_remap);
+        return merged;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+constantDedup()
+{
+    return std::make_unique<ConstantDedupPass>();
+}
+
+} // namespace orianna::comp::passes

@@ -1,0 +1,141 @@
+#include "compiler/passes/passes.hpp"
+
+namespace orianna::comp::passes {
+
+namespace {
+
+/**
+ * Byte-exact structural key of an instruction: opcode, (remap-resolved)
+ * operand slots, output shape, and every op-specific payload that
+ * feeds the numerics. Two instructions with equal keys compute the
+ * same value in an SSA program, because equal operand slots hold equal
+ * values by induction.
+ */
+class KeyBuilder
+{
+  public:
+    void
+    pod(const void *data, std::size_t n)
+    {
+        key_.append(static_cast<const char *>(data), n);
+    }
+
+    template <typename T>
+    void
+    value(T v)
+    {
+        pod(&v, sizeof(v));
+    }
+
+    void
+    vector(const mat::Vector &v)
+    {
+        value(static_cast<std::uint32_t>(v.size()));
+        for (std::size_t i = 0; i < v.size(); ++i)
+            value(v[i]);
+    }
+
+    void
+    matrix(const mat::Matrix &m)
+    {
+        value(static_cast<std::uint32_t>(m.rows()));
+        value(static_cast<std::uint32_t>(m.cols()));
+        for (std::size_t i = 0; i < m.rows(); ++i)
+            for (std::size_t j = 0; j < m.cols(); ++j)
+                value(m(i, j));
+    }
+
+    std::string take() { return std::move(key_); }
+
+  private:
+    std::string key_;
+};
+
+class CsePass final : public Pass
+{
+  public:
+    const char *name() const override { return "cse"; }
+
+    const char *
+    description() const override
+    {
+        return "share identical op/operand/payload instructions "
+               "(repeated Jacobian chains)";
+    }
+
+    std::size_t
+    run(Program &program) const override
+    {
+        const auto &instrs = program.instructions;
+        const std::size_t n = instrs.size();
+
+        std::vector<bool> drop(n, false);
+        std::map<std::uint32_t, std::uint32_t> slot_remap;
+        auto resolve = [&](std::uint32_t slot) {
+            auto it = slot_remap.find(slot);
+            return it == slot_remap.end() ? slot : it->second;
+        };
+
+        std::map<std::string, std::uint32_t> seen;
+        std::size_t merged = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Instruction &inst = instrs[i];
+            if (inst.op == IsaOp::STORE)
+                continue; // Host-visibility marker, not a value.
+
+            // Keys use remap-resolved operands so chains of duplicate
+            // instructions collapse transitively in one forward walk.
+            KeyBuilder kb;
+            kb.value(static_cast<std::uint8_t>(inst.op));
+            kb.value(static_cast<std::uint32_t>(inst.srcs.size()));
+            for (std::uint32_t src : inst.srcs)
+                kb.value(resolve(src));
+            kb.value(static_cast<std::uint32_t>(inst.rows));
+            kb.value(static_cast<std::uint32_t>(inst.cols));
+            kb.value(static_cast<std::uint32_t>(inst.depth));
+            kb.value(inst.key);
+            kb.value(static_cast<std::uint8_t>(inst.component));
+            kb.value(inst.hingeEps);
+            kb.value(inst.camera.fx);
+            kb.value(inst.camera.fy);
+            kb.value(inst.camera.cx);
+            kb.value(inst.camera.cy);
+            // SDF maps compare by identity, like the engine
+            // fingerprint: one shared map object, one compiled lookup.
+            kb.value(reinterpret_cast<std::uintptr_t>(inst.sdf.get()));
+            kb.value(static_cast<std::uint32_t>(inst.extractRow));
+            kb.value(static_cast<std::uint32_t>(inst.extractCol));
+            kb.value(static_cast<std::uint8_t>(inst.extractVector));
+            kb.matrix(inst.constMat);
+            kb.vector(inst.constVec);
+            kb.value(
+                static_cast<std::uint32_t>(inst.placements.size()));
+            for (const GatherPlacement &p : inst.placements) {
+                kb.value(resolve(p.src));
+                kb.value(static_cast<std::uint32_t>(p.rowBegin));
+                kb.value(static_cast<std::uint32_t>(p.colBegin));
+                kb.value(static_cast<std::uint8_t>(p.isRhs));
+            }
+
+            auto [it, inserted] = seen.emplace(kb.take(), inst.dst);
+            if (!inserted) {
+                slot_remap[inst.dst] = it->second;
+                drop[i] = true;
+                ++merged;
+            }
+        }
+        if (merged > 0)
+            program = rewriteProgram(program, drop, slot_remap);
+        return merged;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+commonSubexpressionElimination()
+{
+    return std::make_unique<CsePass>();
+}
+
+} // namespace orianna::comp::passes

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+
+#include "compiler/pass.hpp"
+
+namespace orianna::comp::passes {
+
+/**
+ * The built-in passes, in default-pipeline order. Each factory builds
+ * a stateless, shareable pass object; PassManager::parse() resolves
+ * the quoted names.
+ *
+ *  - "dedup": byte-identical LOADC payloads collapse to one on-chip
+ *    constant (identity seeds, selector matrices, repeated
+ *    measurements).
+ *  - "dce": instructions whose results never reach a STORE are
+ *    dropped (e.g. Jacobian chains of structurally cancelled blocks).
+ *  - "cse": instructions with identical opcode, operand slots and
+ *    payload reuse the first occurrence's result slot (repeated
+ *    Jacobian chains of variables shared by several factors).
+ *  - "fuse": single-use producer/consumer pairs collapse into fused
+ *    opcodes — GATHER+SCALER becomes GSCALE (whitening applied while
+ *    the block is assembled) and MV+VSUB becomes MVSUB (the back
+ *    substitution's rhs update) — same FLOPs, same order, one issue.
+ */
+std::unique_ptr<Pass> constantDedup();
+std::unique_ptr<Pass> deadCodeElimination();
+std::unique_ptr<Pass> commonSubexpressionElimination();
+std::unique_ptr<Pass> peepholeFusion();
+
+} // namespace orianna::comp::passes

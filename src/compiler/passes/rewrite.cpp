@@ -1,0 +1,66 @@
+#include "compiler/pass.hpp"
+
+#include <stdexcept>
+
+namespace orianna::comp {
+
+Program
+rewriteProgram(const Program &program, const std::vector<bool> &drop,
+               const std::map<std::uint32_t, std::uint32_t> &slot_remap)
+{
+    const auto &instrs = program.instructions;
+    const std::size_t n = instrs.size();
+
+    auto remap = [&](std::uint32_t slot) {
+        auto it = slot_remap.find(slot);
+        return it == slot_remap.end() ? slot : it->second;
+    };
+
+    Program out;
+    out.name = program.name;
+    out.algorithm = program.algorithm;
+
+    std::map<std::uint32_t, std::uint32_t> new_slot;
+    std::map<std::uint32_t, std::uint32_t> producer_index;
+    std::uint32_t next_slot = 0;
+
+    auto finalSlot = [&](std::uint32_t old_slot) {
+        auto it = new_slot.find(remap(old_slot));
+        if (it == new_slot.end())
+            throw std::logic_error(
+                "rewriteProgram: use of undefined slot");
+        return it->second;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (drop[i])
+            continue;
+        Instruction inst = instrs[i];
+        inst.deps.clear();
+        for (std::uint32_t &src : inst.srcs)
+            src = finalSlot(src);
+        for (GatherPlacement &p : inst.placements)
+            p.src = finalSlot(p.src);
+        for (std::uint32_t src : inst.srcs) {
+            auto it = producer_index.find(src);
+            if (it != producer_index.end())
+                inst.deps.push_back(it->second);
+        }
+        if (inst.op == IsaOp::STORE) {
+            inst.dst = inst.srcs[0];
+        } else {
+            new_slot[inst.dst] = next_slot;
+            inst.dst = next_slot;
+            producer_index[next_slot] = static_cast<std::uint32_t>(
+                out.instructions.size());
+            ++next_slot;
+        }
+        out.instructions.push_back(std::move(inst));
+    }
+    out.valueSlots = next_slot;
+    for (const DeltaBinding &binding : program.deltas)
+        out.deltas.push_back({binding.key, finalSlot(binding.slot)});
+    return out;
+}
+
+} // namespace orianna::comp

@@ -36,6 +36,13 @@ Application::find(const std::string &algorithm_name) const
 void
 Application::compile()
 {
+    // The default pipeline, split at the cleanup/optimization seam so
+    // the post-cleanup stream can be kept as the platform-model
+    // reference (see Algorithm::referenceProgram).
+    const comp::PassManager cleanup =
+        comp::PassManager::parse("dedup,dce");
+    const comp::PassManager optimize =
+        comp::PassManager::parse("cse,fuse");
     for (std::size_t i = 0; i < algorithms_.size(); ++i) {
         Algorithm &algo = *algorithms_[i];
         comp::CompileOptions options;
@@ -45,8 +52,24 @@ Application::compile()
         // exposing the out-of-order elimination parallelism of
         // Sec. 6.3 (and keeping QR panels small).
         options.ordering = fg::ordering::minDegree(algo.graph);
-        algo.program = comp::optimizeProgram(
-            comp::compileGraph(algo.graph, algo.values, options));
+
+        // The algorithm's initial values double as the probe input
+        // for the (opt-in) per-pass equivalence check.
+        comp::PassManager::RunOptions pass_options;
+        pass_options.probe = &algo.values;
+        pass_options.verify = comp::PassManager::verifyFromEnv();
+
+        algo.program =
+            comp::compileGraph(algo.graph, algo.values, options);
+        algo.passStats = cleanup.run(algo.program, pass_options);
+        algo.referenceProgram = algo.program;
+        const std::vector<comp::PassStats> opt_stats =
+            optimize.run(algo.program, pass_options);
+        algo.passStats.insert(algo.passStats.end(),
+                              opt_stats.begin(), opt_stats.end());
+        // The VANILLA-HLS baseline stays on the historical cleanup
+        // pair too: it models a dense flow without ORIANNA's
+        // optimizing pipeline.
         algo.denseProgram = comp::optimizeProgram(
             comp::compileDenseGraph(algo.graph, algo.values, options));
     }
@@ -74,6 +97,18 @@ Application::denseFrameWork() const
     work.reserve(algorithms_.size());
     for (const auto &algo : algorithms_)
         work.push_back({&algo->denseProgram, &algo->values});
+    return work;
+}
+
+std::vector<hw::WorkItem>
+Application::referenceFrameWork() const
+{
+    if (!compiled_)
+        throw std::logic_error("Application: compile() first");
+    std::vector<hw::WorkItem> work;
+    work.reserve(algorithms_.size());
+    for (const auto &algo : algorithms_)
+        work.push_back({&algo->referenceProgram, &algo->values});
     return work;
 }
 

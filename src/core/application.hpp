@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "compiler/codegen.hpp"
+#include "compiler/pass_manager.hpp"
 #include "hw/accelerator.hpp"
 
 namespace orianna::core {
@@ -28,6 +29,15 @@ struct Algorithm
     double stepScale = 1.0;
     comp::Program program;      //!< Filled by Application::compile().
     comp::Program denseProgram; //!< VANILLA-HLS variant of the same.
+    /**
+     * The stream after the historical cleanup pair (dedup, dce) but
+     * before the optimizing passes (cse, fuse). The CPU/GPU platform
+     * models run this one: the software baselines they represent do
+     * not get ORIANNA's accelerator-IR optimization pipeline.
+     */
+    comp::Program referenceProgram;
+    /** What each pipeline pass did when compiling this algorithm. */
+    std::vector<comp::PassStats> passStats;
 };
 
 /**
@@ -78,6 +88,12 @@ class Application
 
     /** Same, but the dense (VANILLA-HLS) programs. */
     std::vector<hw::WorkItem> denseFrameWork() const;
+
+    /**
+     * Same, but the pre-optimization reference streams (cleanup
+     * passes only) — what the CPU/GPU platform models consume.
+     */
+    std::vector<hw::WorkItem> referenceFrameWork() const;
 
     /**
      * Software reference: optimize every algorithm with Gauss-Newton.

@@ -42,8 +42,11 @@ unitFor(IsaOp op)
       case IsaOp::SMUL:
         return UnitKind::VectorAlu;
       case IsaOp::GATHER:
+      case IsaOp::GSCALE:
       case IsaOp::EXTRACT:
         return UnitKind::Buffer;
+      case IsaOp::MVSUB:
+        return UnitKind::MatMul;
       case IsaOp::LOADC:
       case IsaOp::LOADV:
       case IsaOp::STORE:
@@ -162,6 +165,12 @@ instructionMacs(const Instruction &inst)
         return 16;
       case IsaOp::SMUL:
         return m * n;
+      case IsaOp::GSCALE:
+        // GATHER (0) + SCALER (m * n).
+        return m * n;
+      case IsaOp::MVSUB:
+        // MV (m * 1 * k) + VSUB (m * 1).
+        return m * k + m;
       default:
         return 0;
     }
@@ -180,6 +189,20 @@ CostModel::latency(const Instruction &inst)
     const std::uint64_t m = std::max<std::size_t>(inst.rows, 1);
     const std::uint64_t n = std::max<std::size_t>(inst.cols, 1);
     const std::uint64_t k = std::max<std::size_t>(inst.depth, 1);
+    // Fused opcodes: the second half of the pair is applied in the
+    // first half's existing output stage (a multiplier folded into
+    // the gather write path, an adder on the systolic drain), so the
+    // fused instruction occupies its unit exactly as long as the
+    // unfused first half did — fusion deletes the second occupancy
+    // outright and the fused stream is never slower than the pair.
+    if (inst.op == IsaOp::GSCALE) {
+        // GATHER streaming latency, scale folded into the write path.
+        return (m * n + 7) / 8 + 1;
+    }
+    if (inst.op == IsaOp::MVSUB) {
+        // MV fill/drain latency, subtract folded into the drain.
+        return (m + 1 + k) / 2 + 3;
+    }
     switch (unitFor(inst.op)) {
       case UnitKind::MatMul:
         // Systolic array wider than the small operands: fill + drain

@@ -116,6 +116,13 @@ generate(const std::vector<WorkItem> &work, const Resources &budget,
 
     out.config = config;
     out.result = current;
+    out.opHistogram.assign(comp::kIsaOpCount, 0);
+    for (const WorkItem &item : work) {
+        const std::vector<std::size_t> histogram =
+            item.program->opHistogram();
+        for (std::size_t op = 0; op < histogram.size(); ++op)
+            out.opHistogram[op] += histogram[op];
+    }
     return out;
 }
 

@@ -38,6 +38,14 @@ struct GenerationResult
     AcceleratorConfig config;   //!< The selected design.
     SimResult result;           //!< Its simulated frame.
     std::vector<DesignPoint> trajectory; //!< Greedy steps taken.
+    /**
+     * Aggregated opcode histogram (indexed by IsaOp, length
+     * comp::kIsaOpCount) of the instruction streams the design was
+     * sized against. Since the generator sees post-pipeline programs,
+     * fused opcodes (GSCALE, MVSUB) show up here — the histogram
+     * records exactly the instruction mix the unit counts answer to.
+     */
+    std::vector<std::size_t> opHistogram;
 };
 
 /**

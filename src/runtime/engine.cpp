@@ -187,19 +187,40 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
         options.name = name;
         options.ordering = fg::ordering::minDegree(graph);
         auto compiled = std::make_shared<comp::Program>(
-            comp::optimizeProgram(
-                comp::compileGraph(graph, shapes, options)));
+            comp::compileGraph(graph, shapes, options));
+
+        // The codegen output runs through the engine's pass pipeline;
+        // the caller's shapes double as the verification probe (they
+        // bind every variable the program loads).
+        comp::PassManager::RunOptions pass_options;
+        pass_options.probe = &shapes;
+        pass_options.verify = options_.verifyPasses ||
+                              comp::PassManager::verifyFromEnv();
+        const std::vector<comp::PassStats> pass_stats =
+            pipeline_.run(*compiled, pass_options);
+
         compiles_.fetch_add(1, std::memory_order_relaxed);
         if (compile_timer.armed()) {
             auto &metrics = MetricsRegistry::global();
             metrics.counter("engine.compiles").add();
             metrics.histogram("engine.compile_us")
                 .observe(compile_timer.elapsedUs());
+            for (const comp::PassStats &stat : pass_stats) {
+                metrics.counter("pass." + stat.pass + ".runs").add();
+                metrics.counter("pass." + stat.pass + ".rewrites")
+                    .add(stat.rewrites);
+                metrics.counter("pass." + stat.pass + ".removed")
+                    .add(stat.before > stat.after
+                             ? stat.before - stat.after
+                             : 0);
+                metrics.histogram("pass." + stat.pass + ".us")
+                    .observe(stat.wallUs);
+            }
         }
         {
             std::lock_guard lock(logMutex_);
-            log_.push_back(
-                {name, key, compiled->instructions.size()});
+            log_.push_back({name, key, compiled->instructions.size(),
+                            pass_stats});
         }
         promise.set_value(compiled);
         return compiled;
@@ -229,6 +250,32 @@ Engine::compileLog() const
 {
     std::lock_guard lock(logMutex_);
     return log_;
+}
+
+std::string
+Engine::CompileRecord::passSummary() const
+{
+    // One diagnostics line per compile, e.g.
+    //   "mobile_robot: 412 instr [dedup -37, dce -12, cse -58,
+    //    fuse -41] 183us verified"
+    std::string out = name + ": " + std::to_string(instructions) +
+                      " instr [";
+    std::uint64_t total_us = 0;
+    bool all_verified = !passes.empty();
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        const comp::PassStats &stat = passes[i];
+        if (i > 0)
+            out += ", ";
+        const std::size_t removed =
+            stat.before > stat.after ? stat.before - stat.after : 0;
+        out += stat.pass + " -" + std::to_string(removed);
+        total_us += stat.wallUs;
+        all_verified = all_verified && stat.verified;
+    }
+    out += "] " + std::to_string(total_us) + "us";
+    if (all_verified)
+        out += " verified";
+    return out;
 }
 
 std::string

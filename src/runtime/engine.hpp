@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "compiler/codegen.hpp"
+#include "compiler/pass_manager.hpp"
 #include "runtime/execution_context.hpp"
 
 namespace orianna::runtime {
@@ -62,11 +63,36 @@ struct SessionTraceHandle;
  * compile, with the others blocking on the shared future until the
  * program lands. Stats are atomic counters.
  */
+/** Compile-side knobs of an Engine (the pass pipeline). */
+struct EngineOptions
+{
+    /**
+     * Pass pipeline spec, in PassManager::parse() syntax: "default"
+     * (dedup,dce,cse,fuse), "none", or an explicit comma-separated
+     * list of pass names.
+     */
+    std::string passes = "default";
+
+    /**
+     * Run the per-pass equivalence check on every compile, using the
+     * session's initial values as the probe input. Also switched on
+     * process-wide by ORIANNA_VERIFY_PASSES=1.
+     */
+    bool verifyPasses = false;
+};
+
 class Engine
 {
   public:
     explicit Engine(hw::AcceleratorConfig config)
-        : config_(std::move(config))
+        : Engine(std::move(config), EngineOptions())
+    {
+    }
+
+    /** @throws std::invalid_argument on an unknown pass name. */
+    Engine(hw::AcceleratorConfig config, EngineOptions options)
+        : config_(std::move(config)), options_(std::move(options)),
+          pipeline_(comp::PassManager::parse(options_.passes))
     {
     }
 
@@ -125,7 +151,12 @@ class Engine
     {
         std::string name;          //!< Caller-supplied program name.
         std::uint64_t fingerprint; //!< Cache key that missed.
-        std::size_t instructions;  //!< Compiled program size.
+        std::size_t instructions;  //!< Post-pipeline program size.
+        /** What each pipeline pass did on this compile, in order. */
+        std::vector<comp::PassStats> passes;
+
+        /** One-line human-readable summary of the pass pipeline. */
+        std::string passSummary() const;
     };
 
     /** Copy of the compile log (every cache miss since construction). */
@@ -150,6 +181,8 @@ class Engine
     Shard &shard(std::uint64_t key) { return shards_[key % kShards]; }
 
     hw::AcceleratorConfig config_;
+    EngineOptions options_;
+    comp::PassManager pipeline_;
     std::array<Shard, kShards> shards_;
     std::atomic<std::size_t> compiles_{0};
     std::atomic<std::size_t> cacheHits_{0};

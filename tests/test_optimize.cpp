@@ -6,6 +6,7 @@
 #include "compiler/codegen.hpp"
 #include "compiler/executor.hpp"
 #include "compiler/optimize.hpp"
+#include "compiler/pass.hpp"
 #include "fg/factors.hpp"
 #include "test_fg_common.hpp"
 
@@ -131,6 +132,129 @@ TEST(Optimize, RemovesUnreachableWork)
     const auto deltas = executor.run(values);
     EXPECT_LT(mat::maxDifference(deltas.at(7), Vector{2.0, 4.0}),
               1e-15);
+}
+
+TEST(Optimize, EmptyProgramIsANoOp)
+{
+    Program program;
+    program.name = "empty";
+
+    comp::OptimizeStats stats;
+    const Program optimized = comp::optimizeProgram(program, &stats);
+    EXPECT_EQ(optimized.instructions.size(), 0u);
+    EXPECT_EQ(optimized.valueSlots, 0u);
+    EXPECT_EQ(stats.before, 0u);
+    EXPECT_EQ(stats.after, 0u);
+    EXPECT_EQ(stats.mergedConstants, 0u);
+    EXPECT_EQ(stats.removedDead, 0u);
+}
+
+TEST(Optimize, ProgramWithoutStoresIsEntirelyDead)
+{
+    // Without a STORE no result is observable, so DCE must drop the
+    // whole chain.
+    Program program;
+    program.name = "no-stores";
+    program.valueSlots = 2;
+
+    comp::Instruction load;
+    load.op = IsaOp::LOADC;
+    load.constVec = Vector{3.0, 4.0};
+    load.dst = 0;
+    load.rows = 2;
+    load.cols = 1;
+    program.instructions.push_back(load);
+
+    comp::Instruction neg;
+    neg.op = IsaOp::NEG;
+    neg.srcs = {0};
+    neg.dst = 1;
+    neg.deps = {0};
+    neg.rows = 2;
+    neg.cols = 1;
+    program.instructions.push_back(neg);
+
+    comp::OptimizeStats stats;
+    const Program optimized = comp::optimizeProgram(program, &stats);
+    EXPECT_EQ(optimized.instructions.size(), 0u);
+    EXPECT_EQ(optimized.valueSlots, 0u);
+    EXPECT_EQ(stats.removedDead, 2u);
+}
+
+TEST(Optimize, MergesLoadsThatDifferOnlyInSlot)
+{
+    // Two LOADC with byte-identical payloads but different dst slots:
+    // dedup must collapse them while both consumers keep working.
+    Program program;
+    program.name = "twin-loads";
+    program.valueSlots = 3;
+
+    for (std::uint32_t slot : {0u, 1u}) {
+        comp::Instruction load;
+        load.op = IsaOp::LOADC;
+        load.constVec = Vector{1.5, -2.5};
+        load.dst = slot;
+        load.rows = 2;
+        load.cols = 1;
+        program.instructions.push_back(load);
+    }
+
+    comp::Instruction add;
+    add.op = IsaOp::VADD;
+    add.srcs = {0, 1};
+    add.dst = 2;
+    add.deps = {0, 1};
+    add.rows = 2;
+    add.cols = 1;
+    program.instructions.push_back(add);
+
+    comp::Instruction store;
+    store.op = IsaOp::STORE;
+    store.srcs = {2};
+    store.dst = 2;
+    store.deps = {2};
+    program.instructions.push_back(store);
+    program.deltas.push_back({3, 2});
+
+    comp::OptimizeStats stats;
+    const Program optimized = comp::optimizeProgram(program, &stats);
+    EXPECT_EQ(stats.mergedConstants, 1u);
+    EXPECT_EQ(optimized.instructions.size(), 3u);
+
+    fg::Values values;
+    comp::Executor executor(optimized);
+    const auto deltas = executor.run(values);
+    EXPECT_LT(mat::maxDifference(deltas.at(3), Vector{3.0, -5.0}),
+              1e-15);
+}
+
+TEST(Optimize, RewriteDetectsUseOfUndefinedSlot)
+{
+    // Dropping a producer whose result is still read must be rejected
+    // immediately — this is the safety net under every pass.
+    Program program;
+    program.name = "undefined-slot";
+    program.valueSlots = 2;
+
+    comp::Instruction load;
+    load.op = IsaOp::LOADC;
+    load.constVec = Vector{1.0};
+    load.dst = 0;
+    load.rows = 1;
+    load.cols = 1;
+    program.instructions.push_back(load);
+
+    comp::Instruction store;
+    store.op = IsaOp::STORE;
+    store.srcs = {0};
+    store.dst = 0;
+    store.deps = {0};
+    program.instructions.push_back(store);
+    program.deltas.push_back({1, 0});
+
+    std::vector<bool> drop = {true, false}; // Drop the only producer.
+    EXPECT_THROW(comp::rewriteProgram(program, drop, {}),
+                 std::logic_error);
 }
 
 TEST(Optimize, AcceleratesOnTheSimulatedHardware)

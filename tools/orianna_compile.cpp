@@ -14,14 +14,20 @@
 //   orianna_compile <input.g2o> [-o out.oprog] [--simulate]
 //                   [--iterate N] [--threads N] [--trace out.json]
 //                   [--metrics out.json] [--dot out.dot]
+//                   [--passes LIST] [--list-passes]
+//                   [--dump-ir PREFIX] [--verify-passes]
 //
 // --trace writes the unified observability trace (DESIGN.md §6):
 // session -> frame -> stage spans of the Gauss-Newton loop nested
 // above the per-unit hardware schedule rows, loadable in
 // https://ui.perfetto.dev. --metrics dumps the serving metrics
 // registry (compile times, per-stage frame p50/p99, utilization)
-// after the run. --iterate and --threads reject zero or negative
-// counts; unknown flags print usage and exit nonzero.
+// after the run. --passes selects the optimization pipeline
+// ("default", "none", or a comma-separated pass list, DESIGN.md §7);
+// --verify-passes runs the per-pass equivalence check; --dump-ir
+// writes PREFIX.{before,after}.ir listings and matching .dot
+// instruction-dependence graphs. --iterate and --threads reject zero
+// or negative counts; unknown flags print usage and exit nonzero.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +37,8 @@
 
 #include "compiler/codegen.hpp"
 #include "compiler/encoding.hpp"
-#include "compiler/optimize.hpp"
+#include "compiler/ir_dump.hpp"
+#include "compiler/pass_manager.hpp"
 #include "fg/dot.hpp"
 #include "fg/factors.hpp"
 #include "fg/io_g2o.hpp"
@@ -54,8 +61,12 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <input.g2o> [-o out.oprog] [--simulate] "
                  "[--iterate N] [--threads N] [--trace out.json] "
-                 "[--metrics out.json] [--dot out.dot]\n"
-                 "  --iterate N and --threads N require N >= 1\n",
+                 "[--metrics out.json] [--dot out.dot] "
+                 "[--passes LIST] [--list-passes] "
+                 "[--dump-ir PREFIX] [--verify-passes]\n"
+                 "  --iterate N and --threads N require N >= 1\n"
+                 "  --passes takes \"default\", \"none\", or a "
+                 "comma-separated pass list (see --list-passes)\n",
                  argv0);
     return 2;
 }
@@ -103,14 +114,30 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string metrics_path;
     std::string dot_path;
+    std::string passes_spec = "default";
+    std::string dump_ir_prefix;
     bool simulate = false;
     bool serve = false;
+    bool verify_passes = false;
     std::size_t iterations = 1;
     unsigned threads = 0; // 0: hardware_concurrency.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--list-passes") {
+            for (const auto &[name, description] :
+                 comp::PassManager::availablePasses())
+                std::printf("%-8s %s\n", name.c_str(),
+                            description.c_str());
+            return 0;
+        }
         if (arg == "-o" && i + 1 < argc) {
             output = argv[++i];
+        } else if (arg == "--passes" && i + 1 < argc) {
+            passes_spec = argv[++i];
+        } else if (arg == "--dump-ir" && i + 1 < argc) {
+            dump_ir_prefix = argv[++i];
+        } else if (arg == "--verify-passes") {
+            verify_passes = true;
         } else if (arg == "--simulate") {
             simulate = true;
         } else if (arg == "--iterate" && i + 1 < argc) {
@@ -161,16 +188,49 @@ main(int argc, char **argv)
         comp::CompileOptions options;
         options.name = input;
         options.ordering = fg::ordering::minDegree(data.graph);
-        comp::OptimizeStats stats;
-        const comp::Program program = comp::optimizeProgram(
-            comp::compileGraph(data.graph, data.initial, options),
-            &stats);
+        const comp::PassManager pipeline =
+            comp::PassManager::parse(passes_spec);
 
-        std::printf("compiled: %zu instructions (%zu before cleanup; "
-                    "%zu constants merged, %zu dead removed), %zu "
-                    "value slots\n",
-                    stats.after, stats.before, stats.mergedConstants,
-                    stats.removedDead, program.valueSlots);
+        comp::Program program =
+            comp::compileGraph(data.graph, data.initial, options);
+        const std::size_t raw_instructions =
+            program.instructions.size();
+
+        auto dumpIr = [&](const char *tag) {
+            const std::string base = dump_ir_prefix + "." + tag;
+            std::ofstream listing(base + ".ir");
+            listing << comp::programListing(program);
+            std::ofstream dot(base + ".dot");
+            dot << comp::programToDot(program);
+            if (!listing || !dot)
+                throw std::runtime_error("cannot write " + base +
+                                         ".{ir,dot}");
+            std::printf("wrote %s.ir, %s.dot\n", base.c_str(),
+                        base.c_str());
+        };
+        if (!dump_ir_prefix.empty())
+            dumpIr("before");
+
+        comp::PassManager::RunOptions pass_options;
+        pass_options.probe = &data.initial;
+        pass_options.verify =
+            verify_passes || comp::PassManager::verifyFromEnv();
+        const std::vector<comp::PassStats> pass_stats =
+            pipeline.run(program, pass_options);
+
+        std::printf("compiled: %zu instructions (%zu before pipeline "
+                    "\"%s\"), %zu value slots\n",
+                    program.instructions.size(), raw_instructions,
+                    pipeline.spec().c_str(), program.valueSlots);
+        for (const comp::PassStats &stat : pass_stats)
+            std::printf("  pass %-6s %4zu -> %4zu instructions "
+                        "(%zu rewrites, %llu us%s)\n",
+                        stat.pass.c_str(), stat.before, stat.after,
+                        stat.rewrites,
+                        static_cast<unsigned long long>(stat.wallUs),
+                        stat.verified ? ", verified" : "");
+        if (!dump_ir_prefix.empty())
+            dumpIr("after");
         const auto histogram = program.opHistogram();
         std::printf("instruction mix:");
         for (std::size_t op = 0; op < histogram.size(); ++op)
