@@ -21,9 +21,19 @@
 //                        frame -> stage spans above the per-unit
 //                        hardware rows of every served frame.
 //
+// Fault tolerance (DESIGN.md §8):
+//   --inject-faults SPEC arm the deterministic fault injector, e.g.
+//                        "7@corrupt:matmul:0.05" or
+//                        "stall:all:0.01:40000,spike:qr:0.02"
+//                        ([SEED@]kind:unit:rate[:cycles],...);
+//   --fallback           let faulty frames degrade to the cleanup-only
+//                        reference program instead of failing the
+//                        client after the retry budget.
+//
 // Usage:
 //   runtime_server [--threads N] [--metrics out.json]
-//                  [--trace out.json]
+//                  [--trace out.json] [--inject-faults SPEC]
+//                  [--fallback]
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,13 +58,20 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--threads N] [--metrics out.json] "
-                 "[--trace out.json]\n"
-                 "  --threads N   worker threads, N >= 1 (default: "
-                 "hardware concurrency)\n"
-                 "  --metrics F   write the metrics registry JSON to "
-                 "F after serving\n"
-                 "  --trace F     write the unified Perfetto trace "
-                 "JSON to F\n",
+                 "[--trace out.json] [--inject-faults SPEC] "
+                 "[--fallback]\n"
+                 "  --threads N        worker threads, N >= 1 "
+                 "(default: hardware concurrency)\n"
+                 "  --metrics F        write the metrics registry "
+                 "JSON to F after serving\n"
+                 "  --trace F          write the unified Perfetto "
+                 "trace JSON to F\n"
+                 "  --inject-faults S  arm the fault injector, S = "
+                 "[SEED@]kind:unit:rate[:cycles],...\n"
+                 "                     kinds: stall, spike, corrupt; "
+                 "unit: a unit name or \"all\"\n"
+                 "  --fallback         degrade faulty frames to the "
+                 "reference program instead of failing\n",
                  argv0);
     return 2;
 }
@@ -95,6 +112,8 @@ main(int argc, char **argv)
     unsigned threads = 0; // 0: hardware_concurrency.
     std::string metrics_path;
     std::string trace_path;
+    std::string fault_spec;
+    bool fallback = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
@@ -105,6 +124,10 @@ main(int argc, char **argv)
             metrics_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--inject-faults" && i + 1 < argc) {
+            fault_spec = argv[++i];
+        } else if (arg == "--fallback") {
+            fallback = true;
         } else {
             return usage(argv[0]);
         }
@@ -119,7 +142,19 @@ main(int argc, char **argv)
                            Vector{0.5 * i, 0.05 * i, 0.0});
     const fg::FactorGraph graph = buildGraph(truth);
 
-    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    runtime::EngineOptions options;
+    if (!fault_spec.empty()) {
+        try {
+            options.faultPlan = hw::FaultPlan::parse(fault_spec);
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: bad --inject-faults: %s\n",
+                         error.what());
+            return usage(argv[0]);
+        }
+    }
+    options.degradation.fallback = fallback;
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
+                           std::move(options));
 
     // Three hypotheses: perturb the initial guess differently per
     // client. The graphs (and their measurements) are identical, so
@@ -141,10 +176,17 @@ main(int argc, char **argv)
                 engine.stats().cacheHits);
 
     // Serve the clients concurrently: one pool task per session,
-    // each stepping its own private state over the shared program.
+    // each stepping its own private state over the shared program. A
+    // frame that exhausts the degradation ladder (faults injected
+    // without --fallback) fails only its own client.
     runtime::ServerPool pool(threads);
-    pool.parallelFor(sessions.size(), [&sessions](std::size_t c) {
-        sessions[c].iterate(4);
+    std::vector<std::string> client_errors(sessions.size());
+    pool.parallelFor(sessions.size(), [&](std::size_t c) {
+        try {
+            sessions[c].iterate(4);
+        } catch (const std::exception &error) {
+            client_errors[c] = error.what();
+        }
     });
 
     const auto totals = pool.tasksExecuted();
@@ -155,18 +197,44 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(totals[w]));
     std::printf("\n");
 
+    bool clients_ok = true;
     for (std::size_t c = 0; c < sessions.size(); ++c) {
         const runtime::Session &session = sessions[c];
+        if (!client_errors[c].empty()) {
+            std::printf("client %zu: FAILED after %zu frame(s): %s\n",
+                        c, session.frames(),
+                        client_errors[c].c_str());
+            clients_ok = false;
+            continue;
+        }
         const double err = graph.totalError(session.values());
         std::printf("client %zu: %zu frames, %llu cycles total, "
-                    "final objective %.3e\n",
+                    "final objective %.3e",
                     c, session.frames(),
                     static_cast<unsigned long long>(
                         session.totals().cycles),
                     err);
+        if (session.totals().faultsInjected > 0 ||
+            session.fallbacks() > 0)
+            std::printf(" (%llu fault(s) injected, %llu retr%s, "
+                        "%llu fallback frame(s))",
+                        static_cast<unsigned long long>(
+                            session.totals().faultsInjected),
+                        static_cast<unsigned long long>(
+                            session.retries()),
+                        session.retries() == 1 ? "y" : "ies",
+                        static_cast<unsigned long long>(
+                            session.fallbacks()));
+        std::printf("\n");
     }
+    std::printf("health: %s\n", engine.healthJson().c_str());
 
-    const bool cache_ok = engine.stats().cacheHits == 2;
+    // Two of the three sessions hit the cache — per artifact: with a
+    // provisioned fallback every session also fetches the reference
+    // program, doubling both compiles and hits.
+    const bool fallback_armed = fallback && !fault_spec.empty();
+    const bool cache_ok =
+        engine.stats().cacheHits == (fallback_armed ? 4u : 2u);
 
     // Close the sessions before exporting: each destructor reports
     // its enclosing "session" span to the unified trace.
@@ -189,5 +257,5 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     }
-    return cache_ok ? 0 : 1;
+    return cache_ok && clients_ok ? 0 : 1;
 }

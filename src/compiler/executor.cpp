@@ -1,6 +1,7 @@
 #include "compiler/executor.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "lie/so.hpp"
@@ -77,6 +78,23 @@ void
 Executor::reset()
 {
     slots_.assign(program_->valueSlots, std::monostate{});
+}
+
+void
+Executor::corruptSlot(std::uint32_t index)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    SlotValue &slot = slots_.at(index);
+    if (std::holds_alternative<Matrix>(slot)) {
+        Matrix &m = std::get<Matrix>(slot);
+        for (std::size_t i = 0; i < m.rows(); ++i)
+            for (std::size_t j = 0; j < m.cols(); ++j)
+                m(i, j) = nan;
+    } else if (std::holds_alternative<Vector>(slot)) {
+        Vector &v = std::get<Vector>(slot);
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = nan;
+    }
 }
 
 const Matrix &

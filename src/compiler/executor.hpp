@@ -59,6 +59,15 @@ class Executor
         return slots_.at(index);
     }
 
+    /**
+     * Overwrite every element of @p index with quiet NaN, keeping the
+     * shape. The hardware fault-injection harness (src/hw) models a
+     * corrupted-output fault this way: a poisoned value propagates
+     * through its consumers exactly like the upset it stands for, and
+     * the runtime detects it in the deltas.
+     */
+    void corruptSlot(std::uint32_t index);
+
   private:
     const Matrix &matrixAt(std::uint32_t slot) const;
     const Vector &vectorAt(std::uint32_t slot) const;

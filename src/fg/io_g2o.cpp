@@ -100,8 +100,13 @@ readG2o(std::istream &in)
                                            info[20], info[0], info[6],
                                            info[11]}));
         } else {
-            throw std::runtime_error("readG2o: unsupported record " +
-                                     tag);
+            // Benign unsupported record (FIX, VERTEX_XY, EDGE_SE2_XY,
+            // ... appear in published benchmark files alongside the
+            // pose records): skip it but tell the caller, so a file
+            // of nothing but typos cannot load as an empty graph
+            // unnoticed.
+            data.warnings.push_back("skipped unsupported record " +
+                                    tag);
         }
     }
     return data;

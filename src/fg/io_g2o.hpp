@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "fg/graph.hpp"
 
@@ -26,6 +27,14 @@ struct PoseGraphData
 {
     FactorGraph graph;
     Values initial;
+
+    /**
+     * One entry per skipped record: unsupported-but-benign tags such
+     * as FIX or VERTEX_XY (common in published benchmark files) do
+     * not abort the load, they are collected here for the caller to
+     * surface. Malformed records of a *supported* tag still throw.
+     */
+    std::vector<std::string> warnings;
 };
 
 /** Parse a g2o stream. @throws std::runtime_error on malformed input. */

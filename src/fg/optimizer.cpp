@@ -21,7 +21,43 @@ addDamping(LinearSystem &system, double lambda)
     }
 }
 
+/** Every entry of every update is finite. */
+bool
+allFinite(const std::map<Key, Vector> &delta)
+{
+    for (const auto &[key, d] : delta)
+        for (std::size_t i = 0; i < d.size(); ++i)
+            if (!std::isfinite(d[i]))
+                return false;
+    return true;
+}
+
+/**
+ * Escalate damping after a rejected step. Returns false once the
+ * growth would exceed the divergence bound.
+ */
+bool
+growLambda(double &lambda, const GaussNewtonParams &params)
+{
+    lambda = lambda <= 0.0 ? params.lambdaFloor
+                           : lambda * params.lambdaGrow;
+    return lambda <= params.lambdaMax;
+}
+
 } // namespace
+
+const char *
+terminationReasonName(TerminationReason reason)
+{
+    switch (reason) {
+      case TerminationReason::Converged: return "converged";
+      case TerminationReason::Diverged: return "diverged";
+      case TerminationReason::MaxIterations: return "max-iterations";
+      case TerminationReason::NumericalFailure:
+        return "numerical-failure";
+    }
+    return "?";
+}
 
 OptimizeResult
 optimize(const FactorGraph &graph, Values initial,
@@ -29,40 +65,116 @@ optimize(const FactorGraph &graph, Values initial,
 {
     OptimizeResult result;
     result.values = std::move(initial);
+    result.reason = TerminationReason::MaxIterations;
 
     double error = graph.totalError(result.values);
-    for (std::size_t iter = 0; iter < params.maxIterations; ++iter) {
-        LinearSystem system = graph.linearize(result.values);
-        addDamping(system, params.lambda);
-
-        const std::vector<Key> order =
-            params.ordering ? *params.ordering : graph.allKeys();
-        std::map<Key, Vector> delta =
-            solveLinearSystem(system, order, &result.stats);
-        if (params.stepScale != 1.0)
-            for (auto &[key, d] : delta)
-                d = d * params.stepScale;
-
-        double delta_norm = 0.0;
-        for (const auto &[key, d] : delta)
-            delta_norm = std::max(delta_norm, d.maxAbs());
-
-        result.values.retractAll(delta);
-        const double new_error = graph.totalError(result.values);
-        result.history.push_back({error, new_error, delta_norm});
-        ++result.iterations;
-
-        const double decrease = error - new_error;
-        error = new_error;
-        if (delta_norm < params.deltaTol ||
-            std::abs(decrease) < params.absoluteErrorTol ||
-            (error > 0.0 &&
-             std::abs(decrease) / error < params.relativeErrorTol)) {
-            result.converged = true;
-            break;
-        }
+    double lambda = params.lambda;
+    if (!std::isfinite(error)) {
+        // A NaN/Inf objective at entry can never produce a meaningful
+        // decrease; report it instead of burning the whole budget.
+        result.reason = TerminationReason::NumericalFailure;
+        result.finalError = error;
+        result.finalLambda = lambda;
+        return result;
     }
+
+    const std::vector<Key> order =
+        params.ordering ? *params.ordering : graph.allKeys();
+
+    for (std::size_t iter = 0;
+         iter < params.maxIterations &&
+         result.reason == TerminationReason::MaxIterations;
+         ++iter) {
+        // One linearization per outer iteration; damping retries below
+        // reuse it (only the damping rows change).
+        const LinearSystem system = graph.linearize(result.values);
+
+        std::size_t rejects = 0;
+        bool stepped = false;
+        while (!stepped) {
+            std::map<Key, Vector> delta;
+            if (lambda <= 0.0) {
+                delta = solveLinearSystem(system, order,
+                                          &result.stats);
+            } else {
+                LinearSystem damped = system;
+                addDamping(damped, lambda);
+                delta = solveLinearSystem(damped, order,
+                                          &result.stats);
+            }
+            if (params.stepScale != 1.0)
+                for (auto &[key, d] : delta)
+                    d = d * params.stepScale;
+
+            if (!allFinite(delta)) {
+                // The linear solve itself broke down; damping
+                // regularizes the system, so escalate like a rejected
+                // step before giving up.
+                ++rejects;
+                if (!params.adaptive || !growLambda(lambda, params)) {
+                    result.reason =
+                        TerminationReason::NumericalFailure;
+                    break;
+                }
+                continue;
+            }
+
+            double delta_norm = 0.0;
+            for (const auto &[key, d] : delta)
+                delta_norm = std::max(delta_norm, d.maxAbs());
+
+            Values candidate = result.values;
+            candidate.retractAll(delta);
+            const double new_error = graph.totalError(candidate);
+
+            const bool acceptable =
+                std::isfinite(new_error) && new_error <= error;
+            if (params.adaptive && !acceptable) {
+                ++rejects;
+                if (!growLambda(lambda, params)) {
+                    result.reason =
+                        std::isfinite(new_error)
+                            ? TerminationReason::Diverged
+                            : TerminationReason::NumericalFailure;
+                    break;
+                }
+                continue;
+            }
+            if (!params.adaptive && !std::isfinite(new_error)) {
+                result.reason = TerminationReason::NumericalFailure;
+                break;
+            }
+
+            // Step taken (adaptive: strictly non-increasing; legacy
+            // fixed-damping mode applies it unconditionally).
+            result.values = std::move(candidate);
+            result.history.push_back(
+                {error, new_error, delta_norm, lambda, rejects});
+            ++result.iterations;
+            const double decrease = error - new_error;
+            error = new_error;
+            stepped = true;
+
+            // Convergence is only ever declared on a non-increasing
+            // step: the historical |decrease| predicate marked a small
+            // error *increase* as converged.
+            if (delta_norm < params.deltaTol ||
+                (decrease >= 0.0 &&
+                 (decrease < params.absoluteErrorTol ||
+                  (error > 0.0 && decrease / error <
+                                      params.relativeErrorTol)))) {
+                result.reason = TerminationReason::Converged;
+            } else if (params.adaptive) {
+                // Reward an accepted step with lighter damping.
+                lambda *= params.lambdaShrink;
+            }
+        }
+        result.rejectedSteps += rejects;
+    }
+
+    result.converged = result.reason == TerminationReason::Converged;
     result.finalError = error;
+    result.finalLambda = lambda;
     return result;
 }
 

@@ -8,7 +8,18 @@
 
 namespace orianna::fg {
 
-/** Knobs of the Gauss-Newton loop (Fig. 3). */
+/** Why optimize() stopped iterating. */
+enum class TerminationReason : std::uint8_t {
+    Converged,        //!< Error or update stalled after an accepted step.
+    Diverged,         //!< Damping exhausted without an acceptable step.
+    MaxIterations,    //!< Iteration budget spent before convergence.
+    NumericalFailure, //!< NaN/Inf in the error or the update.
+};
+
+/** Display name of a termination reason. */
+const char *terminationReasonName(TerminationReason reason);
+
+/** Knobs of the Gauss-Newton / Levenberg-Marquardt loop (Fig. 3). */
 struct GaussNewtonParams
 {
     std::size_t maxIterations = 25;
@@ -18,8 +29,9 @@ struct GaussNewtonParams
     /** Elimination ordering; natural order when not set. */
     std::optional<std::vector<Key>> ordering;
     /**
-     * Optional Levenberg-Marquardt damping added to the system as
-     * sqrt(lambda) * I prior rows. Zero = plain Gauss-Newton.
+     * Initial Levenberg-Marquardt damping, added to the system as
+     * sqrt(lambda) * I prior rows. Zero starts as plain Gauss-Newton;
+     * the loop still escalates damping when a step is rejected.
      */
     double lambda = 0.0;
     /**
@@ -28,6 +40,26 @@ struct GaussNewtonParams
      * (hinge) factors can induce in plain Gauss-Newton.
      */
     double stepScale = 1.0;
+
+    // --- Adaptive trust-region control -------------------------------
+    /**
+     * Accept/reject steps: a step that does not decrease the error is
+     * rolled back and retried with grown damping (classic LM). Off
+     * reproduces the historical fixed-damping loop that applies every
+     * step unconditionally.
+     */
+    bool adaptive = true;
+    /** Damping growth factor on a rejected step. */
+    double lambdaGrow = 10.0;
+    /** Damping shrink factor on an accepted step. */
+    double lambdaShrink = 0.1;
+    /** First non-zero damping tried when lambda is still zero. */
+    double lambdaFloor = 1e-4;
+    /**
+     * Divergence bound: when damping must grow beyond this without
+     * producing an acceptable step, the solve reports Diverged.
+     */
+    double lambdaMax = 1e8;
 };
 
 /** One optimizer iteration, for convergence inspection and plots. */
@@ -36,23 +68,33 @@ struct IterationRecord
     double errorBefore = 0.0;
     double errorAfter = 0.0;
     double deltaNorm = 0.0;
+    double lambda = 0.0;   //!< Damping used by the accepted step.
+    std::size_t rejects = 0; //!< Attempts rolled back this iteration.
 };
 
 /** Outcome of optimize(). */
 struct OptimizeResult
 {
     Values values;
-    bool converged = false;
-    std::size_t iterations = 0;
+    bool converged = false; //!< reason == Converged.
+    TerminationReason reason = TerminationReason::MaxIterations;
+    std::size_t iterations = 0;    //!< Accepted steps.
+    std::size_t rejectedSteps = 0; //!< Rolled-back attempts, total.
     double finalError = 0.0;
+    double finalLambda = 0.0; //!< Damping after the last step.
     std::vector<IterationRecord> history;
     EliminationStats stats; //!< Accumulated over all iterations.
 };
 
 /**
- * Gauss-Newton with factor-graph elimination (Sec. 2.1-2.2): starting
- * from @p initial, repeatedly linearize, eliminate, back-substitute
- * and retract until the error or the update stalls.
+ * Adaptive Levenberg-Marquardt with factor-graph elimination
+ * (Sec. 2.1-2.2): starting from @p initial, repeatedly linearize,
+ * eliminate, back-substitute and retract. Each step is accepted only
+ * when it decreases the error; rejected steps are rolled back and
+ * retried with grown damping, and the result carries a typed
+ * TerminationReason — an error increase is never reported as
+ * convergence, and NaN/Inf in the error or update terminates
+ * immediately instead of silently burning the iteration budget.
  */
 OptimizeResult optimize(const FactorGraph &graph, Values initial,
                         const GaussNewtonParams &params = {});

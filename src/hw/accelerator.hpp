@@ -81,6 +81,14 @@ struct SimResult
     /** Completion cycle of the last instruction per algorithm tag. */
     std::map<std::uint8_t, std::uint64_t> algorithmFinishCycle;
 
+    /**
+     * Faults the injection harness fired this frame, total and per
+     * FaultKind (stall / spike / corrupt, in enum order). Always zero
+     * without an armed hw::FaultInjector.
+     */
+    std::uint64_t faultsInjected = 0;
+    std::array<std::uint64_t, 3> faultsByKind{};
+
     /** Functional results: delta per variable, one map per work item. */
     std::vector<std::map<fg::Key, mat::Vector>> deltas;
 
@@ -107,6 +115,9 @@ struct SimResult
             auto &finish = algorithmFinishCycle[tag];
             finish = std::max(finish, cycle);
         }
+        faultsInjected += other.faultsInjected;
+        for (std::size_t k = 0; k < faultsByKind.size(); ++k)
+            faultsByKind[k] += other.faultsByKind[k];
     }
 };
 

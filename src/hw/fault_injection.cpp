@@ -1,0 +1,192 @@
+#include "hw/fault_injection.hpp"
+
+#include <stdexcept>
+
+namespace orianna::hw {
+
+namespace {
+
+/** SplitMix64: the standard 64-bit finalizer-style mixer. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from the top 53 bits of a hash. */
+double
+uniform(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+UnitKind
+unitFromName(const std::string &name)
+{
+    for (std::size_t k = 0; k < kUnitKindCount; ++k)
+        if (name == unitName(static_cast<UnitKind>(k)))
+            return static_cast<UnitKind>(k);
+    throw std::invalid_argument("FaultPlan: unknown unit \"" + name +
+                                "\"");
+}
+
+FaultKind
+kindFromName(const std::string &name)
+{
+    if (name == "stall")
+        return FaultKind::Stall;
+    if (name == "spike")
+        return FaultKind::LatencySpike;
+    if (name == "corrupt")
+        return FaultKind::CorruptOutput;
+    throw std::invalid_argument("FaultPlan: unknown fault kind \"" +
+                                name + "\"");
+}
+
+std::uint64_t
+defaultCycles(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Stall: return 50000;
+      case FaultKind::LatencySpike: return 2000;
+      case FaultKind::CorruptOutput: return 0;
+    }
+    return 0;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t end = text.find(sep, begin);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(begin));
+            break;
+        }
+        parts.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Stall: return "stall";
+      case FaultKind::LatencySpike: return "spike";
+      case FaultKind::CorruptOutput: return "corrupt";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string body = spec;
+    const std::size_t at = spec.find('@');
+    if (at != std::string::npos) {
+        try {
+            std::size_t used = 0;
+            plan.seed = std::stoull(spec.substr(0, at), &used);
+            if (used != at)
+                throw std::invalid_argument("trailing characters");
+        } catch (const std::exception &) {
+            throw std::invalid_argument(
+                "FaultPlan: bad seed in \"" + spec + "\"");
+        }
+        body = spec.substr(at + 1);
+    }
+    if (body.empty())
+        throw std::invalid_argument("FaultPlan: empty spec");
+
+    for (const std::string &item : split(body, ',')) {
+        const std::vector<std::string> fields = split(item, ':');
+        if (fields.size() < 3 || fields.size() > 4)
+            throw std::invalid_argument(
+                "FaultPlan: expected kind:unit:rate[:cycles], got \"" +
+                item + "\"");
+        FaultSpec base;
+        base.kind = kindFromName(fields[0]);
+        try {
+            base.rate = std::stod(fields[2]);
+        } catch (const std::exception &) {
+            throw std::invalid_argument("FaultPlan: bad rate \"" +
+                                        fields[2] + "\"");
+        }
+        if (!(base.rate >= 0.0) || base.rate > 1.0)
+            throw std::invalid_argument(
+                "FaultPlan: rate must be in [0, 1]");
+        base.cycles = defaultCycles(base.kind);
+        if (fields.size() == 4) {
+            try {
+                base.cycles = std::stoull(fields[3]);
+            } catch (const std::exception &) {
+                throw std::invalid_argument(
+                    "FaultPlan: bad cycle count \"" + fields[3] +
+                    "\"");
+            }
+        }
+        if (fields[1] == "all") {
+            for (std::size_t k = 0; k < kUnitKindCount; ++k) {
+                FaultSpec per_unit = base;
+                per_unit.unit = static_cast<UnitKind>(k);
+                plan.faults.push_back(per_unit);
+            }
+        } else {
+            base.unit = unitFromName(fields[1]);
+            plan.faults.push_back(base);
+        }
+    }
+    return plan;
+}
+
+FaultDecision
+FaultInjector::decide(std::uint64_t frame, std::uint64_t attempt,
+                      std::uint64_t g, UnitKind kind) const
+{
+    FaultDecision decision;
+    for (std::size_t s = 0; s < plan_.faults.size(); ++s) {
+        const FaultSpec &spec = plan_.faults[s];
+        if (spec.unit != kind || spec.rate <= 0.0)
+            continue;
+        // Independent coordinates-keyed draw per spec: pure function
+        // of (seed, frame, attempt, instruction, spec index).
+        std::uint64_t h = splitmix64(plan_.seed ^ splitmix64(frame));
+        h = splitmix64(h ^ splitmix64(attempt ^ 0x5bf0375a00000000ull));
+        h = splitmix64(h ^ splitmix64(g));
+        h = splitmix64(h ^ static_cast<std::uint64_t>(s));
+        if (uniform(h) >= spec.rate)
+            continue;
+        decision.fired[static_cast<std::size_t>(spec.kind)] += 1;
+        if (spec.kind == FaultKind::CorruptOutput)
+            decision.corrupt = true;
+        else
+            decision.extraCycles += spec.cycles;
+    }
+    return decision;
+}
+
+std::vector<FaultDecision>
+FaultInjector::schedule(std::uint64_t frame, std::uint64_t attempt,
+                        const std::vector<std::uint8_t> &unit_kinds)
+    const
+{
+    std::vector<FaultDecision> decisions;
+    decisions.reserve(unit_kinds.size());
+    for (std::size_t g = 0; g < unit_kinds.size(); ++g)
+        decisions.push_back(decide(frame, attempt, g,
+                                   static_cast<UnitKind>(
+                                       unit_kinds[g])));
+    return decisions;
+}
+
+} // namespace orianna::hw

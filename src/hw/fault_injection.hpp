@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+
+namespace orianna::hw {
+
+/**
+ * Hardware fault classes the harness can inject into the simulated
+ * accelerator (the deployment failure modes the reconfigurable
+ * localization and LiDAR-inertial accelerator papers stress):
+ *
+ *   - Stall: a functional unit wedges for many cycles before its
+ *     result lands (arbitration bug, buffer backpressure). Detected
+ *     by the runtime's frame-timeout policy.
+ *   - LatencySpike: a short transient slowdown of one operation
+ *     (voltage droop, DRAM refresh collision). Usually benign; large
+ *     spikes trip the same timeout.
+ *   - CorruptOutput: the unit produces garbage (SEU in the datapath).
+ *     The harness poisons the output slot with quiet NaNs, which is
+ *     what a parity-protected datapath raises on a detected upset;
+ *     the runtime sees the non-finite deltas and degrades.
+ */
+enum class FaultKind : std::uint8_t {
+    Stall,
+    LatencySpike,
+    CorruptOutput,
+};
+
+constexpr std::size_t kFaultKindCount = 3;
+
+/** Display name ("stall" / "spike" / "corrupt"). */
+const char *faultKindName(FaultKind kind);
+
+/** One fault source: a kind bound to a unit kind with a firing rate. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::CorruptOutput;
+    UnitKind unit = UnitKind::MatMul;
+    /** Per-issued-instruction firing probability in [0, 1]. */
+    double rate = 0.0;
+    /** Extra cycles for Stall / LatencySpike (ignored for corrupt). */
+    std::uint64_t cycles = 0;
+};
+
+/**
+ * A deterministic, seeded fault campaign: every FaultSpec is evaluated
+ * independently for every issued instruction. The schedule is a pure
+ * function of (seed, frame, attempt, instruction, spec), so the same
+ * plan replays byte-identically regardless of host thread timing or
+ * issue order — which is what makes schedule and robustness claims
+ * testable.
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 0;
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Parse a command-line campaign spec:
+     *
+     *   [SEED@]FAULT[,FAULT...]
+     *   FAULT = kind:unit:rate[:cycles]
+     *
+     * kind is stall|spike|corrupt, unit is a unit name (matmul, qr,
+     * backsub, vector, special, buffer, dma, transpose) or "all"
+     * (one spec per unit kind), rate is a probability, cycles the
+     * stall/spike length (default 50000 stall / 2000 spike).
+     * Example: "42@corrupt:all:0.02,stall:qr:0.01:100000".
+     *
+     * @throws std::invalid_argument on malformed input.
+     */
+    static FaultPlan parse(const std::string &spec);
+};
+
+/** What decide() injects into one instruction issue. */
+struct FaultDecision
+{
+    std::uint64_t extraCycles = 0; //!< Added to the unit latency.
+    bool corrupt = false;          //!< Poison the output slot.
+    /** Fault count per kind fired on this issue (for the counters). */
+    std::uint64_t fired[kFaultKindCount] = {0, 0, 0};
+
+    bool
+    any() const
+    {
+        return extraCycles != 0 || corrupt;
+    }
+};
+
+/**
+ * Stateless evaluator of a FaultPlan. decide() hashes the coordinates
+ * of an instruction issue (frame number, retry attempt, global
+ * instruction index) with the plan seed, so:
+ *
+ *   - the same seed replays the exact same fault schedule,
+ *   - retries of a faulted frame (attempt + 1) roll fresh outcomes,
+ *     which is what gives a retry a chance of clearing a transient.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * Faults firing on instruction @p g (global index, executing on a
+     * unit of @p kind) in frame @p frame, retry @p attempt.
+     */
+    FaultDecision decide(std::uint64_t frame, std::uint64_t attempt,
+                         std::uint64_t g, UnitKind kind) const;
+
+    /**
+     * The full fault schedule of one frame attempt over @p unit_kinds
+     * (unit kind per global instruction index), serialized as one
+     * decision per instruction. Replays are byte-identical by
+     * construction; tests assert exactly that.
+     */
+    std::vector<FaultDecision>
+    schedule(std::uint64_t frame, std::uint64_t attempt,
+             const std::vector<std::uint8_t> &unit_kinds) const;
+
+  private:
+    FaultPlan plan_;
+};
+
+} // namespace orianna::hw

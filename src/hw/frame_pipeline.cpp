@@ -310,7 +310,8 @@ simulatePipeline(const std::vector<PeriodicStream> &streams,
                  const AcceleratorConfig &config, double horizon_s)
 {
     if (horizon_s <= 0.0)
-        throw std::invalid_argument("simulatePipeline: empty workload");
+        throw std::invalid_argument(
+            "simulatePipeline: horizon must be positive");
     return FramePipeline(streams, config).run(horizon_s);
 }
 

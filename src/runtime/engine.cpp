@@ -1,6 +1,10 @@
 #include "runtime/engine.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <stdexcept>
+#include <thread>
 
 #include "compiler/optimize.hpp"
 #include "fg/factor.hpp"
@@ -122,8 +126,29 @@ std::shared_ptr<const comp::Program>
 Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
                 std::uint8_t algorithm_tag, const std::string &name)
 {
+    return compileCached(graphFingerprint(graph, shapes, algorithm_tag),
+                         graph, shapes, algorithm_tag, name, pipeline_);
+}
+
+std::shared_ptr<const comp::Program>
+Engine::referenceProgram(const fg::FactorGraph &graph,
+                         const fg::Values &shapes,
+                         std::uint8_t algorithm_tag,
+                         const std::string &name)
+{
     const std::uint64_t key =
-        graphFingerprint(graph, shapes, algorithm_tag);
+        graphFingerprint(graph, shapes, algorithm_tag) ^ kReferenceSalt;
+    return compileCached(key, graph, shapes, algorithm_tag,
+                         name + " (reference)", referencePipeline_);
+}
+
+std::shared_ptr<const comp::Program>
+Engine::compileCached(std::uint64_t key, const fg::FactorGraph &graph,
+                      const fg::Values &shapes,
+                      std::uint8_t algorithm_tag,
+                      const std::string &name,
+                      comp::PassManager &pipeline)
+{
     Shard &s = shard(key);
 
     // Fast path: shared lock, no contention between readers.
@@ -197,7 +222,7 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
         pass_options.verify = options_.verifyPasses ||
                               comp::PassManager::verifyFromEnv();
         const std::vector<comp::PassStats> pass_stats =
-            pipeline_.run(*compiled, pass_options);
+            pipeline.run(*compiled, pass_options);
 
         compiles_.fetch_add(1, std::memory_order_relaxed);
         if (compile_timer.armed()) {
@@ -284,6 +309,43 @@ Engine::metricsJson()
     return MetricsRegistry::global().toJson();
 }
 
+std::string
+Engine::healthJson() const
+{
+    const auto load = [](const std::atomic<std::uint64_t> &c) {
+        return c.load(std::memory_order_relaxed);
+    };
+    const std::uint64_t retries = load(health_->retries);
+    const std::uint64_t fallbacks = load(health_->fallbacks);
+    const std::uint64_t failures = load(health_->failures);
+    const char *status = failures > 0 ? "failing"
+                         : (retries > 0 || fallbacks > 0)
+                             ? "degraded"
+                             : "ok";
+    const Stats cache = stats();
+
+    std::string out = "{\"status\":\"";
+    out += status;
+    out += "\",\"fault_injection\":";
+    out += injector_ != nullptr ? "true" : "false";
+    const auto field = [&out](const char *key, std::uint64_t value) {
+        out += ",\"";
+        out += key;
+        out += "\":";
+        out += std::to_string(value);
+    };
+    field("frames_ok", load(health_->framesOk));
+    field("faults_detected", load(health_->faultsDetected));
+    field("frame_timeouts", load(health_->frameTimeouts));
+    field("retries", retries);
+    field("fallbacks", fallbacks);
+    field("failures", failures);
+    field("compiles", cache.compiles);
+    field("cache_hits", cache.cacheHits);
+    out += "}";
+    return out;
+}
+
 Session
 Engine::session(const fg::FactorGraph &graph, fg::Values initial,
                 double step_scale, std::uint8_t algorithm_tag,
@@ -291,12 +353,27 @@ Engine::session(const fg::FactorGraph &graph, fg::Values initial,
 {
     const StageTimer open;
     auto compiled = program(graph, initial, algorithm_tag, name);
+
+    SessionOptions opts;
+    opts.stepScale = step_scale;
+    opts.policy = options_.degradation;
+    opts.injector = injector_;
+    opts.health = health_;
+    // The fallback rung costs a second compile per graph, so it is
+    // provisioned only when a fault source exists: injection or a
+    // frame deadline. Fault-free engines behave exactly as before.
+    const bool can_fault = injector_ != nullptr ||
+                           options_.degradation.frameTimeoutCycles > 0;
+    if (options_.degradation.fallback && can_fault)
+        opts.fallback =
+            referenceProgram(graph, initial, algorithm_tag, name);
+
     if (open.armed())
         MetricsRegistry::global()
             .histogram("engine.session_open_us")
             .observe(open.elapsedUs());
     return Session(std::move(compiled), std::move(initial), config_,
-                   step_scale);
+                   std::move(opts));
 }
 
 /** See engine.hpp: reports the enclosing session span on death. */
@@ -333,14 +410,42 @@ openSessionTrack()
 
 } // namespace
 
+namespace {
+
+SessionOptions
+scaleOnly(double step_scale)
+{
+    SessionOptions opts;
+    opts.stepScale = step_scale;
+    return opts;
+}
+
+} // namespace
+
 Session::Session(std::shared_ptr<const comp::Program> program,
                  fg::Values initial, hw::AcceleratorConfig config,
                  double step_scale)
+    : Session(std::move(program), std::move(initial),
+              std::move(config), scaleOnly(step_scale))
+{
+}
+
+Session::Session(std::shared_ptr<const comp::Program> program,
+                 fg::Values initial, hw::AcceleratorConfig config,
+                 SessionOptions options)
     : program_(std::move(program)), values_(std::move(initial)),
-      config_(std::move(config)), stepScale_(step_scale),
+      config_(std::move(config)), stepScale_(options.stepScale),
+      policy_(options.policy),
+      fallbackProgram_(std::move(options.fallback)),
+      injector_(std::move(options.injector)),
+      health_(std::move(options.health)),
       context_(std::vector<const comp::Program *>{program_.get()}),
       trace_(openSessionTrack())
 {
+    if (fallbackProgram_ != nullptr)
+        fallbackContext_ = std::make_unique<ExecutionContext>(
+            std::vector<const comp::Program *>{
+                fallbackProgram_.get()});
 }
 
 std::int64_t
@@ -355,6 +460,21 @@ Session::Session(const comp::Program &program, fg::Values initial,
                   std::shared_ptr<const void>(), &program),
               std::move(initial), std::move(config), step_scale)
 {
+}
+
+const char *
+Session::diagnose(const hw::SimResult &frame,
+                  bool check_deadline) const
+{
+    if (check_deadline && policy_.frameTimeoutCycles > 0 &&
+        frame.cycles > policy_.frameTimeoutCycles)
+        return "frame deadline exceeded";
+    for (const auto &deltas : frame.deltas)
+        for (const auto &[key, delta] : deltas)
+            for (std::size_t i = 0; i < delta.size(); ++i)
+                if (!std::isfinite(delta[i]))
+                    return "non-finite delta";
+    return nullptr;
 }
 
 hw::SimResult
@@ -376,8 +496,117 @@ Session::step()
     // returned SimResult honors the caller's configuration.
     const bool caller_trace = config_.recordTrace;
     config_.recordTrace = caller_trace || tracing;
-    hw::SimResult frame = context_.run(config_);
+
+    // Acquire one healthy frame, climbing the degradation ladder:
+    // run (re-rolling injected fault outcomes per retry), then the
+    // reference fallback with injection disarmed. Nothing below this
+    // block retracts, so a poisoned update never reaches values_.
+    hw::SimResult frame;
+    const char *symptom = nullptr;
+    bool healthy = false;
+    bool degraded = false;
+    // Injection counters of discarded attempts, folded into the
+    // delivered frame so totals() reflect all injection activity.
+    std::uint64_t faults_discarded = 0;
+    std::array<std::uint64_t, 3> faults_discarded_kind{};
+    const auto note_fault = [&](const char *why,
+                                std::uint64_t attempt_start) {
+        ++faultsDetected_;
+        const bool timeout =
+            std::strcmp(why, "frame deadline exceeded") == 0;
+        if (timeout)
+            ++timeouts_;
+        if (health_ != nullptr) {
+            health_->faultsDetected.fetch_add(
+                1, std::memory_order_relaxed);
+            if (timeout)
+                health_->frameTimeouts.fetch_add(
+                    1, std::memory_order_relaxed);
+        }
+        if (metrics_on) {
+            auto &metrics = MetricsRegistry::global();
+            metrics.counter("engine.faults_detected").add();
+            if (timeout)
+                metrics.counter("engine.frame_timeouts").add();
+        }
+        if (tracing)
+            TraceCollector::global().addSpan(
+                trace_->track, std::string("fault: ") + why, "fault",
+                attempt_start,
+                MetricsRegistry::nowUs() - attempt_start);
+    };
+    // Without an injector a rerun is bit-identical, so retrying is
+    // pointless; go straight to the fallback rung.
+    const std::size_t attempts =
+        1 + (injector_ != nullptr ? policy_.maxRetries : 0);
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            ++retries_;
+            if (health_ != nullptr)
+                health_->retries.fetch_add(1,
+                                           std::memory_order_relaxed);
+            if (metrics_on)
+                MetricsRegistry::global()
+                    .counter("engine.retries")
+                    .add();
+            if (policy_.backoffBaseUs > 0)
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    policy_.backoffBaseUs * attempt));
+        }
+        context_.armFaults(injector_.get(), frames_, attempt);
+        const std::uint64_t attempt_start =
+            timed ? MetricsRegistry::nowUs() : frame_start;
+        frame = context_.run(config_);
+        symptom = diagnose(frame, /*check_deadline=*/true);
+        if (symptom == nullptr) {
+            healthy = true;
+            break;
+        }
+        faults_discarded += frame.faultsInjected;
+        for (std::size_t k = 0; k < faults_discarded_kind.size(); ++k)
+            faults_discarded_kind[k] += frame.faultsByKind[k];
+        note_fault(symptom, attempt_start);
+    }
+    if (!healthy && fallbackContext_ != nullptr) {
+        ++fallbacks_;
+        if (health_ != nullptr)
+            health_->fallbacks.fetch_add(1,
+                                         std::memory_order_relaxed);
+        if (metrics_on)
+            MetricsRegistry::global()
+                .counter("engine.fallbacks")
+                .add();
+        fallbackContext_->bindValues(0, &values_);
+        const std::uint64_t fb_start =
+            timed ? MetricsRegistry::nowUs() : frame_start;
+        frame = fallbackContext_->run(config_);
+        // The deadline is waived here: degraded mode trades latency
+        // for a correct update.
+        symptom = diagnose(frame, /*check_deadline=*/false);
+        healthy = symptom == nullptr;
+        degraded = healthy;
+        if (tracing)
+            TraceCollector::global().addSpan(
+                trace_->track, "fallback", "fault", fb_start,
+                MetricsRegistry::nowUs() - fb_start);
+    }
     config_.recordTrace = caller_trace;
+    if (!healthy) {
+        if (health_ != nullptr)
+            health_->failures.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error(
+            "Session: frame " + std::to_string(frames_) +
+            " failed (" + (symptom != nullptr ? symptom : "fault") +
+            ") after " + std::to_string(attempts - 1) + " retries" +
+            (fallbackContext_ != nullptr ? " and reference fallback"
+                                         : ""));
+    }
+    lastFrameDegraded_ = degraded;
+    frame.faultsInjected += faults_discarded;
+    for (std::size_t k = 0; k < faults_discarded_kind.size(); ++k)
+        frame.faultsByKind[k] += faults_discarded_kind[k];
+    if (health_ != nullptr)
+        health_->framesOk.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t simulate_end =
         timed ? MetricsRegistry::nowUs() : 0;
 

@@ -47,6 +47,48 @@ class Session;
 struct SessionTraceHandle;
 
 /**
+ * What a Session does when a frame misbehaves — non-finite deltas
+ * (from an injected corruption or genuinely broken numerics) or a
+ * blown cycle deadline. The ladder is: retry the frame up to
+ * maxRetries times (each retry re-rolls the fault schedule, so a
+ * transient upset clears), then replay it on the cleanup-only
+ * reference program with injection disarmed, then throw. Retries are
+ * only attempted when a fault injector is armed; without one a rerun
+ * is bit-identical to the failed attempt and is skipped.
+ */
+struct DegradationPolicy
+{
+    std::size_t maxRetries = 2; //!< Re-runs before falling back.
+    bool fallback = true;       //!< Allow the reference-program rung.
+
+    /**
+     * Declare a frame faulty when it simulates to more than this many
+     * cycles (0 = no deadline). The deadline is waived on the
+     * fallback rung: degraded mode trades latency for a correct
+     * update.
+     */
+    std::uint64_t frameTimeoutCycles = 0;
+
+    /** Sleep attempt*base microseconds before each retry (0 = none). */
+    std::uint64_t backoffBaseUs = 0;
+};
+
+/**
+ * Degradation counters shared by an Engine and every Session it
+ * opens. Atomic because sessions are routinely driven from ServerPool
+ * workers; snapshot through Engine::healthJson().
+ */
+struct EngineHealth
+{
+    std::atomic<std::uint64_t> framesOk{0};
+    std::atomic<std::uint64_t> faultsDetected{0};
+    std::atomic<std::uint64_t> frameTimeouts{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> failures{0}; //!< Frames that threw.
+};
+
+/**
  * The long-lived serving half of the runtime: owns an accelerator
  * configuration and a cache of compiled Programs keyed by graph
  * fingerprint. Sessions opened against the engine share cached
@@ -79,6 +121,16 @@ struct EngineOptions
      * process-wide by ORIANNA_VERIFY_PASSES=1.
      */
     bool verifyPasses = false;
+
+    /**
+     * Hardware fault-injection plan (hw::FaultPlan::parse() syntax).
+     * When non-empty the engine arms one deterministic FaultInjector
+     * shared by every session it opens.
+     */
+    hw::FaultPlan faultPlan;
+
+    /** Retry/fallback behavior of the sessions this engine opens. */
+    DegradationPolicy degradation;
 };
 
 class Engine
@@ -92,8 +144,13 @@ class Engine
     /** @throws std::invalid_argument on an unknown pass name. */
     Engine(hw::AcceleratorConfig config, EngineOptions options)
         : config_(std::move(config)), options_(std::move(options)),
-          pipeline_(comp::PassManager::parse(options_.passes))
+          pipeline_(comp::PassManager::parse(options_.passes)),
+          referencePipeline_(comp::PassManager::parse("dedup,dce")),
+          health_(std::make_shared<EngineHealth>())
     {
+        if (!options_.faultPlan.empty())
+            injector_ = std::make_shared<const hw::FaultInjector>(
+                options_.faultPlan);
     }
 
     const hw::AcceleratorConfig &config() const { return config_; }
@@ -109,6 +166,39 @@ class Engine
     program(const fg::FactorGraph &graph, const fg::Values &shapes,
             std::uint8_t algorithm_tag = 0,
             const std::string &name = "session");
+
+    /**
+     * Compile (or fetch) the cleanup-only reference program for
+     * @p graph: the same "dedup,dce" pipeline core::Application keeps
+     * as its golden path, independent of the engine's optimizing
+     * pipeline. This is the fallback rung of the degradation ladder;
+     * it shares the program cache under a salted fingerprint so
+     * optimized and reference artifacts coexist.
+     */
+    std::shared_ptr<const comp::Program>
+    referenceProgram(const fg::FactorGraph &graph,
+                     const fg::Values &shapes,
+                     std::uint8_t algorithm_tag = 0,
+                     const std::string &name = "session");
+
+    /** The engine's fault injector, or nullptr when faults are off. */
+    const hw::FaultInjector *injector() const
+    {
+        return injector_.get();
+    }
+
+    /** Live degradation counters shared with this engine's sessions. */
+    const EngineHealth &health() const { return *health_; }
+
+    /**
+     * JSON snapshot of the degradation counters plus cache stats:
+     * {"status": "ok"|"degraded"|"failing", "fault_injection": bool,
+     *  "frames_ok", "faults_detected", "frame_timeouts", "retries",
+     *  "fallbacks", "failures", "compiles", "cache_hits"}.
+     * "degraded" means at least one retry or fallback happened;
+     * "failing" means at least one frame exhausted the ladder.
+     */
+    std::string healthJson() const;
 
     /**
      * Open a session: compile (or fetch) the program for @p graph and
@@ -178,11 +268,28 @@ class Engine
 
     static constexpr std::size_t kShards = 16;
 
+    /**
+     * Cache-key salt for reference (cleanup-only) programs, so both
+     * artifacts of one graph live in the shared program cache.
+     */
+    static constexpr std::uint64_t kReferenceSalt =
+        0xfa11bacc00000001ull;
+
     Shard &shard(std::uint64_t key) { return shards_[key % kShards]; }
+
+    /** Shared compile-or-fetch path of program()/referenceProgram(). */
+    std::shared_ptr<const comp::Program>
+    compileCached(std::uint64_t key, const fg::FactorGraph &graph,
+                  const fg::Values &shapes,
+                  std::uint8_t algorithm_tag, const std::string &name,
+                  comp::PassManager &pipeline);
 
     hw::AcceleratorConfig config_;
     EngineOptions options_;
     comp::PassManager pipeline_;
+    comp::PassManager referencePipeline_;
+    std::shared_ptr<const hw::FaultInjector> injector_;
+    std::shared_ptr<EngineHealth> health_;
     std::array<Shard, kShards> shards_;
     std::atomic<std::size_t> compiles_{0};
     std::atomic<std::size_t> cacheHits_{0};
@@ -190,10 +297,30 @@ class Engine
     std::vector<CompileRecord> log_;
 };
 
+/** Everything optional a Session is opened with. */
+struct SessionOptions
+{
+    double stepScale = 1.0;
+    DegradationPolicy policy;
+    /** Cleanup-only program for the fallback rung (may be null). */
+    std::shared_ptr<const comp::Program> fallback;
+    /** Armed fault injector (null = no injection). */
+    std::shared_ptr<const hw::FaultInjector> injector;
+    /** Engine-wide health counters (null = session-local only). */
+    std::shared_ptr<EngineHealth> health;
+};
+
 /**
  * One client's optimization stream: a shared compiled program plus
  * private mutable Values, executed frame after frame through one
  * reusable ExecutionContext (no per-frame rebuild of schedule state).
+ *
+ * Fault tolerance: every frame's deltas are checked for non-finite
+ * entries (and the frame's cycle count against the policy deadline);
+ * a faulty frame climbs the DegradationPolicy ladder — retry with
+ * re-rolled fault outcomes, then replay on the fallback reference
+ * program with injection disarmed — before anything is retracted
+ * into the session values, so a poisoned update never lands.
  */
 class Session
 {
@@ -206,6 +333,11 @@ class Session
     /** Non-owning: @p program must outlive the session. */
     Session(const comp::Program &program, fg::Values initial,
             hw::AcceleratorConfig config, double step_scale = 1.0);
+
+    /** Full-options form (what Engine::session builds). */
+    Session(std::shared_ptr<const comp::Program> program,
+            fg::Values initial, hw::AcceleratorConfig config,
+            SessionOptions options);
 
     const comp::Program &program() const { return *program_; }
 
@@ -233,14 +365,45 @@ class Session
      */
     std::int64_t traceTrack() const;
 
+    /** True when a fallback reference program is provisioned. */
+    bool hasFallback() const { return fallbackContext_ != nullptr; }
+
+    // Degradation counters of this session alone (the engine-wide
+    // aggregate lives in EngineHealth).
+    std::uint64_t retries() const { return retries_; }
+    std::uint64_t fallbacks() const { return fallbacks_; }
+    std::uint64_t faultsDetected() const { return faultsDetected_; }
+    std::uint64_t frameTimeouts() const { return timeouts_; }
+
+    /** True when the last step() completed on the fallback rung. */
+    bool lastFrameDegraded() const { return lastFrameDegraded_; }
+
   private:
+    /**
+     * Symptom check of one simulated frame: the cycle deadline (only
+     * when @p check_deadline) and non-finite deltas. Returns a static
+     * description string, or nullptr when the frame is healthy.
+     */
+    const char *diagnose(const hw::SimResult &frame,
+                         bool check_deadline) const;
+
     std::shared_ptr<const comp::Program> program_;
     fg::Values values_;
     hw::AcceleratorConfig config_;
     double stepScale_;
+    DegradationPolicy policy_;
+    std::shared_ptr<const comp::Program> fallbackProgram_;
+    std::shared_ptr<const hw::FaultInjector> injector_;
+    std::shared_ptr<EngineHealth> health_;
     ExecutionContext context_;
+    std::unique_ptr<ExecutionContext> fallbackContext_;
     hw::SimResult totals_;
     std::size_t frames_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t fallbacks_ = 0;
+    std::uint64_t faultsDetected_ = 0;
+    std::uint64_t timeouts_ = 0;
+    bool lastFrameDegraded_ = false;
     std::shared_ptr<SessionTraceHandle> trace_;
 };
 

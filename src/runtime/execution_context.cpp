@@ -70,6 +70,17 @@ ExecutionContext::bindValues(std::size_t item, const fg::Values *values)
 }
 
 void
+ExecutionContext::armFaults(const hw::FaultInjector *injector,
+                            std::uint64_t frame, std::uint64_t attempt)
+{
+    faults_ = injector != nullptr && !injector->plan().empty()
+                  ? injector
+                  : nullptr;
+    faultFrame_ = frame;
+    faultAttempt_ = attempt;
+}
+
+void
 ExecutionContext::buildStatic()
 {
     for (const comp::Program *program : programs_)
@@ -209,7 +220,30 @@ ExecutionContext::run(const hw::AcceleratorConfig &config,
 
         const Instruction &inst =
             programs_[w]->instructions[orderIndex_[g]];
-        const std::uint64_t latency = latency_[g];
+        std::uint64_t latency = latency_[g];
+        if (faults_ != nullptr) {
+            const hw::FaultDecision fault = faults_->decide(
+                faultFrame_, faultAttempt_, g,
+                static_cast<UnitKind>(unitKind_[g]));
+            if (fault.any()) {
+                latency += fault.extraCycles;
+                if (fault.corrupt) {
+                    // A STORE writes no slot — a corrupted store
+                    // garbles what the host reads back, its source.
+                    const std::uint32_t victim =
+                        inst.op == comp::IsaOp::STORE &&
+                                !inst.srcs.empty()
+                            ? inst.srcs[0]
+                            : inst.dst;
+                    executors_[w].corruptSlot(victim);
+                }
+                for (std::size_t k = 0;
+                     k < result.faultsByKind.size(); ++k) {
+                    result.faultsByKind[k] += fault.fired[k];
+                    result.faultsInjected += fault.fired[k];
+                }
+            }
+        }
         finishCycle_[g] = now + latency;
         events_.emplace_back(finishCycle_[g], g);
         std::push_heap(events_.begin(), events_.end(),

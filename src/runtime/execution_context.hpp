@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hw/accelerator.hpp"
+#include "hw/fault_injection.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace orianna::runtime {
@@ -58,6 +59,16 @@ class ExecutionContext
     void bindValues(std::size_t item, const fg::Values *values);
 
     /**
+     * Arm the hardware fault-injection harness for subsequent run()
+     * calls: @p injector (borrowed, may be nullptr to disarm) decides
+     * per issued instruction, keyed by @p frame / @p attempt so a
+     * retry of the same frame rolls fresh fault outcomes. The injected
+     * faults land in SimResult::faultsInjected / faultsByKind.
+     */
+    void armFaults(const hw::FaultInjector *injector,
+                   std::uint64_t frame, std::uint64_t attempt);
+
+    /**
      * Run one frame (every program executed once) under @p config with
      * the context's built-in scheduler for the config's dispatch mode.
      */
@@ -90,6 +101,11 @@ class ExecutionContext
     std::vector<comp::Executor> executors_;
     std::unique_ptr<Scheduler> outOfOrder_;
     std::unique_ptr<Scheduler> inOrder_;
+
+    // --- Fault-injection arming (rebound per frame attempt) ----------
+    const hw::FaultInjector *faults_ = nullptr;
+    std::uint64_t faultFrame_ = 0;
+    std::uint64_t faultAttempt_ = 0;
 
     // --- Per-frame scratch, reset in place by run() ------------------
     std::vector<std::uint32_t> pending_;

@@ -1,6 +1,7 @@
 #include "runtime/server_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "runtime/metrics.hpp"
@@ -11,6 +12,9 @@ namespace {
 
 /** Worker id of this thread within its owning pool; -1 elsewhere. */
 thread_local int tls_worker = -1;
+
+/** The pool owning this worker thread; nullptr on non-pool threads. */
+thread_local const void *tls_pool = nullptr;
 
 } // namespace
 
@@ -117,6 +121,7 @@ void
 ServerPool::workerLoop(unsigned self)
 {
     tls_worker = static_cast<int>(self);
+    tls_pool = this;
     std::function<void()> task;
     while (true) {
         if (popLocal(self, task) || steal(self, task)) {
@@ -188,8 +193,40 @@ ServerPool::parallelFor(std::size_t count,
     }
     wake_.notify_all();
 
-    std::unique_lock lock(batch.mutex);
-    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    // A pool worker that submits a batch must not block on it: every
+    // other worker may equally be a submitter waiting on its own
+    // nested batch, leaving no thread to run any queued task — the
+    // classic nested-fork-join deadlock. A waiting worker instead
+    // helps drain the queues (its own batch's tasks included, plus
+    // anything stealable) until its batch completes.
+    if (tls_pool == this && tls_worker >= 0) {
+        const unsigned self = static_cast<unsigned>(tls_worker);
+        std::function<void()> task;
+        for (;;) {
+            {
+                std::lock_guard done_lock(batch.mutex);
+                if (batch.remaining == 0)
+                    break;
+            }
+            if (popLocal(self, task) || steal(self, task)) {
+                task();
+                task = nullptr;
+                continue;
+            }
+            // Nothing runnable anywhere: the batch's stragglers are
+            // in flight on other workers. Doze on the batch condvar —
+            // with a timeout, so work queued between the scan above
+            // and this wait is picked up promptly.
+            std::unique_lock done_lock(batch.mutex);
+            batch.done.wait_for(
+                done_lock, std::chrono::microseconds(200),
+                [&batch] { return batch.remaining == 0; });
+        }
+    } else {
+        std::unique_lock done_lock(batch.mutex);
+        batch.done.wait(done_lock,
+                        [&batch] { return batch.remaining == 0; });
+    }
     if (batch.error)
         std::rethrow_exception(batch.error);
 }

@@ -67,6 +67,11 @@ class ServerPool
      * rebalanced by stealing. The first exception thrown by any task
      * is rethrown here after the batch drains; remaining tasks still
      * run (they are independent by contract).
+     *
+     * Re-entrant: a task may itself call parallelFor on the same
+     * pool. The submitting worker does not block on its nested batch
+     * — it helps execute pending tasks until the batch completes, so
+     * nesting from every worker at once cannot deadlock the pool.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &body);

@@ -169,10 +169,6 @@ TEST(G2o, MalformedInputsRejected)
         EXPECT_THROW(fg::readG2o(bad), std::runtime_error);
     }
     {
-        std::istringstream bad("FOO 1 2 3\n");
-        EXPECT_THROW(fg::readG2o(bad), std::runtime_error);
-    }
-    {
         std::istringstream bad(
             "EDGE_SE2 0 1 1 0 0 -1 0 0 1 0 1\n"); // Negative info.
         EXPECT_THROW(fg::readG2o(bad), std::runtime_error);
@@ -183,6 +179,34 @@ TEST(G2o, MalformedInputsRejected)
     // Comments and blank lines are fine.
     std::istringstream ok("# comment\n\nVERTEX_SE2 0 0 0 0\n");
     EXPECT_EQ(fg::readG2o(ok).initial.size(), 1u);
+}
+
+TEST(G2o, UnsupportedRecordsSkippedWithWarnings)
+{
+    // Benign records other tools emit (FIX, landmark vertices) must
+    // not abort the load; they are skipped and reported.
+    std::istringstream mixed("FIX 0\n"
+                             "VERTEX_SE2 0 0 0 0\n"
+                             "VERTEX_SE2 1 1 0 1.5\n"
+                             "VERTEX_XY 7 2.0 3.0\n"
+                             "EDGE_SE2 0 1 1 0 1.5708 "
+                             "100 0 0 100 0 400\n");
+    const auto data = fg::readG2o(mixed);
+    EXPECT_EQ(data.initial.size(), 2u);
+    EXPECT_EQ(data.graph.size(), 1u);
+    ASSERT_EQ(data.warnings.size(), 2u);
+    EXPECT_NE(data.warnings[0].find("FIX"), std::string::npos);
+    EXPECT_NE(data.warnings[1].find("VERTEX_XY"), std::string::npos);
+
+    // A malformed record of a *supported* tag still throws: skipping
+    // is reserved for foreign tags, not broken pose data.
+    std::istringstream bad("FOO 1 2 3\n"
+                           "VERTEX_SE2 0 1.0\n");
+    EXPECT_THROW(fg::readG2o(bad), std::runtime_error);
+
+    // A clean file produces no warnings.
+    std::istringstream ok("VERTEX_SE2 0 0 0 0\n");
+    EXPECT_TRUE(fg::readG2o(ok).warnings.empty());
 }
 
 TEST(G2o, NonPoseVariablesRejected)

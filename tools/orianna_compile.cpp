@@ -16,6 +16,13 @@
 //                   [--metrics out.json] [--dot out.dot]
 //                   [--passes LIST] [--list-passes]
 //                   [--dump-ir PREFIX] [--verify-passes]
+//                   [--inject-faults SPEC] [--fallback]
+//
+// --inject-faults arms the deterministic hardware fault injector for
+// the simulated steps (SPEC = [SEED@]kind:unit:rate[:cycles],...;
+// kinds stall/spike/corrupt, unit a functional-unit name or "all");
+// --fallback lets a faulty frame degrade to the cleanup-only
+// reference program instead of failing after the retry budget.
 //
 // --trace writes the unified observability trace (DESIGN.md §6):
 // session -> frame -> stage spans of the Gauss-Newton loop nested
@@ -63,10 +70,16 @@ usage(const char *argv0)
                  "[--iterate N] [--threads N] [--trace out.json] "
                  "[--metrics out.json] [--dot out.dot] "
                  "[--passes LIST] [--list-passes] "
-                 "[--dump-ir PREFIX] [--verify-passes]\n"
+                 "[--dump-ir PREFIX] [--verify-passes] "
+                 "[--inject-faults SPEC] [--fallback]\n"
                  "  --iterate N and --threads N require N >= 1\n"
                  "  --passes takes \"default\", \"none\", or a "
-                 "comma-separated pass list (see --list-passes)\n",
+                 "comma-separated pass list (see --list-passes)\n"
+                 "  --inject-faults takes "
+                 "[SEED@]kind:unit:rate[:cycles],... with kinds "
+                 "stall, spike, corrupt\n"
+                 "  --fallback degrades faulty frames to the "
+                 "reference program instead of failing\n",
                  argv0);
     return 2;
 }
@@ -119,6 +132,8 @@ main(int argc, char **argv)
     bool simulate = false;
     bool serve = false;
     bool verify_passes = false;
+    std::string fault_spec;
+    bool fallback = false;
     std::size_t iterations = 1;
     unsigned threads = 0; // 0: hardware_concurrency.
     for (int i = 1; i < argc; ++i) {
@@ -157,6 +172,11 @@ main(int argc, char **argv)
             metrics_path = argv[++i];
         } else if (arg == "--dot" && i + 1 < argc) {
             dot_path = argv[++i];
+        } else if (arg == "--inject-faults" && i + 1 < argc) {
+            simulate = true;
+            fault_spec = argv[++i];
+        } else if (arg == "--fallback") {
+            fallback = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
         } else if (input.empty()) {
@@ -175,6 +195,8 @@ main(int argc, char **argv)
         std::printf("loaded %s: %zu vertices, %zu edges\n",
                     input.c_str(), data.initial.size(),
                     data.graph.size());
+        for (const std::string &warning : data.warnings)
+            std::fprintf(stderr, "warning: %s\n", warning.c_str());
         if (data.initial.size() == 0)
             throw std::runtime_error("empty pose graph");
 
@@ -260,8 +282,28 @@ main(int argc, char **argv)
             // unified trace is written.
             fg::Values sequential_values;
             {
-                runtime::Session session(program, data.initial,
-                                         config);
+                // With faults armed, the session gets the injector
+                // plus (under --fallback) a cleanup-only reference
+                // compile of the same graph as its degradation rung.
+                runtime::SessionOptions sopts;
+                if (!fault_spec.empty())
+                    sopts.injector =
+                        std::make_shared<const hw::FaultInjector>(
+                            hw::FaultPlan::parse(fault_spec));
+                sopts.policy.fallback = fallback;
+                if (fallback && sopts.injector != nullptr) {
+                    comp::Program reference = comp::compileGraph(
+                        data.graph, data.initial, options);
+                    comp::PassManager::parse("dedup,dce")
+                        .run(reference, pass_options);
+                    sopts.fallback =
+                        std::make_shared<const comp::Program>(
+                            std::move(reference));
+                }
+                runtime::Session session(
+                    std::shared_ptr<const comp::Program>(
+                        std::shared_ptr<const void>(), &program),
+                    data.initial, config, std::move(sopts));
                 const hw::SimResult first = session.step();
                 std::printf("one Gauss-Newton step on the minimal "
                             "OoO accelerator: %llu cycles (%.1f us "
@@ -281,6 +323,18 @@ main(int argc, char **argv)
                                 total.seconds() * 1e6,
                                 total.totalEnergyJ() * 1e6);
                 }
+                if (!fault_spec.empty())
+                    std::printf(
+                        "faults: %llu injected, %llu detected, "
+                        "%llu retry(ies), %llu fallback frame(s)\n",
+                        static_cast<unsigned long long>(
+                            session.totals().faultsInjected),
+                        static_cast<unsigned long long>(
+                            session.faultsDetected()),
+                        static_cast<unsigned long long>(
+                            session.retries()),
+                        static_cast<unsigned long long>(
+                            session.fallbacks()));
                 sequential_values = session.values();
             }
             if (serve) {
@@ -291,22 +345,41 @@ main(int argc, char **argv)
                 // values.
                 runtime::ServerPool pool(threads);
                 const unsigned n = pool.threads();
+                runtime::EngineOptions engine_options;
+                if (!fault_spec.empty())
+                    engine_options.faultPlan =
+                        hw::FaultPlan::parse(fault_spec);
+                engine_options.degradation.fallback = fallback;
                 runtime::Engine engine(
-                    hw::AcceleratorConfig::minimal(true));
+                    hw::AcceleratorConfig::minimal(true),
+                    std::move(engine_options));
                 std::vector<runtime::Session> sessions;
                 sessions.reserve(n);
                 for (unsigned c = 0; c < n; ++c)
                     sessions.push_back(engine.session(
                         data.graph, data.initial, 1.0, 0, input));
+                std::vector<std::string> failures(n);
                 pool.parallelFor(n, [&](std::size_t c) {
-                    sessions[c].iterate(iterations);
+                    try {
+                        sessions[c].iterate(iterations);
+                    } catch (const std::exception &error) {
+                        failures[c] = error.what();
+                    }
                 });
 
                 bool identical = true;
-                for (const runtime::Session &served : sessions)
+                for (std::size_t c = 0; c < sessions.size(); ++c) {
+                    if (!failures[c].empty()) {
+                        std::fprintf(stderr,
+                                     "client %zu failed: %s\n", c,
+                                     failures[c].c_str());
+                        identical = false;
+                        continue;
+                    }
                     identical = identical &&
                                 identicalValues(sequential_values,
-                                                served.values());
+                                                sessions[c].values());
+                }
                 std::printf("served %u concurrent session(s) on %u "
                             "thread(s): %zu compile(s), %zu cache "
                             "hit(s), results %s\n",
@@ -320,6 +393,9 @@ main(int argc, char **argv)
                     std::printf("  thread %zu: %llu task(s)\n", w,
                                 static_cast<unsigned long long>(
                                     totals[w]));
+                if (!fault_spec.empty())
+                    std::printf("health: %s\n",
+                                engine.healthJson().c_str());
                 if (!identical)
                     return 1;
             }
