@@ -1,26 +1,44 @@
-// Serving throughput of the parallel runtime: one Engine under a
-// ServerPool, many MobileRobot localization sessions with fingerprint
-// churn (distinct mission seeds rotate through the session stream, so
-// the shared program cache sees both misses and hits while sessions
-// run concurrently).
+// Serving throughput of the parallel runtime, in three sections:
 //
-// For every thread count the bench reports sessions/s, p50/p99
-// single-frame latency, and the program-cache hit rate, and asserts
-// that every session's final values are byte-identical to a
-// sequential (no pool) run of the same mission — parallelism is
-// across sessions, never inside a frame. Emits BENCH_throughput.json
-// for CI trending.
+// 1. Shared-Engine serving (the historical bench): one Engine under a
+//    ServerPool, many MobileRobot localization sessions with
+//    fingerprint churn. Reports sessions/s and frame latency per
+//    thread count and asserts every session's final values are
+//    byte-identical to a sequential (no pool) run.
+//
+// 2. Affinity serving: the same missions through an EngineGroup +
+//    AdmissionController — sessions routed to the replica owning
+//    their fingerprint, opened and stepped inside pinned tasks.
+//    Asserts the replica-served digests equal the sequential
+//    reference bit for bit and reports the replica-local hit rate.
+//
+// 3. Paced (SLO) serving: the scaling-efficiency section. Sessions
+//    model a sensor-rate client — one frame per kPacedPeriodUs, the
+//    frame's compute a fraction of the period — routed round-robin
+//    over EDF-ordered pinned lanes with per-session deadlines. On
+//    this workload throughput must scale with workers (the compute
+//    fits the period's budget even on one core), so the bench
+//    computes speedup_4t and the 8-thread p99 inflation, and
+//    `--gate-scaling X` turns them into a CI gate: fail when
+//    4-thread sessions/s < X * single-thread, or when the 8-thread
+//    step p99 exceeds kP99RatioLimit * the 1-thread p99.
+//
+// Emits BENCH_throughput.json (all three sections) for CI trending.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 #include "apps/benchmark_apps.hpp"
 #include "bench_common.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/engine_group.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/server_pool.hpp"
 
@@ -33,6 +51,13 @@ using Clock = std::chrono::steady_clock;
 constexpr unsigned kDistinctGraphs = 6; //!< Cache churn: distinct seeds.
 constexpr std::size_t kSessions = 24;   //!< Sessions per serving run.
 constexpr std::size_t kFrames = 4;      //!< Gauss-Newton steps each.
+
+/** Paced section: sensor period and frames per session. */
+constexpr std::uint64_t kPacedPeriodUs = 5000;
+constexpr std::size_t kPacedFrames = 6;
+
+/** 8-thread p99 must stay within this factor of the 1-thread p99. */
+constexpr double kP99RatioLimit = 5.0;
 
 double
 secondsSince(Clock::time_point start)
@@ -164,6 +189,61 @@ serve(const std::vector<Mission> &missions, runtime::ServerPool *pool)
     return out;
 }
 
+/** Section 2 result: affinity-routed EngineGroup serving. */
+struct AffinityOutcome
+{
+    std::vector<std::uint64_t> digests;
+    double elapsed_s = 0.0;
+    runtime::EngineGroup::Stats stats;
+    std::uint64_t rejected = 0;
+};
+
+AffinityOutcome
+serveAffinity(const std::vector<Mission> &missions, unsigned threads)
+{
+    runtime::MetricsRegistry::global().reset();
+    runtime::ServerPool pool(threads);
+    runtime::EngineGroup group(hw::AcceleratorConfig::minimal(true),
+                               threads);
+    runtime::AdmissionController admission(
+        pool, {/*queueCapacity=*/kSessions});
+
+    // Fingerprint each mission once; its owning replica doubles as
+    // the pinned worker (replicas == threads), so every session of a
+    // mission opens on the one worker where its program is warm.
+    std::vector<unsigned> owner(missions.size());
+    for (std::size_t m = 0; m < missions.size(); ++m)
+        owner[m] = group.route(missions[m].graph, missions[m].initial);
+
+    AffinityOutcome out;
+    out.digests.assign(kSessions, 0);
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < kSessions; ++i) {
+        const std::size_t m = i % missions.size();
+        const auto outcome = admission.submit(owner[m], [&, i, m] {
+            runtime::Session session = group.session(
+                owner[m], missions[m].graph, missions[m].initial);
+            session.iterate(kFrames);
+            out.digests[i] = valuesDigest(session.values());
+        });
+        if (!outcome.admitted())
+            ++out.rejected;
+    }
+    admission.drain();
+    out.elapsed_s = secondsSince(start);
+    out.stats = group.stats();
+    return out;
+}
+
+/** Section 3 result: one paced serving run. */
+struct PacedOutcome
+{
+    std::vector<std::uint64_t> digests;
+    double sessions_per_s = 0.0;
+    double step_p50_ms = 0.0; //!< Compute-only step latency.
+    double step_p99_ms = 0.0;
+};
+
 double
 percentile(std::vector<double> sorted, double p)
 {
@@ -174,11 +254,81 @@ percentile(std::vector<double> sorted, double p)
     return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+/**
+ * Paced serving: every session steps once per kPacedPeriodUs (a
+ * sensor-rate client), so a worker's capacity is sessions-per-period,
+ * not raw compute. Sessions are routed round-robin over EDF pinned
+ * lanes with a deadline one period out per session — the SLO mode.
+ */
+PacedOutcome
+servePaced(const std::vector<Mission> &missions, unsigned threads)
+{
+    runtime::MetricsRegistry::global().reset();
+    runtime::PoolOptions pool_options;
+    pool_options.threads = threads;
+    pool_options.edf = true;
+    runtime::ServerPool pool(pool_options);
+    runtime::EngineGroup group(hw::AcceleratorConfig::minimal(true),
+                               threads);
+    runtime::AdmissionController admission(
+        pool, {/*queueCapacity=*/kSessions});
+
+    PacedOutcome out;
+    out.digests.assign(kSessions, 0);
+    std::vector<double> step_ms(kSessions * kPacedFrames, 0.0);
+
+    const auto start = Clock::now();
+    const std::uint64_t now_us = runtime::MetricsRegistry::nowUs();
+    for (std::size_t i = 0; i < kSessions; ++i) {
+        const std::size_t m = i % missions.size();
+        const unsigned worker =
+            static_cast<unsigned>(i % threads); // Balanced routing.
+        admission.submit(
+            worker,
+            [&, i, m, worker] {
+                runtime::Session session = group.session(
+                    worker, missions[m].graph, missions[m].initial);
+                auto next = Clock::now();
+                for (std::size_t f = 0; f < kPacedFrames; ++f) {
+                    next += std::chrono::microseconds(kPacedPeriodUs);
+                    const auto t0 = Clock::now();
+                    session.step();
+                    step_ms[i * kPacedFrames + f] =
+                        secondsSince(t0) * 1e3;
+                    std::this_thread::sleep_until(next);
+                }
+                out.digests[i] = valuesDigest(session.values());
+            },
+            /*deadlineUs=*/now_us + (i + 1) * kPacedPeriodUs);
+    }
+    admission.drain();
+    const double elapsed = secondsSince(start);
+
+    out.sessions_per_s = static_cast<double>(kSessions) / elapsed;
+    std::sort(step_ms.begin(), step_ms.end());
+    out.step_p50_ms = percentile(step_ms, 0.50);
+    out.step_p99_ms = percentile(step_ms, 0.99);
+    return out;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    double gate_scaling = 0.0; // 0: report only, no gate.
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--gate-scaling" && i + 1 < argc) {
+            gate_scaling = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--gate-scaling MIN_4T_SPEEDUP]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     // Mission templates, one per distinct seed: same factor-graph
     // *shape*, different measurement constants, hence different
     // program-cache fingerprints.
@@ -254,8 +404,131 @@ main()
         json << "}}";
         first = false;
     }
-    json << "\n  ]\n}\n";
-    std::printf("all thread counts byte-identical to the sequential "
-                "run\nwrote BENCH_throughput.json\n");
+    json << "\n  ],\n";
+
+    // --- Section 2: affinity-routed EngineGroup serving ------------
+    std::printf("\naffinity serving (EngineGroup replicas + admission "
+                "control):\n%8s %12s %10s %10s %9s\n", "threads",
+                "sessions/s", "local", "shared", "rejected");
+    json << "  \"affinity_runs\": [\n";
+    first = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const AffinityOutcome run = serveAffinity(missions, threads);
+        if (run.digests != reference.digests) {
+            std::fprintf(stderr,
+                         "FAIL: replica-served values diverge from "
+                         "the shared-Engine sequential run at %u "
+                         "threads\n", threads);
+            return 1;
+        }
+        const double sessions_per_s =
+            static_cast<double>(kSessions) / run.elapsed_s;
+        std::printf("%8u %12.1f %10zu %10zu %9llu\n", threads,
+                    sessions_per_s, run.stats.localHits,
+                    run.stats.sharedHits,
+                    static_cast<unsigned long long>(run.rejected));
+        json << (first ? "" : ",\n")
+             << "    {\"threads\": " << threads
+             << ", \"sessions_per_s\": " << sessions_per_s
+             << ", \"local_hits\": " << run.stats.localHits
+             << ", \"shared_hits\": " << run.stats.sharedHits
+             << ", \"compiles\": " << run.stats.compiles
+             << ", \"rejected\": " << run.rejected << "}";
+        first = false;
+    }
+    json << "\n  ],\n";
+    std::printf("replica-served results byte-identical to the "
+                "shared-Engine sequential run\n");
+
+    // --- Section 3: paced (SLO) serving — the scaling gate ----------
+    std::printf("\npaced serving (one frame per %.1f ms, EDF lanes):\n"
+                "%8s %12s %10s %10s\n",
+                kPacedPeriodUs / 1000.0, "threads", "sessions/s",
+                "p50 ms", "p99 ms");
+    // The paced digests must also match: pacing and EDF ordering may
+    // reorder *when* frames run, never what they compute. The
+    // reference serves the same missions for kPacedFrames frames.
+    std::vector<std::uint64_t> paced_reference(kSessions);
+    {
+        runtime::MetricsRegistry::global().reset();
+        runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+        for (std::size_t i = 0; i < kSessions; ++i) {
+            const Mission &mission = missions[i % missions.size()];
+            runtime::Session session =
+                engine.session(mission.graph, mission.initial);
+            session.iterate(kPacedFrames);
+            paced_reference[i] = valuesDigest(session.values());
+        }
+    }
+    json << "  \"paced\": {\n    \"period_us\": " << kPacedPeriodUs
+         << ",\n    \"frames_per_session\": " << kPacedFrames
+         << ",\n    \"runs\": [\n";
+    std::vector<std::pair<unsigned, PacedOutcome>> paced;
+    first = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        paced.emplace_back(threads, servePaced(missions, threads));
+        const PacedOutcome &run = paced.back().second;
+        if (run.digests != paced_reference) {
+            std::fprintf(stderr,
+                         "FAIL: paced values diverge from the "
+                         "sequential run at %u threads\n", threads);
+            return 1;
+        }
+        std::printf("%8u %12.1f %10.2f %10.2f\n", threads,
+                    run.sessions_per_s, run.step_p50_ms,
+                    run.step_p99_ms);
+        json << (first ? "" : ",\n")
+             << "      {\"threads\": " << threads
+             << ", \"sessions_per_s\": " << run.sessions_per_s
+             << ", \"step_p50_ms\": " << run.step_p50_ms
+             << ", \"step_p99_ms\": " << run.step_p99_ms << "}";
+        first = false;
+    }
+    const auto pacedAt = [&paced](unsigned threads) -> const
+        PacedOutcome & {
+        for (const auto &[t, run] : paced)
+            if (t == threads)
+                return run;
+        return paced.front().second;
+    };
+    const double speedup_2t =
+        pacedAt(2).sessions_per_s / pacedAt(1).sessions_per_s;
+    const double speedup_4t =
+        pacedAt(4).sessions_per_s / pacedAt(1).sessions_per_s;
+    const double speedup_8t =
+        pacedAt(8).sessions_per_s / pacedAt(1).sessions_per_s;
+    const double p99_ratio_8t =
+        pacedAt(1).step_p99_ms > 0.0
+            ? pacedAt(8).step_p99_ms / pacedAt(1).step_p99_ms
+            : 0.0;
+    json << "\n    ],\n    \"speedup_2t\": " << speedup_2t
+         << ",\n    \"speedup_4t\": " << speedup_4t
+         << ",\n    \"speedup_8t\": " << speedup_8t
+         << ",\n    \"p99_ratio_8t\": " << p99_ratio_8t
+         << "\n  }\n}\n";
+
+    std::printf("paced scaling: %.2fx @2t, %.2fx @4t, %.2fx @8t; "
+                "8t/1t step p99 ratio %.2f\n",
+                speedup_2t, speedup_4t, speedup_8t, p99_ratio_8t);
+    std::printf("all sections byte-identical to the sequential run\n"
+                "wrote BENCH_throughput.json\n");
+
+    if (gate_scaling > 0.0) {
+        if (speedup_4t < gate_scaling) {
+            std::fprintf(stderr,
+                         "GATE FAIL: paced 4-thread speedup %.2fx < "
+                         "required %.2fx\n", speedup_4t, gate_scaling);
+            return 1;
+        }
+        if (p99_ratio_8t > kP99RatioLimit) {
+            std::fprintf(stderr,
+                         "GATE FAIL: paced 8-thread step p99 is "
+                         "%.2fx the 1-thread p99 (limit %.1fx)\n",
+                         p99_ratio_8t, kP99RatioLimit);
+            return 1;
+        }
+        std::printf("scaling gate passed (>= %.2fx @4t, p99 ratio "
+                    "<= %.1fx)\n", gate_scaling, kP99RatioLimit);
+    }
     return 0;
 }

@@ -1,17 +1,20 @@
-// The runtime serving model: one Engine, many Sessions.
+// The runtime serving model: one EngineGroup, many Sessions.
 //
-// An Engine owns an accelerator configuration and a cache of compiled
-// programs keyed by graph fingerprint. Each client opens a Session —
-// private mutable state over a shared compiled program — and steps it
-// frame by frame. Here three localization clients track the same
-// measurement set from different initial hypotheses: the engine
-// compiles once, the second and third sessions are cache hits, and
-// every session converges to the same estimate through its own warm
-// execution context.
+// An EngineGroup owns per-worker engine replicas over one shared
+// compile authority: a session is affinity-routed to the replica that
+// owns its graph fingerprint, compiles once through the shared
+// single-flight table, and every later session of that graph is a
+// lock-free replica-local cache hit. Here three localization clients
+// track the same measurement set from different initial hypotheses:
+// the group compiles once, the second and third sessions are
+// replica-local hits, and every session converges to the same
+// estimate through its own warm execution context.
 //
-// The clients run concurrently on a ServerPool (--threads N, default
-// hardware concurrency): sessions never share mutable state, so the
-// results match the interleaved sequential loop exactly.
+// The clients run concurrently on a ServerPool behind an
+// AdmissionController: each client is pinned to its replica's worker
+// through a bounded lane (--queue-cap N), so overload turns into
+// typed rejections instead of unbounded queueing, and --edf switches
+// the pool to earliest-deadline-first ordering.
 //
 // Observability (DESIGN.md §6):
 //   --metrics out.json   dump the serving metrics registry (cache hit
@@ -31,18 +34,20 @@
 //                        client after the retry budget.
 //
 // Usage:
-//   runtime_server [--threads N] [--metrics out.json]
-//                  [--trace out.json] [--inject-faults SPEC]
-//                  [--fallback]
+//   runtime_server [--threads N] [--replicas N] [--queue-cap N]
+//                  [--edf] [--metrics out.json] [--trace out.json]
+//                  [--inject-faults SPEC] [--fallback]
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "fg/factors.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/engine_group.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/server_pool.hpp"
 #include "runtime/trace_sink.hpp"
@@ -57,11 +62,18 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--threads N] [--metrics out.json] "
+                 "usage: %s [--threads N] [--replicas N] "
+                 "[--queue-cap N] [--edf] [--metrics out.json] "
                  "[--trace out.json] [--inject-faults SPEC] "
                  "[--fallback]\n"
                  "  --threads N        worker threads, N >= 1 "
                  "(default: hardware concurrency)\n"
+                 "  --replicas N       engine replicas, N >= 1 "
+                 "(default: one per worker)\n"
+                 "  --queue-cap N      per-worker admission queue "
+                 "bound, N >= 1 (default: 64)\n"
+                 "  --edf              earliest-deadline-first task "
+                 "ordering (default: FIFO)\n"
                  "  --metrics F        write the metrics registry "
                  "JSON to F after serving\n"
                  "  --trace F          write the unified Perfetto "
@@ -109,7 +121,10 @@ buildGraph(const std::vector<Pose> &truth)
 int
 main(int argc, char **argv)
 {
-    unsigned threads = 0; // 0: hardware_concurrency.
+    unsigned threads = 0;  // 0: hardware_concurrency.
+    unsigned replicas = 0; // 0: one per worker.
+    unsigned queue_cap = 64;
+    bool edf = false;
     std::string metrics_path;
     std::string trace_path;
     std::string fault_spec;
@@ -120,6 +135,16 @@ main(int argc, char **argv)
             threads = parsePositive(argv[++i]);
             if (threads == 0)
                 return usage(argv[0]);
+        } else if (arg == "--replicas" && i + 1 < argc) {
+            replicas = parsePositive(argv[++i]);
+            if (replicas == 0)
+                return usage(argv[0]);
+        } else if (arg == "--queue-cap" && i + 1 < argc) {
+            queue_cap = parsePositive(argv[++i]);
+            if (queue_cap == 0)
+                return usage(argv[0]);
+        } else if (arg == "--edf") {
+            edf = true;
         } else if (arg == "--metrics" && i + 1 < argc) {
             metrics_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
@@ -153,41 +178,83 @@ main(int argc, char **argv)
         }
     }
     options.degradation.fallback = fallback;
-    runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
-                           std::move(options));
+
+    runtime::PoolOptions pool_options;
+    pool_options.threads = threads;
+    pool_options.edf = edf;
+    runtime::ServerPool pool(pool_options);
+    if (replicas == 0)
+        replicas = pool.threads();
+    runtime::EngineGroup group(hw::AcceleratorConfig::minimal(true),
+                               std::move(options), replicas);
+    runtime::AdmissionController admission(
+        pool, {/*queueCapacity=*/queue_cap});
 
     // Three hypotheses: perturb the initial guess differently per
     // client. The graphs (and their measurements) are identical, so
-    // the engine compiles one program and shares it.
-    std::vector<runtime::Session> sessions;
-    for (int client = 0; client < 3; ++client) {
+    // all three route to one replica — the group compiles one program
+    // there and the later sessions are lock-free local hits.
+    const unsigned replica = group.route(graph, [&truth] {
+        fg::Values shapes;
+        for (std::size_t i = 0; i < truth.size(); ++i)
+            shapes.insert(i + 1, truth[i]);
+        return shapes;
+    }());
+    const unsigned worker = replica % pool.threads();
+    std::printf("routing: fingerprint -> replica %u of %u, worker %u "
+                "of %u (queue cap %u, %s order)\n",
+                replica, group.replicas(), worker, pool.threads(),
+                queue_cap, pool.edf() ? "EDF" : "FIFO");
+
+    // Serve the clients concurrently: each client is one admitted
+    // task pinned to the owning replica's worker, which opens the
+    // session on the replica and steps its own private state over the
+    // shared program. A frame that exhausts the degradation ladder
+    // (faults injected without --fallback) fails only its own client.
+    constexpr std::size_t kClients = 3;
+    std::vector<std::unique_ptr<runtime::Session>> sessions(kClients);
+    std::vector<std::string> client_errors(kClients);
+    const std::uint64_t now_us = runtime::MetricsRegistry::nowUs();
+    for (std::size_t c = 0; c < kClients; ++c) {
         fg::Values initial;
         for (std::size_t i = 0; i < truth.size(); ++i) {
-            const double p = 0.02 * (client + 1);
+            const double p = 0.02 * (c + 1);
             initial.insert(i + 1,
                            truth[i].retract(Vector{p, -p, p, -p, p, -p}));
         }
-        sessions.push_back(engine.session(graph, std::move(initial),
-                                          /*step_scale=*/1.0));
+        const auto outcome = admission.submit(
+            worker,
+            [&, c, initial = std::move(initial)]() mutable {
+                try {
+                    auto session = std::make_unique<runtime::Session>(
+                        group.session(replica, graph,
+                                      std::move(initial),
+                                      /*step_scale=*/1.0));
+                    session->iterate(4);
+                    sessions[c] = std::move(session);
+                } catch (const std::exception &error) {
+                    client_errors[c] = error.what();
+                }
+            },
+            // Staggered deadlines: under --edf the earliest client
+            // drains first; under FIFO they are recorded but ignored.
+            /*deadlineUs=*/now_us + (c + 1) * 1000);
+        if (!outcome.admitted())
+            client_errors[c] = "rejected by admission control (lane " +
+                               std::to_string(outcome.worker) +
+                               " at depth " +
+                               std::to_string(outcome.depth) + "/" +
+                               std::to_string(outcome.capacity) + ")";
     }
-    std::printf("engine: %zu cached program(s), %zu compile(s), "
-                "%zu cache hit(s)\n",
-                engine.cachedPrograms(), engine.stats().compiles,
-                engine.stats().cacheHits);
+    admission.drain();
 
-    // Serve the clients concurrently: one pool task per session,
-    // each stepping its own private state over the shared program. A
-    // frame that exhausts the degradation ladder (faults injected
-    // without --fallback) fails only its own client.
-    runtime::ServerPool pool(threads);
-    std::vector<std::string> client_errors(sessions.size());
-    pool.parallelFor(sessions.size(), [&](std::size_t c) {
-        try {
-            sessions[c].iterate(4);
-        } catch (const std::exception &error) {
-            client_errors[c] = error.what();
-        }
-    });
+    const auto stats = group.stats();
+    std::printf("group: %zu compile(s), %zu shared hit(s), %zu "
+                "replica-local hit(s); admission: %llu admitted, "
+                "%llu rejected\n",
+                stats.compiles, stats.sharedHits, stats.localHits,
+                static_cast<unsigned long long>(admission.admitted()),
+                static_cast<unsigned long long>(admission.rejected()));
 
     const auto totals = pool.tasksExecuted();
     std::printf("pool: %u thread(s), %llu steal(s)", pool.threads(),
@@ -198,15 +265,16 @@ main(int argc, char **argv)
     std::printf("\n");
 
     bool clients_ok = true;
-    for (std::size_t c = 0; c < sessions.size(); ++c) {
-        const runtime::Session &session = sessions[c];
-        if (!client_errors[c].empty()) {
-            std::printf("client %zu: FAILED after %zu frame(s): %s\n",
-                        c, session.frames(),
-                        client_errors[c].c_str());
+    for (std::size_t c = 0; c < kClients; ++c) {
+        if (!client_errors[c].empty() || sessions[c] == nullptr) {
+            std::printf("client %zu: FAILED: %s\n", c,
+                        client_errors[c].empty()
+                            ? "no session"
+                            : client_errors[c].c_str());
             clients_ok = false;
             continue;
         }
+        const runtime::Session &session = *sessions[c];
         const double err = graph.totalError(session.values());
         std::printf("client %zu: %zu frames, %llu cycles total, "
                     "final objective %.3e",
@@ -227,14 +295,25 @@ main(int argc, char **argv)
                             session.fallbacks()));
         std::printf("\n");
     }
-    std::printf("health: %s\n", engine.healthJson().c_str());
+    std::printf("health: %s\n", group.healthJson().c_str());
 
-    // Two of the three sessions hit the cache — per artifact: with a
-    // provisioned fallback every session also fetches the reference
-    // program, doubling both compiles and hits.
+    // One compile, two replica-local hits — per artifact: with a
+    // provisioned fallback the replica also fetches the reference
+    // program once (a second compile), and the later clients hit the
+    // replica's fallback cache.
     const bool fallback_armed = fallback && !fault_spec.empty();
-    const bool cache_ok =
-        engine.stats().cacheHits == (fallback_armed ? 4u : 2u);
+    const auto expect_compiles =
+        static_cast<std::size_t>(fallback_armed ? 2 : 1);
+    const bool cache_ok = stats.compiles == expect_compiles &&
+                          stats.localHits == 2 &&
+                          stats.sharedHits == 0;
+    if (!cache_ok)
+        std::fprintf(stderr,
+                     "unexpected cache traffic: %zu compiles (want "
+                     "%zu), %zu local hits (want 2), %zu shared hits "
+                     "(want 0)\n",
+                     stats.compiles, expect_compiles, stats.localHits,
+                     stats.sharedHits);
 
     // Close the sessions before exporting: each destructor reports
     // its enclosing "session" span to the unified trace.

@@ -133,6 +133,8 @@ struct EngineOptions
     DegradationPolicy degradation;
 };
 
+class EngineGroup;
+
 class Engine
 {
   public:
@@ -253,11 +255,18 @@ class Engine
     std::vector<CompileRecord> compileLog() const;
 
   private:
+    /** Builds SessionOptions from the engine's private state. */
+    friend class EngineGroup;
+
     /**
      * Cache entries hold a future so racing requesters of one
      * fingerprint share a single in-flight compile.
+     *
+     * Cache-line aligned: adjacent shards are locked by different
+     * threads at once (that is the whole point of sharding), so a
+     * shard's mutex word must not share a line with its neighbor's.
      */
-    struct Shard
+    struct alignas(64) Shard
     {
         mutable std::shared_mutex mutex;
         std::map<std::uint64_t,

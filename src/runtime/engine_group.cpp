@@ -1,0 +1,136 @@
+#include "runtime/engine_group.hpp"
+
+#include <stdexcept>
+
+#include "runtime/metrics.hpp"
+
+namespace orianna::runtime {
+
+EngineGroup::EngineGroup(hw::AcceleratorConfig config,
+                         EngineOptions options, unsigned replicas)
+    : shared_(std::move(config), std::move(options))
+{
+    if (replicas == 0)
+        throw std::invalid_argument(
+            "EngineGroup: replicas must be >= 1");
+    replicas_.reserve(replicas);
+    for (unsigned r = 0; r < replicas; ++r)
+        replicas_.push_back(std::make_unique<Replica>());
+}
+
+unsigned
+EngineGroup::route(const fg::FactorGraph &graph,
+                   const fg::Values &shapes,
+                   std::uint8_t algorithm_tag) const
+{
+    const std::uint64_t fingerprint =
+        graphFingerprint(graph, shapes, algorithm_tag);
+    if (MetricsRegistry::enabled())
+        MetricsRegistry::global().counter("engine_group.routes").add();
+    return replicaOf(fingerprint);
+}
+
+std::shared_ptr<const comp::Program>
+EngineGroup::fetch(Replica &rep, std::uint64_t fingerprint,
+                   const fg::FactorGraph &graph,
+                   const fg::Values &shapes,
+                   std::uint8_t algorithm_tag, const std::string &name)
+{
+    // Lock-free steady state: the map belongs to the calling worker.
+    auto it = rep.programs.find(fingerprint);
+    if (it != rep.programs.end()) {
+        rep.localHits.fetch_add(1, std::memory_order_relaxed);
+        if (MetricsRegistry::enabled())
+            MetricsRegistry::global()
+                .counter("engine_group.local_hits")
+                .add();
+        return it->second;
+    }
+
+    // Replica miss: the shared engine is the compile authority. Its
+    // single-flight table dedups racing replicas, and because every
+    // replica stores the shared_ptr it returns, all replicas serve
+    // the identical program object.
+    auto program =
+        shared_.program(graph, shapes, algorithm_tag, name);
+    rep.programs.emplace(fingerprint, program);
+    rep.size.store(rep.programs.size(), std::memory_order_relaxed);
+    return program;
+}
+
+Session
+EngineGroup::session(unsigned replica, const fg::FactorGraph &graph,
+                     fg::Values initial, double step_scale,
+                     std::uint8_t algorithm_tag,
+                     const std::string &name)
+{
+    const StageTimer open;
+    Replica &rep = *replicas_.at(replica);
+    const std::uint64_t fingerprint =
+        graphFingerprint(graph, initial, algorithm_tag);
+    auto program = fetch(rep, fingerprint, graph, initial,
+                         algorithm_tag, name);
+
+    // Mirror Engine::session exactly — same policy, injector, health
+    // sink, and the same fallback-provisioning condition — so a
+    // group-served session is indistinguishable from a shared-Engine
+    // one (byte-identical values, same degradation ladder).
+    SessionOptions opts;
+    opts.stepScale = step_scale;
+    opts.policy = shared_.options_.degradation;
+    opts.injector = shared_.injector_;
+    opts.health = shared_.health_;
+    const bool can_fault =
+        shared_.injector_ != nullptr ||
+        shared_.options_.degradation.frameTimeoutCycles > 0;
+    if (shared_.options_.degradation.fallback && can_fault) {
+        auto it = rep.fallbacks.find(fingerprint);
+        if (it != rep.fallbacks.end()) {
+            opts.fallback = it->second;
+        } else {
+            opts.fallback = shared_.referenceProgram(
+                graph, initial, algorithm_tag, name);
+            rep.fallbacks.emplace(fingerprint, opts.fallback);
+        }
+    }
+
+    if (open.armed())
+        MetricsRegistry::global()
+            .histogram("engine_group.session_open_us")
+            .observe(open.elapsedUs());
+    return Session(std::move(program), std::move(initial),
+                   shared_.config_, std::move(opts));
+}
+
+void
+EngineGroup::warm(unsigned replica, const fg::FactorGraph &graph,
+                  const fg::Values &shapes,
+                  std::uint8_t algorithm_tag, const std::string &name)
+{
+    Replica &rep = *replicas_.at(replica);
+    const std::uint64_t fingerprint =
+        graphFingerprint(graph, shapes, algorithm_tag);
+    fetch(rep, fingerprint, graph, shapes, algorithm_tag, name);
+}
+
+EngineGroup::Stats
+EngineGroup::stats() const
+{
+    Stats s;
+    const Engine::Stats shared = shared_.stats();
+    s.compiles = shared.compiles;
+    s.sharedHits = shared.cacheHits;
+    for (const auto &rep : replicas_)
+        s.localHits +=
+            rep->localHits.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::size_t
+EngineGroup::cachedPrograms(unsigned replica) const
+{
+    return replicas_.at(replica)->size.load(
+        std::memory_order_relaxed);
+}
+
+} // namespace orianna::runtime

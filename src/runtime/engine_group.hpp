@@ -1,0 +1,172 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace orianna::runtime {
+
+/**
+ * Sharded serving front-end over the Engine: one *replica* program
+ * cache per worker, with fingerprint-affinity routing between them
+ * (DESIGN.md §5).
+ *
+ * A single shared Engine is thread-safe, but every session open still
+ * crosses its sharded reader/writer locks, and under many workers the
+ * shard mutexes and stat atomics become the one piece of shared state
+ * every request touches. The group splits the steady state per
+ * worker: each replica holds a plain (unlocked) fingerprint → Program
+ * map that only its owning worker thread ever touches, so a hot
+ * program is one hash lookup away — no shared mutex, no cache-line
+ * ping-pong. The shared Engine underneath stays the compile
+ * authority: a replica's first miss on a fingerprint goes through the
+ * engine's single-flight table, so N replicas racing on one new graph
+ * still trigger exactly one compile, and every replica hands out the
+ * *same* std::shared_ptr<const Program> — replica-served results are
+ * bit-identical to a shared-Engine session by construction, because
+ * they run the identical program bytes.
+ *
+ * Routing: replicaOf(fingerprint) = fingerprint % replicas(), a pure
+ * function — the same graph always lands on the same replica, which
+ * is what makes the per-replica caches effective (each program is
+ * warm on exactly one worker) and deterministic (tests can predict
+ * placement). Callers pair the group with a ServerPool by pinning
+ * session work to worker `replicaOf(fp) % pool.threads()` via
+ * AdmissionController/submitPinned, so the single-owner contract
+ * below holds by construction.
+ *
+ * Thread safety contract: session() and warm() for replica R must
+ * only run on the one thread currently driving R (the pinned worker);
+ * calls for *different* replicas may race freely. route(), stats(),
+ * healthJson(), and the const queries may be called from any thread
+ * at any time — the cross-thread-readable counters are atomic, and
+ * replicas are cache-line aligned so two workers' hot state never
+ * shares a line.
+ *
+ * Metrics: `engine_group.routes`, `engine_group.local_hits` counters
+ * and the `engine_group.session_open_us` histogram, alongside the
+ * shared engine's own `engine.compiles` / `engine.cache_hits` (the
+ * latter now counts only replica misses that found the program in the
+ * shared cache — "shared hits").
+ */
+class EngineGroup
+{
+  public:
+    /** @p replicas must be >= 1. */
+    EngineGroup(hw::AcceleratorConfig config, unsigned replicas)
+        : EngineGroup(std::move(config), EngineOptions(), replicas)
+    {
+    }
+
+    /** @throws std::invalid_argument on replicas == 0 or bad passes. */
+    EngineGroup(hw::AcceleratorConfig config, EngineOptions options,
+                unsigned replicas);
+
+    unsigned replicas() const
+    {
+        return static_cast<unsigned>(replicas_.size());
+    }
+
+    /**
+     * Replica a fingerprint is affine to: fingerprint % replicas().
+     * Pure — same fingerprint, same replica, forever.
+     */
+    unsigned replicaOf(std::uint64_t fingerprint) const
+    {
+        return static_cast<unsigned>(
+            fingerprint % replicas_.size());
+    }
+
+    /**
+     * Affinity-route a graph: fingerprint it and return the owning
+     * replica. Counts `engine_group.routes`.
+     */
+    unsigned route(const fg::FactorGraph &graph,
+                   const fg::Values &shapes,
+                   std::uint8_t algorithm_tag = 0) const;
+
+    /**
+     * Open a session on @p replica's local cache. Must be called from
+     * the thread driving that replica (see the class contract); the
+     * replica index does NOT have to equal replicaOf(fingerprint) —
+     * affinity is the caller's routing policy, not an invariant the
+     * group enforces — but cache locality only materializes when it
+     * does.
+     */
+    Session session(unsigned replica, const fg::FactorGraph &graph,
+                    fg::Values initial, double step_scale = 1.0,
+                    std::uint8_t algorithm_tag = 0,
+                    const std::string &name = "session");
+
+    /**
+     * Pre-populate @p replica's local cache for @p graph without
+     * opening a session (compiles through the shared engine on a cold
+     * fingerprint). Same threading contract as session().
+     */
+    void warm(unsigned replica, const fg::FactorGraph &graph,
+              const fg::Values &shapes, std::uint8_t algorithm_tag = 0,
+              const std::string &name = "session");
+
+    /** Snapshot of the group-wide cache counters. */
+    struct Stats
+    {
+        std::size_t compiles = 0;   //!< Programs actually built.
+        std::size_t sharedHits = 0; //!< Replica misses served by the
+                                    //!< shared engine cache.
+        std::size_t localHits = 0;  //!< Sessions served lock-free from
+                                    //!< a replica-local cache.
+    };
+
+    Stats stats() const;
+
+    /** Programs cached in @p replica's local map right now. */
+    std::size_t cachedPrograms(unsigned replica) const;
+
+    /**
+     * The shared compile authority (for health/metrics snapshots and
+     * tests; sessions opened directly on it bypass the replicas but
+     * share the same program cache).
+     */
+    Engine &sharedEngine() { return shared_; }
+    const Engine &sharedEngine() const { return shared_; }
+
+    /** Degradation/cache health of the shared engine (healthJson). */
+    std::string healthJson() const { return shared_.healthJson(); }
+
+  private:
+    /**
+     * One worker's private view of the program cache. The maps are
+     * deliberately unsynchronized — single-owner by the class
+     * contract — and the struct is cache-line aligned so two workers'
+     * replicas never false-share. size_ mirrors programs.size() and
+     * localHits counts lock-free serves; both are atomic because
+     * stats() reads them from other threads.
+     */
+    struct alignas(64) Replica
+    {
+        std::unordered_map<std::uint64_t,
+                           std::shared_ptr<const comp::Program>>
+            programs;
+        std::unordered_map<std::uint64_t,
+                           std::shared_ptr<const comp::Program>>
+            fallbacks;
+        std::atomic<std::uint64_t> localHits{0};
+        std::atomic<std::size_t> size{0};
+    };
+
+    /** Local-or-shared program fetch; the session()/warm() core. */
+    std::shared_ptr<const comp::Program>
+    fetch(Replica &rep, std::uint64_t fingerprint,
+          const fg::FactorGraph &graph, const fg::Values &shapes,
+          std::uint8_t algorithm_tag, const std::string &name);
+
+    Engine shared_;
+    std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+} // namespace orianna::runtime

@@ -39,8 +39,9 @@ struct ServerPool::Batch
     }
 };
 
-ServerPool::ServerPool(unsigned threads)
+ServerPool::ServerPool(const PoolOptions &options) : edf_(options.edf)
 {
+    unsigned threads = options.threads;
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
     workers_.reserve(threads);
@@ -68,15 +69,73 @@ ServerPool::currentWorker()
     return tls_worker;
 }
 
+namespace {
+
+/**
+ * Index of the EDF pick in @p queue: smallest deadline, ties broken
+ * by submission order. Linear scan — tasks are coarse (whole frames
+ * or sessions), queues are short, and the per-worker mutex is
+ * already held.
+ */
+template <class Deque>
+std::size_t
+edfIndex(const Deque &queue)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+        const auto &candidate = queue[i];
+        const auto &leader = queue[best];
+        if (candidate.deadlineUs < leader.deadlineUs ||
+            (candidate.deadlineUs == leader.deadlineUs &&
+             candidate.seq < leader.seq))
+            best = i;
+    }
+    return best;
+}
+
+} // namespace
+
 bool
-ServerPool::popLocal(unsigned self, std::function<void()> &task)
+ServerPool::popPinned(unsigned self, Task &task)
+{
+    Worker &worker = *workers_[self];
+    std::lock_guard lock(worker.mutex);
+    if (worker.pinned.empty())
+        return false;
+    if (edf_) {
+        const std::size_t pick = edfIndex(worker.pinned);
+        task = std::move(worker.pinned[pick]);
+        worker.pinned.erase(worker.pinned.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+    } else {
+        task = std::move(worker.pinned.front());
+        worker.pinned.pop_front();
+    }
+    ++worker.executed;
+    if (MetricsRegistry::enabled()) {
+        auto &metrics = MetricsRegistry::global();
+        metrics.counter("pool.tasks").add();
+        metrics.counter("pool.pinned_tasks").add();
+    }
+    return true;
+}
+
+bool
+ServerPool::popLocal(unsigned self, Task &task)
 {
     Worker &worker = *workers_[self];
     std::lock_guard lock(worker.mutex);
     if (worker.queue.empty())
         return false;
-    task = std::move(worker.queue.back());
-    worker.queue.pop_back();
+    if (edf_) {
+        const std::size_t pick = edfIndex(worker.queue);
+        task = std::move(worker.queue[pick]);
+        worker.queue.erase(worker.queue.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+    } else {
+        task = std::move(worker.queue.back());
+        worker.queue.pop_back();
+    }
     ++worker.executed;
     if (MetricsRegistry::enabled())
         MetricsRegistry::global().counter("pool.tasks").add();
@@ -84,7 +143,27 @@ ServerPool::popLocal(unsigned self, std::function<void()> &task)
 }
 
 bool
-ServerPool::steal(unsigned self, std::function<void()> &task)
+ServerPool::popLocalBatch(unsigned self, const Batch *batch,
+                          Task &task)
+{
+    Worker &worker = *workers_[self];
+    std::lock_guard lock(worker.mutex);
+    for (std::size_t i = 0; i < worker.queue.size(); ++i) {
+        if (worker.queue[i].batch != batch)
+            continue;
+        task = std::move(worker.queue[i]);
+        worker.queue.erase(worker.queue.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        ++worker.executed;
+        if (MetricsRegistry::enabled())
+            MetricsRegistry::global().counter("pool.tasks").add();
+        return true;
+    }
+    return false;
+}
+
+bool
+ServerPool::steal(unsigned self, Task &task)
 {
     const unsigned n = threads();
     for (unsigned step = 1; step < n; ++step) {
@@ -93,14 +172,60 @@ ServerPool::steal(unsigned self, std::function<void()> &task)
             std::lock_guard lock(victim.mutex);
             if (victim.queue.empty())
                 continue;
-            // Steal the oldest task: it is the farthest from the
-            // victim's working set and the largest remaining chunk of
-            // the batch.
-            task = std::move(victim.queue.front());
-            victim.queue.pop_front();
+            if (edf_) {
+                const std::size_t pick = edfIndex(victim.queue);
+                task = std::move(victim.queue[pick]);
+                victim.queue.erase(
+                    victim.queue.begin() +
+                    static_cast<std::ptrdiff_t>(pick));
+            } else {
+                // Steal the oldest task: it is the farthest from the
+                // victim's working set and the largest remaining
+                // chunk of the batch.
+                task = std::move(victim.queue.front());
+                victim.queue.pop_front();
+            }
         }
         // Book the theft under the thief's own mutex — the victim's
         // lock guards the victim's counters, not ours.
+        Worker &me = *workers_[self];
+        {
+            std::lock_guard lock(me.mutex);
+            ++me.executed;
+            ++me.stolen;
+        }
+        if (MetricsRegistry::enabled()) {
+            auto &metrics = MetricsRegistry::global();
+            metrics.counter("pool.tasks").add();
+            metrics.counter("pool.steals").add();
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+ServerPool::stealBatch(unsigned self, const Batch *batch, Task &task)
+{
+    const unsigned n = threads();
+    for (unsigned step = 1; step < n; ++step) {
+        Worker &victim = *workers_[(self + step) % n];
+        bool took = false;
+        {
+            std::lock_guard lock(victim.mutex);
+            for (std::size_t i = 0; i < victim.queue.size(); ++i) {
+                if (victim.queue[i].batch != batch)
+                    continue;
+                task = std::move(victim.queue[i]);
+                victim.queue.erase(
+                    victim.queue.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+                took = true;
+                break;
+            }
+        }
+        if (!took)
+            continue;
         Worker &me = *workers_[self];
         {
             std::lock_guard lock(me.mutex);
@@ -122,11 +247,15 @@ ServerPool::workerLoop(unsigned self)
 {
     tls_worker = static_cast<int>(self);
     tls_pool = this;
-    std::function<void()> task;
+    Task task;
     while (true) {
-        if (popLocal(self, task) || steal(self, task)) {
-            task();
-            task = nullptr;
+        // Pinned (affinity) work first: it is latency-sensitive
+        // client traffic routed specifically to this worker, and
+        // nobody else can run it.
+        if (popPinned(self, task) || popLocal(self, task) ||
+            steal(self, task)) {
+            task.fn();
+            task.fn = nullptr;
             continue;
         }
         std::unique_lock lock(wakeMutex_);
@@ -139,7 +268,7 @@ ServerPool::workerLoop(unsigned self)
         bool any = false;
         for (const auto &worker : workers_) {
             std::lock_guard inner(worker->mutex);
-            if (!worker->queue.empty()) {
+            if (!worker->queue.empty() || !worker->pinned.empty()) {
                 any = true;
                 break;
             }
@@ -154,6 +283,14 @@ void
 ServerPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &body)
 {
+    parallelFor(count, body, kNoDeadline);
+}
+
+void
+ServerPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body,
+                        std::uint64_t deadlineUs)
+{
     if (count == 0)
         return;
     Batch batch(count);
@@ -166,8 +303,8 @@ ServerPool::parallelFor(std::size_t count,
     std::size_t deepest = 0;
     for (std::size_t i = 0; i < count; ++i) {
         Worker &worker = *workers_[i % n];
-        std::lock_guard lock(worker.mutex);
-        worker.queue.emplace_back([&body, &batch, i] {
+        Task task;
+        task.fn = [&body, &batch, i] {
             std::exception_ptr error;
             try {
                 body(i);
@@ -175,7 +312,12 @@ ServerPool::parallelFor(std::size_t count,
                 error = std::current_exception();
             }
             batch.finishOne(std::move(error));
-        });
+        };
+        task.batch = &batch;
+        task.deadlineUs = deadlineUs;
+        task.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(worker.mutex);
+        worker.queue.push_back(std::move(task));
         deepest = std::max(deepest, worker.queue.size());
     }
     if (metrics_on) {
@@ -197,20 +339,27 @@ ServerPool::parallelFor(std::size_t count,
     // other worker may equally be a submitter waiting on its own
     // nested batch, leaving no thread to run any queued task — the
     // classic nested-fork-join deadlock. A waiting worker instead
-    // helps drain the queues (its own batch's tasks included, plus
-    // anything stealable) until its batch completes.
+    // helps execute pending tasks until its batch completes — and it
+    // prefers tasks *of the batch it is waiting on* (its own queue
+    // first, then steals) over unrelated work, so its return is
+    // delayed only by this batch's stragglers, never by a long
+    // unrelated task it happened to pick up. Pinned tasks are left to
+    // their owning worker: they are long-running client work and
+    // never gate batch completion.
     if (tls_pool == this && tls_worker >= 0) {
         const unsigned self = static_cast<unsigned>(tls_worker);
-        std::function<void()> task;
+        Task task;
         for (;;) {
             {
                 std::lock_guard done_lock(batch.mutex);
                 if (batch.remaining == 0)
                     break;
             }
-            if (popLocal(self, task) || steal(self, task)) {
-                task();
-                task = nullptr;
+            if (popLocalBatch(self, &batch, task) ||
+                stealBatch(self, &batch, task) ||
+                popLocal(self, task) || steal(self, task)) {
+                task.fn();
+                task.fn = nullptr;
                 continue;
             }
             // Nothing runnable anywhere: the batch's stragglers are
@@ -229,6 +378,28 @@ ServerPool::parallelFor(std::size_t count,
     }
     if (batch.error)
         std::rethrow_exception(batch.error);
+}
+
+void
+ServerPool::submitPinned(unsigned worker, std::function<void()> task,
+                         std::uint64_t deadlineUs)
+{
+    Task pinned;
+    pinned.fn = std::move(task);
+    pinned.batch = nullptr;
+    pinned.deadlineUs = deadlineUs;
+    pinned.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    {
+        Worker &lane = *workers_.at(worker);
+        std::lock_guard lock(lane.mutex);
+        lane.pinned.push_back(std::move(pinned));
+    }
+    // Same wake protocol as parallelFor: publish, then synchronize
+    // with any worker between its final queue check and its wait.
+    {
+        std::lock_guard lock(wakeMutex_);
+    }
+    wake_.notify_all();
 }
 
 std::vector<std::uint64_t>

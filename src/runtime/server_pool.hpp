@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,6 +10,23 @@
 #include <vector>
 
 namespace orianna::runtime {
+
+/** Construction-time knobs of a ServerPool. */
+struct PoolOptions
+{
+    /** Worker threads; 0 picks hardware_concurrency (at least 1). */
+    unsigned threads = 0;
+
+    /**
+     * Earliest-deadline-first task ordering (opt-in). Off, the pool
+     * keeps its historical discipline — LIFO local pop, FIFO steal,
+     * FIFO pinned lanes — so existing schedules and digests are
+     * untouched. On, every dequeue (local, steal, pinned) picks the
+     * queued task with the smallest deadline, ties broken by
+     * submission order; tasks without a deadline sort last.
+     */
+    bool edf = false;
+};
 
 /**
  * Work-stealing thread pool for the serving runtime: drives many
@@ -22,27 +40,42 @@ namespace orianna::runtime {
  * whole frames, sessions or candidate simulations, microseconds to
  * milliseconds each, so queue operations are not the bottleneck).
  *
+ * Besides the batch deque every worker owns a *pinned* lane
+ * (submitPinned): tasks routed to a specific worker — the affinity
+ * traffic of the EngineGroup serving path — which are never stolen,
+ * so worker-local state (engine replicas, warm contexts) stays
+ * single-owner without locks. A worker drains its pinned lane before
+ * touching batch work.
+ *
  * Worker identity is exposed through currentWorker() so callers can
  * keep per-worker state — warm ExecutionContexts above all — without
  * any locking: a slot indexed by the worker id is only ever touched
  * by that worker's thread, and parallelFor()'s completion acts as the
  * release fence before the caller reads the slots back.
  *
- * parallelFor() is the only submission interface: deterministic index
- * space, caller blocks until every index ran, first exception is
- * rethrown on the caller. Parallelism is always *across* independent
- * tasks (sessions, candidates, missions) — never inside one frame's
- * scoreboard — so schedules and numeric outputs are byte-identical to
- * sequential execution by construction.
+ * parallelFor() is the batch submission interface: deterministic
+ * index space, caller blocks until every index ran, first exception
+ * is rethrown on the caller. Parallelism is always *across*
+ * independent tasks (sessions, candidates, missions) — never inside
+ * one frame's scoreboard — so schedules and numeric outputs are
+ * byte-identical to sequential execution by construction.
  */
 class ServerPool
 {
   public:
+    /** Deadline value meaning "no deadline" (sorts last under EDF). */
+    static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
     /**
      * Start @p threads workers; 0 picks
      * std::thread::hardware_concurrency() (at least 1).
      */
-    explicit ServerPool(unsigned threads = 0);
+    explicit ServerPool(unsigned threads = 0)
+        : ServerPool(PoolOptions{threads, false})
+    {
+    }
+
+    explicit ServerPool(const PoolOptions &options);
 
     ~ServerPool();
 
@@ -54,6 +87,9 @@ class ServerPool
     {
         return static_cast<unsigned>(workers_.size());
     }
+
+    /** True when earliest-deadline-first ordering is on. */
+    bool edf() const { return edf_; }
 
     /**
      * Worker id of the calling thread: 0..threads()-1 on a pool
@@ -72,9 +108,35 @@ class ServerPool
      * pool. The submitting worker does not block on its nested batch
      * — it helps execute pending tasks until the batch completes, so
      * nesting from every worker at once cannot deadlock the pool.
+     * While helping it *prefers tasks of the batch it is waiting on*
+     * (its own queue first, then steals) over unrelated work, so the
+     * waiter's latency is bounded by its own batch's stragglers, not
+     * by whatever other task it happened to pick up.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * parallelFor with a batch deadline (absolute, on the
+     * MetricsRegistry::nowUs timebase). Under an EDF pool the batch's
+     * tasks are ordered against other queued work by this deadline;
+     * on a FIFO pool the deadline is recorded but ignored.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body,
+                     std::uint64_t deadlineUs);
+
+    /**
+     * Enqueue one task pinned to @p worker's lane. Pinned tasks are
+     * never stolen and are drained before the worker's batch deque,
+     * which is what gives EngineGroup replicas their single-owner
+     * guarantee. Returns immediately; completion tracking (and
+     * exception containment — a pinned task has no batch waiter to
+     * rethrow into, so it must not throw) is the caller's job:
+     * AdmissionController wraps both.
+     */
+    void submitPinned(unsigned worker, std::function<void()> task,
+                      std::uint64_t deadlineUs = kNoDeadline);
 
     /**
      * Tasks executed per worker since construction (the per-thread
@@ -94,20 +156,44 @@ class ServerPool
   private:
     struct Batch;
 
-    struct Worker
+    /** One queued unit of work plus its scheduling keys. */
+    struct Task
+    {
+        std::function<void()> fn;
+        const Batch *batch = nullptr; //!< Owning batch (null: pinned).
+        std::uint64_t deadlineUs = kNoDeadline; //!< EDF key.
+        std::uint64_t seq = 0; //!< Submission order, EDF tiebreak.
+    };
+
+    /**
+     * Per-worker state, cache-line aligned: the mutex word and the
+     * executed/stolen counters are written on every dequeue, so two
+     * workers whose structs shared a line would false-share on the
+     * hottest path of the pool. (Workers are also heap-allocated
+     * individually, so the alignment is honored by aligned new.)
+     */
+    struct alignas(64) Worker
     {
         mutable std::mutex mutex;
-        std::deque<std::function<void()>> queue;
+        std::deque<Task> queue;  //!< Batch tasks: stealable.
+        std::deque<Task> pinned; //!< Affinity tasks: never stolen.
         std::uint64_t executed = 0; //!< Guarded by mutex.
         std::uint64_t stolen = 0;   //!< Guarded by mutex.
     };
 
-    bool popLocal(unsigned self, std::function<void()> &task);
-    bool steal(unsigned self, std::function<void()> &task);
+    bool popPinned(unsigned self, Task &task);
+    bool popLocal(unsigned self, Task &task);
+    /** Front-most local task belonging to @p batch, if any. */
+    bool popLocalBatch(unsigned self, const Batch *batch, Task &task);
+    bool steal(unsigned self, Task &task);
+    /** Steal a task of @p batch specifically (helps drain it). */
+    bool stealBatch(unsigned self, const Batch *batch, Task &task);
     void workerLoop(unsigned self);
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
+    bool edf_ = false;
+    std::atomic<std::uint64_t> seq_{0};
 
     std::mutex wakeMutex_;
     std::condition_variable wake_;

@@ -1,0 +1,450 @@
+// The sharded serving stack (DESIGN.md §5): EngineGroup replica
+// caches with fingerprint-affinity routing, AdmissionController
+// bounded lanes, and the ServerPool's pinned/EDF disciplines.
+//
+// The invariants under test are the serving-layer contract:
+//   - routing is a pure function of the fingerprint (deterministic);
+//   - replica-served sessions are bit-identical to shared-Engine
+//     sessions on all four benchmark applications;
+//   - racing replicas dedup through the group's single-flight table
+//     (one compile, N-1 shared hits, then lock-free local hits);
+//   - admission rejection under saturation is typed and leaves the
+//     rejected client's state untouched;
+//   - EDF ordering drains pinned lanes by deadline but never changes
+//     what sessions compute (digest-stable vs FIFO);
+//   - a worker waiting in parallelFor drains its own batch before
+//     unrelated work, so nested-batch latency is bounded.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark_apps.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/engine_group.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/server_pool.hpp"
+
+namespace {
+
+using namespace orianna;
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** Bitwise equality of two Values: every double, exact bit pattern. */
+bool
+bitIdentical(const fg::Values &a, const fg::Values &b)
+{
+    const auto sameBits = [](double x, double y) {
+        return std::memcmp(&x, &y, sizeof(double)) == 0;
+    };
+    if (a.keys() != b.keys())
+        return false;
+    for (fg::Key key : a.keys()) {
+        if (a.isPose(key) != b.isPose(key))
+            return false;
+        if (a.isPose(key)) {
+            const lie::Pose &pa = a.pose(key);
+            const lie::Pose &pb = b.pose(key);
+            for (std::size_t i = 0; i < pa.phi().size(); ++i)
+                if (!sameBits(pa.phi()[i], pb.phi()[i]))
+                    return false;
+            for (std::size_t i = 0; i < pa.t().size(); ++i)
+                if (!sameBits(pa.t()[i], pb.t()[i]))
+                    return false;
+        } else {
+            const mat::Vector &va = a.vector(key);
+            const mat::Vector &vb = b.vector(key);
+            if (va.size() != vb.size())
+                return false;
+            for (std::size_t i = 0; i < va.size(); ++i)
+                if (!sameBits(va[i], vb[i]))
+                    return false;
+        }
+    }
+    return true;
+}
+
+TEST(EngineGroupTest, AffinityRoutingIsDeterministic)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, 7);
+    const core::Algorithm &loc = bench.app.algorithm(0);
+    const std::uint64_t fingerprint =
+        runtime::graphFingerprint(loc.graph, loc.values);
+
+    runtime::EngineGroup group(hw::AcceleratorConfig::minimal(true),
+                               /*replicas=*/5);
+    EXPECT_EQ(group.replicaOf(fingerprint), fingerprint % 5u);
+    EXPECT_EQ(group.route(loc.graph, loc.values),
+              group.replicaOf(fingerprint));
+    // Routing must survive the graph being rebuilt: an identical
+    // mission (same seed, same measurements) lands on the same
+    // replica forever.
+    apps::BenchmarkApp again =
+        apps::buildApp(apps::AppKind::MobileRobot, 7);
+    const core::Algorithm &loc2 = again.app.algorithm(0);
+    EXPECT_EQ(runtime::graphFingerprint(loc2.graph, loc2.values),
+              fingerprint);
+    EXPECT_EQ(group.route(loc2.graph, loc2.values),
+              group.replicaOf(fingerprint));
+    // A different mission may route elsewhere, but equally stably.
+    apps::BenchmarkApp other =
+        apps::buildApp(apps::AppKind::MobileRobot, 8);
+    const core::Algorithm &loc3 = other.app.algorithm(0);
+    EXPECT_EQ(group.route(loc3.graph, loc3.values),
+              group.route(loc3.graph, loc3.values));
+}
+
+TEST(EngineGroupTest, ReplicaSessionsMatchSharedEngineOnAllApps)
+{
+    constexpr std::size_t kSteps = 3;
+    for (const apps::AppKind kind :
+         {apps::AppKind::MobileRobot, apps::AppKind::Manipulator,
+          apps::AppKind::AutoVehicle, apps::AppKind::Quadrotor}) {
+        apps::BenchmarkApp bench = apps::buildApp(kind, 3);
+        for (std::size_t a = 0; a < bench.app.size(); ++a) {
+            const core::Algorithm &alg = bench.app.algorithm(a);
+
+            runtime::Engine engine(
+                hw::AcceleratorConfig::minimal(true));
+            runtime::Session shared =
+                engine.session(alg.graph, alg.values);
+            shared.iterate(kSteps);
+
+            runtime::EngineGroup group(
+                hw::AcceleratorConfig::minimal(true), /*replicas=*/3);
+            const unsigned replica =
+                group.route(alg.graph, alg.values);
+            runtime::Session replicated =
+                group.session(replica, alg.graph, alg.values);
+            replicated.iterate(kSteps);
+
+            EXPECT_TRUE(
+                bitIdentical(shared.values(), replicated.values()))
+                << "app " << static_cast<int>(kind) << " algorithm "
+                << a;
+        }
+    }
+}
+
+TEST(EngineGroupTest, SingleFlightDedupAcrossReplicas)
+{
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, 11);
+    const core::Algorithm &loc = bench.app.algorithm(0);
+
+    constexpr unsigned kReplicas = 4;
+    runtime::ServerPool pool(kReplicas);
+    runtime::EngineGroup group(hw::AcceleratorConfig::minimal(true),
+                               kReplicas);
+    runtime::AdmissionController admission(pool, {});
+
+    // Every replica opens the same graph at once: the group's shared
+    // single-flight table must compile exactly once, the losers take
+    // shared hits, and nothing is cached locally yet anywhere else.
+    for (unsigned r = 0; r < kReplicas; ++r)
+        admission.submit(r, [&group, &loc, r] {
+            runtime::Session session =
+                group.session(r, loc.graph, loc.values);
+            session.step();
+        });
+    admission.drain();
+
+    runtime::EngineGroup::Stats stats = group.stats();
+    EXPECT_EQ(stats.compiles, 1u);
+    EXPECT_EQ(stats.sharedHits, kReplicas - 1);
+    EXPECT_EQ(stats.localHits, 0u);
+
+    // Steady state: reopening on each replica is a lock-free local
+    // hit — the shared engine is never consulted again.
+    for (unsigned r = 0; r < kReplicas; ++r)
+        admission.submit(r, [&group, &loc, r] {
+            runtime::Session session =
+                group.session(r, loc.graph, loc.values);
+            session.step();
+        });
+    admission.drain();
+
+    stats = group.stats();
+    EXPECT_EQ(stats.compiles, 1u);
+    EXPECT_EQ(stats.sharedHits, kReplicas - 1);
+    EXPECT_EQ(stats.localHits, kReplicas);
+    for (unsigned r = 0; r < kReplicas; ++r)
+        EXPECT_EQ(group.cachedPrograms(r), 1u) << "replica " << r;
+}
+
+TEST(AdmissionTest, RejectsWhenSaturatedAndLeavesValuesUntouched)
+{
+    runtime::ServerPool pool(1);
+    runtime::AdmissionController admission(
+        pool, {/*queueCapacity=*/2});
+
+    // The session the shed client *would* have stepped: after the
+    // rejection it must be exactly as constructed.
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    apps::BenchmarkApp bench =
+        apps::buildApp(apps::AppKind::MobileRobot, 2);
+    const core::Algorithm &loc = bench.app.algorithm(0);
+    runtime::Session victim = engine.session(loc.graph, loc.values);
+    const fg::Values before = victim.values();
+
+    // Saturate: a blocker occupies the only worker, then two admitted
+    // tasks fill the lane to its bound.
+    std::promise<void> started;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    admission.submit(0, [&started, gate] {
+        started.set_value();
+        gate.wait();
+    });
+    started.get_future().wait();
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 2; ++i) {
+        const auto outcome =
+            admission.submit(0, [&ran] { ++ran; });
+        ASSERT_TRUE(outcome.admitted());
+        EXPECT_EQ(outcome.depth, static_cast<std::size_t>(i + 1));
+    }
+    EXPECT_EQ(admission.depth(0), 2u);
+
+    // The lane is full: the next client is shed with a typed outcome
+    // and its task never runs.
+    bool stepped = false;
+    const auto rejected =
+        admission.submit(0, [&victim, &stepped] {
+            stepped = true;
+            victim.step();
+        });
+    EXPECT_FALSE(rejected.admitted());
+    EXPECT_EQ(rejected.status,
+              runtime::AdmissionController::Status::Rejected);
+    EXPECT_EQ(rejected.worker, 0u);
+    EXPECT_EQ(rejected.depth, 2u);
+    EXPECT_EQ(rejected.capacity, 2u);
+
+    release.set_value();
+    admission.drain();
+
+    EXPECT_FALSE(stepped);
+    EXPECT_EQ(victim.frames(), 0u);
+    EXPECT_TRUE(bitIdentical(victim.values(), before));
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_EQ(admission.admitted(), 3u); // Blocker + the two tasks.
+    EXPECT_EQ(admission.rejected(), 1u);
+    EXPECT_EQ(admission.depth(0), 0u);
+}
+
+TEST(AdmissionTest, DrainRethrowsTheFirstTaskError)
+{
+    runtime::ServerPool pool(1);
+    runtime::AdmissionController admission(pool, {});
+    admission.submit(0, [] {
+        throw std::runtime_error("client exploded");
+    });
+    EXPECT_THROW(admission.drain(), std::runtime_error);
+    // The error is delivered once; the controller keeps serving.
+    std::atomic<bool> ran{false};
+    admission.submit(0, [&ran] { ran = true; });
+    admission.drain();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ServerPoolEdfTest, PinnedLaneDrainsByDeadline)
+{
+    const auto runOrder = [](bool edf) {
+        runtime::PoolOptions options;
+        options.threads = 1;
+        options.edf = edf;
+        runtime::ServerPool pool(options);
+
+        // Hold the worker so the lane fills before anything drains;
+        // the blocker's deadline 0 keeps it first under EDF too.
+        std::promise<void> started;
+        std::promise<void> release;
+        std::shared_future<void> gate = release.get_future().share();
+        pool.submitPinned(
+            0,
+            [&started, gate] {
+                started.set_value();
+                gate.wait();
+            },
+            /*deadlineUs=*/0);
+        started.get_future().wait();
+
+        std::vector<int> order;
+        std::mutex order_mutex;
+        const std::uint64_t deadlines[] = {50, 10, 30, 10};
+        std::promise<void> done;
+        for (int id = 0; id < 4; ++id)
+            pool.submitPinned(
+                0,
+                [id, &order, &order_mutex, &done] {
+                    std::lock_guard lock(order_mutex);
+                    order.push_back(id);
+                    if (order.size() == 4)
+                        done.set_value();
+                },
+                deadlines[id]);
+        release.set_value();
+        done.get_future().wait();
+        return order;
+    };
+
+    // EDF: smallest deadline first, FIFO among equals (ids 1 and 3
+    // share deadline 10; submission order breaks the tie).
+    EXPECT_EQ(runOrder(true), (std::vector<int>{1, 3, 2, 0}));
+    // FIFO default: strict submission order, deadlines ignored.
+    EXPECT_EQ(runOrder(false), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ServerPoolEdfTest, EdfAndFifoServeIdenticalValues)
+{
+    // Scheduling policy may reorder *when* sessions run, never what
+    // they compute: both disciplines must reproduce the sequential
+    // digests bit for bit.
+    std::vector<apps::BenchmarkApp> missions;
+    for (unsigned seed = 1; seed <= 3; ++seed)
+        missions.push_back(
+            apps::buildApp(apps::AppKind::MobileRobot, seed));
+
+    const auto serveAll = [&missions](bool edf) {
+        runtime::PoolOptions options;
+        options.threads = 2;
+        options.edf = edf;
+        runtime::ServerPool pool(options);
+        runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+        std::vector<fg::Values> finals(missions.size());
+        pool.parallelFor(
+            missions.size(),
+            [&](std::size_t i) {
+                const core::Algorithm &alg =
+                    missions[i].app.algorithm(0);
+                runtime::Session session =
+                    engine.session(alg.graph, alg.values);
+                session.iterate(3);
+                finals[i] = session.values();
+            },
+            /*deadlineUs=*/runtime::MetricsRegistry::nowUs() + 1000);
+        return finals;
+    };
+
+    std::vector<fg::Values> sequential;
+    {
+        runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+        for (const apps::BenchmarkApp &mission : missions) {
+            const core::Algorithm &alg = mission.app.algorithm(0);
+            runtime::Session session =
+                engine.session(alg.graph, alg.values);
+            session.iterate(3);
+            sequential.push_back(session.values());
+        }
+    }
+
+    const std::vector<fg::Values> fifo = serveAll(false);
+    const std::vector<fg::Values> edf = serveAll(true);
+    ASSERT_EQ(fifo.size(), sequential.size());
+    ASSERT_EQ(edf.size(), sequential.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+        EXPECT_TRUE(bitIdentical(fifo[i], sequential[i])) << i;
+        EXPECT_TRUE(bitIdentical(edf[i], sequential[i])) << i;
+    }
+}
+
+TEST(ServerPoolHelpTest, WaiterPrefersItsOwnBatchOverUnrelatedWork)
+{
+    // Regression for the help-while-wait p99 pathology: a worker
+    // waiting on its nested batch used to pick up *any* pending task
+    // — including another client's long frame — so the nested batch's
+    // completion was gated on unrelated work. With batch-preference
+    // helping, the wait is bounded by the nested batch itself.
+    //
+    // Layout on 2 workers (round-robin + LIFO local pop): the outer
+    // batch is tasks {0,1,2,3}; worker 0 gets {0,2} and pops 2 first
+    // (the spawner), worker 1 gets {1,3} and pops 3 first (a long
+    // task). The spawner's nested batch must not wait on the long
+    // outer tasks 0/1/3.
+    constexpr auto kLongTask = std::chrono::milliseconds(150);
+    runtime::ServerPool pool(2);
+    std::atomic<double> nested_wait_ms{-1.0};
+    pool.parallelFor(4, [&](std::size_t i) {
+        if (i == 2) {
+            // Give worker 1 time to start a long task, then measure
+            // how long the nested batch takes to come back.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            std::atomic<int> nested_ran{0};
+            const auto start = Clock::now();
+            pool.parallelFor(4,
+                             [&nested_ran](std::size_t) {
+                                 ++nested_ran;
+                             });
+            nested_wait_ms.store(elapsedMs(start));
+            EXPECT_EQ(nested_ran.load(), 4);
+        } else {
+            std::this_thread::sleep_for(kLongTask);
+        }
+    });
+    ASSERT_GE(nested_wait_ms.load(), 0.0);
+    // Bound well below one long task: the old behavior waited for at
+    // least one (often two) 150 ms outer tasks here.
+    EXPECT_LT(nested_wait_ms.load(), 75.0);
+}
+
+TEST(ServerPoolHelpTest, PinnedTasksNeverGateBatchCompletion)
+{
+    // A pinned (affinity) task is long-running client work; a worker
+    // helping its nested batch to completion must skip it. The outer
+    // task queues a 50 ms pinned task on its own lane, then waits on
+    // a trivial nested batch: if helping picked the pinned task up,
+    // the nested wait would include those 50 ms.
+    runtime::ServerPool pool(1);
+    std::atomic<bool> pinned_ran{false};
+    std::atomic<double> nested_ms{-1.0};
+    pool.parallelFor(1, [&](std::size_t) {
+        pool.submitPinned(0, [&pinned_ran] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+            pinned_ran = true;
+        });
+        const auto start = Clock::now();
+        pool.parallelFor(2, [](std::size_t) {});
+        nested_ms.store(elapsedMs(start));
+    });
+    ASSERT_GE(nested_ms.load(), 0.0);
+    EXPECT_LT(nested_ms.load(), 25.0);
+    // The pinned task still runs on its owner, promptly.
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    while (!pinned_ran.load() && Clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(pinned_ran.load());
+}
+
+TEST(EngineGroupTest, RejectsZeroReplicasAndZeroCapacity)
+{
+    EXPECT_THROW(runtime::EngineGroup(
+                     hw::AcceleratorConfig::minimal(true), 0),
+                 std::invalid_argument);
+    runtime::ServerPool pool(1);
+    EXPECT_THROW(runtime::AdmissionController(
+                     pool, {/*queueCapacity=*/0}),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -6,9 +6,11 @@
 // steps on the simulated accelerator, and save the binary program.
 //
 // With --threads, the tool also demonstrates the parallel serving
-// path: one Engine, one session per worker, all sessions stepped
-// concurrently on a ServerPool and asserted byte-identical to the
-// sequential session.
+// path: one EngineGroup with a replica per worker, one session pinned
+// to each replica's worker, all sessions stepped concurrently on a
+// ServerPool behind admission control and asserted byte-identical to
+// the sequential session (one compile, deduped by the group's shared
+// single-flight table).
 //
 // Usage:
 //   orianna_compile <input.g2o> [-o out.oprog] [--simulate]
@@ -39,6 +41,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,7 +54,9 @@
 #include "fg/io_g2o.hpp"
 #include "fg/ordering.hpp"
 #include "hw/trace.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/engine_group.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/server_pool.hpp"
 #include "runtime/trace_sink.hpp"
@@ -338,11 +343,14 @@ main(int argc, char **argv)
                 sequential_values = session.values();
             }
             if (serve) {
-                // Parallel serving demo: one session per worker over
-                // one shared compiled program (one compile, the rest
-                // cache hits), stepped concurrently. Every session
-                // must land on exactly the sequential session's
-                // values.
+                // Parallel serving demo: an EngineGroup with one
+                // replica per worker, one session pinned to each
+                // replica's owning worker via admission control. The
+                // graphs are identical, so the group's shared
+                // single-flight table compiles once and every other
+                // replica takes a shared hit; sessions step
+                // concurrently and must land on exactly the
+                // sequential session's values.
                 runtime::ServerPool pool(threads);
                 const unsigned n = pool.threads();
                 runtime::EngineOptions engine_options;
@@ -350,26 +358,32 @@ main(int argc, char **argv)
                     engine_options.faultPlan =
                         hw::FaultPlan::parse(fault_spec);
                 engine_options.degradation.fallback = fallback;
-                runtime::Engine engine(
+                runtime::EngineGroup group(
                     hw::AcceleratorConfig::minimal(true),
-                    std::move(engine_options));
-                std::vector<runtime::Session> sessions;
-                sessions.reserve(n);
-                for (unsigned c = 0; c < n; ++c)
-                    sessions.push_back(engine.session(
-                        data.graph, data.initial, 1.0, 0, input));
+                    std::move(engine_options), n);
+                runtime::AdmissionController admission(pool, {});
+                std::vector<std::unique_ptr<runtime::Session>>
+                    sessions(n);
                 std::vector<std::string> failures(n);
-                pool.parallelFor(n, [&](std::size_t c) {
-                    try {
-                        sessions[c].iterate(iterations);
-                    } catch (const std::exception &error) {
-                        failures[c] = error.what();
-                    }
-                });
+                for (unsigned c = 0; c < n; ++c)
+                    admission.submit(/*worker=*/c, [&, c] {
+                        try {
+                            auto session = std::make_unique<
+                                runtime::Session>(group.session(
+                                /*replica=*/c, data.graph,
+                                data.initial, 1.0, 0, input));
+                            session->iterate(iterations);
+                            sessions[c] = std::move(session);
+                        } catch (const std::exception &error) {
+                            failures[c] = error.what();
+                        }
+                    });
+                admission.drain();
 
                 bool identical = true;
                 for (std::size_t c = 0; c < sessions.size(); ++c) {
-                    if (!failures[c].empty()) {
+                    if (!failures[c].empty() ||
+                        sessions[c] == nullptr) {
                         std::fprintf(stderr,
                                      "client %zu failed: %s\n", c,
                                      failures[c].c_str());
@@ -378,13 +392,15 @@ main(int argc, char **argv)
                     }
                     identical = identical &&
                                 identicalValues(sequential_values,
-                                                sessions[c].values());
+                                                sessions[c]->values());
                 }
+                const auto stats = group.stats();
                 std::printf("served %u concurrent session(s) on %u "
-                            "thread(s): %zu compile(s), %zu cache "
-                            "hit(s), results %s\n",
-                            n, n, engine.stats().compiles,
-                            engine.stats().cacheHits,
+                            "thread(s) via %u replica(s): %zu "
+                            "compile(s), %zu shared hit(s), %zu "
+                            "local hit(s), results %s\n",
+                            n, n, group.replicas(), stats.compiles,
+                            stats.sharedHits, stats.localHits,
                             identical
                                 ? "identical to the sequential session"
                                 : "DIVERGED");
@@ -395,7 +411,7 @@ main(int argc, char **argv)
                                     totals[w]));
                 if (!fault_spec.empty())
                     std::printf("health: %s\n",
-                                engine.healthJson().c_str());
+                                group.healthJson().c_str());
                 if (!identical)
                     return 1;
             }
