@@ -46,6 +46,7 @@
 #include <string>
 
 #include "fg/factors.hpp"
+#include "matrix/simd.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/engine_group.hpp"
 #include "runtime/metrics.hpp"
@@ -65,7 +66,7 @@ usage(const char *argv0)
                  "usage: %s [--threads N] [--replicas N] "
                  "[--queue-cap N] [--edf] [--metrics out.json] "
                  "[--trace out.json] [--inject-faults SPEC] "
-                 "[--fallback]\n"
+                 "[--fallback] [--simd TIER]\n"
                  "  --threads N        worker threads, N >= 1 "
                  "(default: hardware concurrency)\n"
                  "  --replicas N       engine replicas, N >= 1 "
@@ -83,7 +84,9 @@ usage(const char *argv0)
                  "                     kinds: stall, spike, corrupt; "
                  "unit: a unit name or \"all\"\n"
                  "  --fallback         degrade faulty frames to the "
-                 "reference program instead of failing\n",
+                 "reference program instead of failing\n"
+                 "  --simd TIER        kernel tier: scalar, avx2, "
+                 "neon or auto (overrides ORIANNA_SIMD)\n",
                  argv0);
     return 2;
 }
@@ -153,6 +156,17 @@ main(int argc, char **argv)
             fault_spec = argv[++i];
         } else if (arg == "--fallback") {
             fallback = true;
+        } else if (arg == "--simd" && i + 1 < argc) {
+            const auto selection =
+                mat::kernels::selectTierFromSpec(argv[++i]);
+            if (!selection.ok) {
+                std::fprintf(stderr, "error: --simd: %s\n",
+                             selection.message.c_str());
+                return usage(argv[0]);
+            }
+            if (!selection.message.empty())
+                std::fprintf(stderr, "warning: --simd: %s\n",
+                             selection.message.c_str());
         } else {
             return usage(argv[0]);
         }
@@ -160,6 +174,8 @@ main(int argc, char **argv)
 
     if (!trace_path.empty())
         runtime::TraceCollector::setEnabled(true);
+    std::printf("simd: %s\n",
+                mat::kernels::simdCapabilityString().c_str());
 
     std::vector<Pose> truth;
     for (int i = 0; i < 6; ++i)

@@ -449,10 +449,12 @@ lowerBackward(Builder &b, const fg::Values &values,
             break;
           }
           case Op::RV: {
-            const Shape &r = b.shape(inSlot(0));
+            // Copy, not reference: the emit below grows the slot
+            // table and would invalidate a reference into it.
+            const std::size_t r_rows = b.shape(inSlot(0)).rows;
             accumulate(inId(1), emitMatMul(b, IsaOp::MM, g, inSlot(0),
                                            fi));
-            if (r.rows == 3) {
+            if (r_rows == 3) {
                 const std::uint32_t h =
                     emitUnary(b, IsaOp::HAT, inSlot(1),
                               Shape::matrix(3, 3), fi);

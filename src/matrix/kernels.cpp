@@ -1,4 +1,14 @@
-#include "matrix/kernels.hpp"
+// Scalar reference kernels: the always-compiled tier of the SIMD
+// dispatch layer (simd.hpp, DESIGN.md §10). Every function here keeps
+// the exact floating-point accumulation order of the naive loops it
+// replaces — each output element is a single dependency chain over
+// ascending inner index — so this tier is bit-identical to the
+// reference for finite inputs, the property the runtime relies on for
+// byte-identical schedules and deltas. Speed comes from register
+// tiling (outputs written once), pointer arithmetic and cache-blocked
+// traversal only; no reassociation.
+
+#include "matrix/simd.hpp"
 
 #include <algorithm>
 
@@ -39,6 +49,8 @@ tile(const double *b, double *c, std::size_t ldb, std::size_t ldc,
 }
 
 } // namespace
+
+namespace scalar {
 
 void
 gemm(const double *a, const double *b, double *c, std::size_t m,
@@ -136,5 +148,54 @@ gemvTransA(const double *a, const double *x, double *y, std::size_t m,
             y[j] += xi * arow[j];
     }
 }
+
+double
+dot(const double *a, const double *b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+dotStrided(const double *a, std::size_t stride_a, const double *b,
+           std::size_t stride_b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i * stride_a] * b[i * stride_b];
+    return acc;
+}
+
+double
+fusedSubtractDot(double acc, const double *a, const double *x,
+                 std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        acc -= a[i] * x[i];
+    return acc;
+}
+
+void
+axpyNegStrided(double *y, std::size_t stride_y, double alpha,
+               const double *x, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i * stride_y] -= alpha * x[i];
+}
+
+void
+givensRotate(double *rj, double *ri, double c, double s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rj[i];
+        const double b = ri[i];
+        rj[i] = c * a + s * b;
+        ri[i] = -s * a + c * b;
+    }
+}
+
+} // namespace scalar
 
 } // namespace orianna::mat::kernels

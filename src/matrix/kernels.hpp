@@ -2,60 +2,105 @@
 
 #include <cstddef>
 
+#include "matrix/simd.hpp"
+
 namespace orianna::mat::kernels {
 
 /**
  * Dense microkernels shared by the Matrix operators and the QR /
  * back-substitution paths.
  *
- * Every kernel preserves the exact floating-point accumulation order
- * of the naive reference loops it replaces: each output element is a
- * single dependency chain over ascending inner index. That makes the
- * optimized kernels bit-identical to the reference for finite inputs
- * — the property the runtime relies on for byte-identical schedules
- * and deltas across threads — while the speed comes from register
- * tiling (outputs written once), pointer arithmetic instead of
- * per-access index multiplies, and cache-blocked traversal.
+ * Since the SIMD layer (simd.hpp, DESIGN.md §10) every entry point
+ * here is a dispatcher: it counts the call and forwards to the active
+ * KernelTable, selected once at startup (scalar reference, AVX2,
+ * NEON, ... — ORIANNA_SIMD overrides). Under the scalar table each
+ * output element is a single dependency chain over ascending inner
+ * index, bit-identical to the naive reference loops — the property
+ * the runtime relies on for byte-identical schedules and deltas.
+ * Fast-path tables may reassociate the chains (wide accumulators,
+ * FMA) and match the reference only within the documented tolerance.
  *
  * All matrices are row-major. Output buffers must be zero-initialized
  * where the kernel accumulates (gemm, gemmTransA, gemv).
+ *
+ * The short-vector helpers (dot, dotStrided, fusedSubtractDot,
+ * axpyNegStrided, givensRotate) only dispatch above
+ * kMicroDispatchCutoff elements: below it the inlined scalar loop
+ * beats any indirect call, and the scalar loop is bit-identical to
+ * the reference chain, so the parity contract is unaffected.
  */
 
+/** Below this length the inline scalar loop wins over dispatch. */
+inline constexpr std::size_t kMicroDispatchCutoff = 16;
+
 /** c (m x n) += a (m x k) * b (k x n); c must start zeroed. */
-void gemm(const double *a, const double *b, double *c, std::size_t m,
-          std::size_t k, std::size_t n);
+inline void
+gemm(const double *a, const double *b, double *c, std::size_t m,
+     std::size_t k, std::size_t n)
+{
+    countKernelCall(KernelOp::Gemm);
+    activeKernels().gemm(a, b, c, m, k, n);
+}
 
 /**
  * c (m x n) += a^T * b with a stored k x m, b stored k x n; c must
- * start zeroed. The fused transpose-multiply: bit-identical to
+ * start zeroed. The fused transpose-multiply: equivalent to
  * materializing a^T and calling gemm, without the copy.
  */
-void gemmTransA(const double *a, const double *b, double *c,
-                std::size_t k, std::size_t m, std::size_t n);
+inline void
+gemmTransA(const double *a, const double *b, double *c, std::size_t k,
+           std::size_t m, std::size_t n)
+{
+    countKernelCall(KernelOp::GemmTransA);
+    activeKernels().gemmTransA(a, b, c, k, m, n);
+}
 
 /**
  * c (m x n) += a * b^T with a stored m x k, b stored n x k; c must
  * start zeroed. Both operands stream along contiguous rows.
  */
-void gemmTransB(const double *a, const double *b, double *c,
-                std::size_t m, std::size_t k, std::size_t n);
+inline void
+gemmTransB(const double *a, const double *b, double *c, std::size_t m,
+           std::size_t k, std::size_t n)
+{
+    countKernelCall(KernelOp::GemmTransB);
+    activeKernels().gemmTransB(a, b, c, m, k, n);
+}
 
 /** out (n x m) = transpose of a (m x n), cache-blocked. */
-void transpose(const double *a, double *out, std::size_t m,
-               std::size_t n);
+inline void
+transpose(const double *a, double *out, std::size_t m, std::size_t n)
+{
+    countKernelCall(KernelOp::Transpose);
+    activeKernels().transpose(a, out, m, n);
+}
 
-/** y (m) += a (m x n) * x (n); y must start zeroed. */
-void gemv(const double *a, const double *x, double *y, std::size_t m,
-          std::size_t n);
+/** y (m) = a (m x n) * x (n). */
+inline void
+gemv(const double *a, const double *x, double *y, std::size_t m,
+     std::size_t n)
+{
+    countKernelCall(KernelOp::Gemv);
+    activeKernels().gemv(a, x, y, m, n);
+}
 
 /** y (n) += a^T x with a stored m x n, x of size m; y must start zeroed. */
-void gemvTransA(const double *a, const double *x, double *y,
-                std::size_t m, std::size_t n);
+inline void
+gemvTransA(const double *a, const double *x, double *y, std::size_t m,
+           std::size_t n)
+{
+    countKernelCall(KernelOp::GemvTransA);
+    activeKernels().gemvTransA(a, x, y, m, n);
+}
 
-/** Dot product over ascending index (single accumulation chain). */
+/** Dot product over ascending index (single chain below the cutoff). */
 inline double
 dot(const double *a, const double *b, std::size_t n)
 {
+    if (n >= kMicroDispatchCutoff) {
+        countKernelCall(KernelOp::Dot);
+        return activeKernels().dot(a, b, n);
+    }
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i)
         acc += a[i] * b[i];
@@ -67,6 +112,10 @@ inline double
 dotStrided(const double *a, std::size_t stride_a, const double *b,
            std::size_t stride_b, std::size_t n)
 {
+    if (n >= kMicroDispatchCutoff) {
+        countKernelCall(KernelOp::DotStrided);
+        return activeKernels().dotStrided(a, stride_a, b, stride_b, n);
+    }
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i)
         acc += a[i * stride_a] * b[i * stride_b];
@@ -78,6 +127,10 @@ inline double
 fusedSubtractDot(double acc, const double *a, const double *x,
                  std::size_t n)
 {
+    if (n >= kMicroDispatchCutoff) {
+        countKernelCall(KernelOp::FusedSubtractDot);
+        return activeKernels().fusedSubtractDot(acc, a, x, n);
+    }
     for (std::size_t i = 0; i < n; ++i)
         acc -= a[i] * x[i];
     return acc;
@@ -88,6 +141,11 @@ inline void
 axpyNegStrided(double *y, std::size_t stride_y, double alpha,
                const double *x, std::size_t n)
 {
+    if (n >= kMicroDispatchCutoff) {
+        countKernelCall(KernelOp::AxpyNegStrided);
+        activeKernels().axpyNegStrided(y, stride_y, alpha, x, n);
+        return;
+    }
     for (std::size_t i = 0; i < n; ++i)
         y[i * stride_y] -= alpha * x[i];
 }
@@ -96,6 +154,11 @@ axpyNegStrided(double *y, std::size_t stride_y, double alpha,
 inline void
 givensRotate(double *rj, double *ri, double c, double s, std::size_t n)
 {
+    if (n >= kMicroDispatchCutoff) {
+        countKernelCall(KernelOp::GivensRotate);
+        activeKernels().givensRotate(rj, ri, c, s, n);
+        return;
+    }
     for (std::size_t i = 0; i < n; ++i) {
         const double a = rj[i];
         const double b = ri[i];

@@ -1,0 +1,292 @@
+// AVX2+FMA kernel tier. This TU is the only one compiled with
+// -mavx2 -mfma (see src/matrix/CMakeLists.txt), so every intrinsic
+// stays behind the runtime CPUID check in simd.cpp: the table below
+// is never selected unless the host reports avx2+fma.
+//
+// These kernels trade the scalar tier's single ascending accumulation
+// chain for 4-lane accumulators and fused multiply-add, so results
+// match the reference only within the DESIGN.md §10 tolerance (a few
+// ULP of the absolute-value accumulation), never bit-exactly. Edge
+// rows/columns that don't fill a vector fall back to scalar loops
+// inside the same kernel; that mixes chain shapes within one output
+// matrix, which the tolerance contract explicitly allows.
+
+#include "matrix/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace orianna::mat::kernels {
+
+namespace {
+
+/** Sum of the four lanes of @p v. */
+inline double
+hsum(__m256d v)
+{
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d pair = _mm_add_pd(lo, hi);
+    const __m128d swapped = _mm_unpackhi_pd(pair, pair);
+    return _mm_cvtsd_f64(_mm_add_sd(pair, swapped));
+}
+
+/** Register tile of the gemm family: 4 x 8 outputs, 8 accumulators. */
+template <typename LoadA>
+inline void
+fullTile(const double *b, double *c, std::size_t ldb, std::size_t ldc,
+         std::size_t k, LoadA load)
+{
+    __m256d acc[4][2];
+    for (std::size_t ii = 0; ii < 4; ++ii) {
+        acc[ii][0] = _mm256_setzero_pd();
+        acc[ii][1] = _mm256_setzero_pd();
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+        const double *brow = b + p * ldb;
+        const __m256d b0 = _mm256_loadu_pd(brow);
+        const __m256d b1 = _mm256_loadu_pd(brow + 4);
+        for (std::size_t ii = 0; ii < 4; ++ii) {
+            const __m256d aval = _mm256_set1_pd(load(ii, p));
+            acc[ii][0] = _mm256_fmadd_pd(aval, b0, acc[ii][0]);
+            acc[ii][1] = _mm256_fmadd_pd(aval, b1, acc[ii][1]);
+        }
+    }
+    for (std::size_t ii = 0; ii < 4; ++ii) {
+        _mm256_storeu_pd(c + ii * ldc, acc[ii][0]);
+        _mm256_storeu_pd(c + ii * ldc + 4, acc[ii][1]);
+    }
+}
+
+/** Scalar edge tile (mr <= 4, nr <= 8) for the ragged borders. */
+template <typename LoadA>
+inline void
+edgeTile(const double *b, double *c, std::size_t ldb, std::size_t ldc,
+         std::size_t k, std::size_t mr, std::size_t nr, LoadA load)
+{
+    double acc[4][8] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const double *brow = b + p * ldb;
+        for (std::size_t ii = 0; ii < mr; ++ii) {
+            const double aval = load(ii, p);
+            for (std::size_t jj = 0; jj < nr; ++jj)
+                acc[ii][jj] += aval * brow[jj];
+        }
+    }
+    for (std::size_t ii = 0; ii < mr; ++ii)
+        for (std::size_t jj = 0; jj < nr; ++jj)
+            c[ii * ldc + jj] = acc[ii][jj];
+}
+
+template <typename MakeLoad>
+inline void
+gemmTiled(const double *b, double *c, std::size_t m, std::size_t k,
+          std::size_t n, MakeLoad makeLoad)
+{
+    const std::size_t m4 = m - m % 4;
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t i0 = 0; i0 < m4; i0 += 4) {
+        for (std::size_t j0 = 0; j0 < n8; j0 += 8)
+            fullTile(b + j0, c + i0 * n + j0, n, n, k, makeLoad(i0));
+        if (n8 < n)
+            edgeTile(b + n8, c + i0 * n + n8, n, n, k, 4, n - n8,
+                     makeLoad(i0));
+    }
+    if (m4 < m)
+        for (std::size_t j0 = 0; j0 < n; j0 += 8)
+            edgeTile(b + j0, c + m4 * n + j0, n, n, k, m - m4,
+                     n - j0 < 8 ? n - j0 : 8, makeLoad(m4));
+}
+
+void
+gemmAvx2(const double *a, const double *b, double *c, std::size_t m,
+         std::size_t k, std::size_t n)
+{
+    gemmTiled(b, c, m, k, n, [&](std::size_t i0) {
+        return [a, k, i0](std::size_t ii, std::size_t p) {
+            return a[(i0 + ii) * k + p];
+        };
+    });
+}
+
+void
+gemmTransAAvx2(const double *a, const double *b, double *c,
+               std::size_t k, std::size_t m, std::size_t n)
+{
+    gemmTiled(b, c, m, k, n, [&](std::size_t i0) {
+        return [a, m, i0](std::size_t ii, std::size_t p) {
+            return a[p * m + i0 + ii];
+        };
+    });
+}
+
+double
+dotAvx2(const double *a, const double *b, std::size_t n)
+{
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t i = 0; i < n8; i += 8) {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),
+                               _mm256_loadu_pd(b + i), acc0);
+        acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                               _mm256_loadu_pd(b + i + 4), acc1);
+    }
+    double acc = hsum(_mm256_add_pd(acc0, acc1));
+    for (std::size_t i = n8; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+gemmTransBAvx2(const double *a, const double *b, double *c,
+               std::size_t m, std::size_t k, std::size_t n)
+{
+    // c(i, j) = dot(row i of a, row j of b), both contiguous: four
+    // output dots share each 4-wide pass over row i.
+    const std::size_t k4 = k - k % 4;
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *arow = a + i * k;
+        std::size_t j0 = 0;
+        for (; j0 < n4; j0 += 4) {
+            __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                              _mm256_setzero_pd(), _mm256_setzero_pd()};
+            for (std::size_t p = 0; p < k4; p += 4) {
+                const __m256d av = _mm256_loadu_pd(arow + p);
+                for (std::size_t jj = 0; jj < 4; ++jj)
+                    acc[jj] = _mm256_fmadd_pd(
+                        av, _mm256_loadu_pd(b + (j0 + jj) * k + p),
+                        acc[jj]);
+            }
+            for (std::size_t jj = 0; jj < 4; ++jj) {
+                double sum = hsum(acc[jj]);
+                const double *brow = b + (j0 + jj) * k;
+                for (std::size_t p = k4; p < k; ++p)
+                    sum += arow[p] * brow[p];
+                c[i * n + j0 + jj] = sum;
+            }
+        }
+        for (; j0 < n; ++j0)
+            c[i * n + j0] = dotAvx2(arow, b + j0 * k, k);
+    }
+}
+
+void
+gemvAvx2(const double *a, const double *x, double *y, std::size_t m,
+         std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        y[i] = dotAvx2(a + i * n, x, n);
+}
+
+void
+gemvTransAAvx2(const double *a, const double *x, double *y,
+               std::size_t m, std::size_t n)
+{
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *arow = a + i * n;
+        const __m256d xi = _mm256_set1_pd(x[i]);
+        for (std::size_t j = 0; j < n4; j += 4)
+            _mm256_storeu_pd(
+                y + j,
+                _mm256_fmadd_pd(xi, _mm256_loadu_pd(arow + j),
+                                _mm256_loadu_pd(y + j)));
+        for (std::size_t j = n4; j < n; ++j)
+            y[j] += x[i] * arow[j];
+    }
+}
+
+double
+dotStridedAvx2(const double *a, std::size_t stride_a, const double *b,
+               std::size_t stride_b, std::size_t n)
+{
+    if (stride_a == 1 && stride_b == 1)
+        return dotAvx2(a, b, n);
+    // Strided operands gather poorly; stay scalar.
+    return scalar::dotStrided(a, stride_a, b, stride_b, n);
+}
+
+double
+fusedSubtractDotAvx2(double acc, const double *a, const double *x,
+                     std::size_t n)
+{
+    return acc - dotAvx2(a, x, n);
+}
+
+void
+axpyNegStridedAvx2(double *y, std::size_t stride_y, double alpha,
+                   const double *x, std::size_t n)
+{
+    if (stride_y != 1) {
+        scalar::axpyNegStrided(y, stride_y, alpha, x, n);
+        return;
+    }
+    const __m256d av = _mm256_set1_pd(alpha);
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < n4; i += 4)
+        _mm256_storeu_pd(
+            y + i,
+            _mm256_fnmadd_pd(av, _mm256_loadu_pd(x + i),
+                             _mm256_loadu_pd(y + i)));
+    for (std::size_t i = n4; i < n; ++i)
+        y[i] -= alpha * x[i];
+}
+
+void
+givensRotateAvx2(double *rj, double *ri, double c, double s,
+                 std::size_t n)
+{
+    const __m256d cv = _mm256_set1_pd(c);
+    const __m256d sv = _mm256_set1_pd(s);
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256d a = _mm256_loadu_pd(rj + i);
+        const __m256d b = _mm256_loadu_pd(ri + i);
+        _mm256_storeu_pd(
+            rj + i, _mm256_fmadd_pd(cv, a, _mm256_mul_pd(sv, b)));
+        _mm256_storeu_pd(
+            ri + i, _mm256_fnmadd_pd(sv, a, _mm256_mul_pd(cv, b)));
+    }
+    for (std::size_t i = n4; i < n; ++i) {
+        const double a = rj[i];
+        const double b = ri[i];
+        rj[i] = c * a + s * b;
+        ri[i] = -s * a + c * b;
+    }
+}
+
+const KernelTable kAvx2Table = {
+    SimdTier::Avx2,     gemmAvx2,
+    gemmTransAAvx2,     gemmTransBAvx2,
+    scalar::transpose,  gemvAvx2,
+    gemvTransAAvx2,     dotAvx2,
+    dotStridedAvx2,     fusedSubtractDotAvx2,
+    axpyNegStridedAvx2, givensRotateAvx2,
+};
+
+} // namespace
+
+const KernelTable *
+avx2Table()
+{
+    return &kAvx2Table;
+}
+
+} // namespace orianna::mat::kernels
+
+#else // The toolchain compiled this TU without AVX2 flags.
+
+namespace orianna::mat::kernels {
+
+const KernelTable *
+avx2Table()
+{
+    return nullptr;
+}
+
+} // namespace orianna::mat::kernels
+
+#endif

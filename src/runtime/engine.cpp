@@ -9,6 +9,7 @@
 #include "compiler/optimize.hpp"
 #include "fg/factor.hpp"
 #include "fg/ordering.hpp"
+#include "matrix/simd.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/trace_sink.hpp"
 
@@ -326,6 +327,8 @@ Engine::healthJson() const
 
     std::string out = "{\"status\":\"";
     out += status;
+    out += "\",\"simd\":\"";
+    out += mat::kernels::simdTierName(mat::kernels::activeTier());
     out += "\",\"fault_injection\":";
     out += injector_ != nullptr ? "true" : "false";
     const auto field = [&out](const char *key, std::uint64_t value) {

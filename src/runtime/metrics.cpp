@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "hw/cost_model.hpp"
+#include "matrix/simd.hpp"
 
 namespace orianna::runtime {
 
@@ -126,6 +127,10 @@ MetricsRegistry::reset()
         gauge->reset();
     for (auto &[name, histogram] : histograms_)
         histogram->reset();
+    // The per-kernel dispatch counters live in the matrix layer (it
+    // cannot depend on this registry) but are exported and reset with
+    // it so BENCH sections see a consistent zero point.
+    mat::kernels::resetKernelCallCounts();
 }
 
 namespace {
@@ -200,6 +205,25 @@ MetricsRegistry::toJson() const
         out += "]}";
     }
     out += first ? "}" : "\n  }";
+
+    // SIMD dispatch state, mirrored from the matrix kernel layer
+    // (DESIGN.md §10): which tier the process is running and how many
+    // calls each kernel dispatched since the last reset.
+    out += ",\n  \"kernels\": {\n    \"dispatch_tier\": \"";
+    out += mat::kernels::simdTierName(mat::kernels::activeTier());
+    out += "\",\n    \"calls\": {";
+    first = true;
+    for (std::size_t op = 0; op < mat::kernels::kKernelOpCount; ++op) {
+        const auto kernel_op = static_cast<mat::kernels::KernelOp>(op);
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "      \"";
+        out += mat::kernels::kernelOpName(kernel_op);
+        out += "\": " +
+               std::to_string(mat::kernels::kernelCallCount(kernel_op));
+    }
+    out += first ? "}" : "\n    }";
+    out += "\n  }";
 
     // Derived serving indicators, computed from the raw instruments
     // by naming convention so exporters need no extra wiring.

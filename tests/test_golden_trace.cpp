@@ -20,6 +20,7 @@
 
 #include "apps/benchmark_apps.hpp"
 #include "hwgen/generator.hpp"
+#include "matrix/simd.hpp"
 #include "runtime/execution_context.hpp"
 #include "runtime/server_pool.hpp"
 
@@ -115,6 +116,30 @@ TEST(GoldenTrace, MobileRobotScheduleMatchesCheckedInDigest)
     EXPECT_EQ(digest, golden.str())
         << "the mobile_robot schedule moved; if intentional, "
            "regenerate with ORIANNA_REGEN_GOLDEN=1 ./test_golden_trace";
+}
+
+TEST(GoldenTrace, ScalarKernelTierReproducesDigestByteIdentically)
+{
+    // The bit-exact contract of ORIANNA_SIMD=scalar (DESIGN.md §10):
+    // with the scalar kernel table pinned, the fig.13 digest matches
+    // the checked-in golden byte for byte — no regeneration, no
+    // tolerance. (The digest is structural, so faster tiers also
+    // reproduce it; this test is the guarantee for the reference
+    // tier specifically.)
+    const mat::kernels::ScopedKernelTier pin(
+        mat::kernels::SimdTier::Scalar);
+    ASSERT_TRUE(pin.ok());
+
+    if (std::getenv("ORIANNA_REGEN_GOLDEN") != nullptr)
+        GTEST_SKIP() << "regenerating; covered by the test above";
+
+    const GoldenSetup setup = makeSetup();
+    const std::string digest = scheduleDigest(setup.work, setup.config);
+    std::ifstream in(kGoldenPath);
+    ASSERT_TRUE(in.good()) << "missing golden file " << kGoldenPath;
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(digest, golden.str());
 }
 
 TEST(GoldenTrace, DigestIsStableAcrossRunsAndThreadCounts)

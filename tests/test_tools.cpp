@@ -237,6 +237,28 @@ TEST(CompileTool, RejectsBadArguments)
     EXPECT_EQ(run(tool + " " + input + " --threads x"), 2);
     EXPECT_EQ(run(tool + " " + input + " --bogus"), 2);
     EXPECT_EQ(run(tool + " " + input + " second.g2o"), 2);
+    EXPECT_EQ(run(tool + " " + input + " --simd bogus"), 2);
+}
+
+TEST(CompileTool, SimdTierSelection)
+{
+    const std::string tool = ORIANNA_COMPILE;
+    const std::string input = writeTinyG2o();
+    // Scalar is always compiled and supported; auto always resolves.
+    EXPECT_EQ(run(tool + " " + input + " --simd scalar --simulate"), 0);
+    EXPECT_EQ(run(tool + " " + input + " --simd auto --simulate"), 0);
+    // A known-but-unavailable tier warns and falls back instead of
+    // failing, so pinned CI legs degrade gracefully; both names are
+    // valid specs on every host and at most one is native.
+    EXPECT_EQ(run(tool + " " + input + " --simd avx2 --simulate"), 0);
+    EXPECT_EQ(run(tool + " " + input + " --simd neon --simulate"), 0);
+}
+
+TEST(RuntimeServerTool, SimdTierSelection)
+{
+    const std::string tool = ORIANNA_RUNTIME_SERVER;
+    EXPECT_EQ(run(tool + " --threads 2 --simd scalar"), 0);
+    EXPECT_EQ(run(tool + " --threads 2 --simd bogus"), 2);
 }
 
 TEST(CompileTool, FailsCleanlyOnMissingInput)

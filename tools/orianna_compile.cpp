@@ -54,6 +54,7 @@
 #include "fg/io_g2o.hpp"
 #include "fg/ordering.hpp"
 #include "hw/trace.hpp"
+#include "matrix/simd.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/engine_group.hpp"
@@ -76,8 +77,11 @@ usage(const char *argv0)
                  "[--metrics out.json] [--dot out.dot] "
                  "[--passes LIST] [--list-passes] "
                  "[--dump-ir PREFIX] [--verify-passes] "
-                 "[--inject-faults SPEC] [--fallback]\n"
+                 "[--inject-faults SPEC] [--fallback] [--simd TIER]\n"
                  "  --iterate N and --threads N require N >= 1\n"
+                 "  --simd takes scalar, avx2, neon or auto "
+                 "(overrides ORIANNA_SIMD; unavailable tiers fall "
+                 "back to the best supported one)\n"
                  "  --passes takes \"default\", \"none\", or a "
                  "comma-separated pass list (see --list-passes)\n"
                  "  --inject-faults takes "
@@ -182,6 +186,17 @@ main(int argc, char **argv)
             fault_spec = argv[++i];
         } else if (arg == "--fallback") {
             fallback = true;
+        } else if (arg == "--simd" && i + 1 < argc) {
+            const auto selection =
+                mat::kernels::selectTierFromSpec(argv[++i]);
+            if (!selection.ok) {
+                std::fprintf(stderr, "error: --simd: %s\n",
+                             selection.message.c_str());
+                return usage(argv[0]);
+            }
+            if (!selection.message.empty())
+                std::fprintf(stderr, "warning: --simd: %s\n",
+                             selection.message.c_str());
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
         } else if (input.empty()) {
@@ -194,6 +209,8 @@ main(int argc, char **argv)
         return usage(argv[0]);
     if (!trace_path.empty())
         runtime::TraceCollector::setEnabled(true);
+    std::printf("simd: %s\n",
+                mat::kernels::simdCapabilityString().c_str());
 
     try {
         fg::PoseGraphData data = fg::loadG2o(input);
