@@ -1,56 +1,53 @@
-// The runtime serving model: one EngineGroup, many Sessions.
+// The runtime serving front-end.
 //
-// An EngineGroup owns per-worker engine replicas over one shared
-// compile authority: a session is affinity-routed to the replica that
-// owns its graph fingerprint, compiles once through the shared
-// single-flight table, and every later session of that graph is a
-// lock-free replica-local cache hit. Here three localization clients
-// track the same measurement set from different initial hypotheses:
-// the group compiles once, the second and third sessions are
-// replica-local hits, and every session converges to the same
-// estimate through its own warm execution context.
+// Default mode is the line-delimited JSON protocol of DESIGN.md §11:
+// one request object per stdin line, one response object per stdout
+// line (stdout carries ONLY JSON; diagnostics go to stderr). The four
+// Tbl. 4 benchmark applications are registered as submittable graph
+// sources, and the engine underneath optionally runs with the
+// persistent program store armed (--cache-dir), so a restarted server
+// re-serves every previously compiled program without compiling:
 //
-// The clients run concurrently on a ServerPool behind an
-// AdmissionController: each client is pinned to its replica's worker
-// through a bounded lane (--queue-cap N), so overload turns into
-// typed rejections instead of unbounded queueing, and --edf switches
-// the pool to earliest-deadline-first ordering.
+//   $ echo '{"op":"submit","app":"MobileRobot"}' |
+//         runtime_server --cache-dir /tmp/orianna-cache
+//   {"ok":true,"op":"submit","session":1,...}
 //
-// Observability (DESIGN.md §6):
-//   --metrics out.json   dump the serving metrics registry (cache hit
-//                        rate, per-stage frame p50/p99, steal counts,
-//                        per-unit utilization) after the run;
-//   --trace out.json     write the unified Perfetto trace: session ->
-//                        frame -> stage spans above the per-unit
-//                        hardware rows of every served frame.
+// Exit status: 0 when every request succeeded, 3 when at least one
+// request was answered with an error response (the server itself
+// never tears down on a bad request), 2 on bad argv.
 //
-// Fault tolerance (DESIGN.md §8):
-//   --inject-faults SPEC arm the deterministic fault injector, e.g.
-//                        "7@corrupt:matmul:0.05" or
-//                        "stall:all:0.01:40000,spike:qr:0.02"
-//                        ([SEED@]kind:unit:rate[:cycles],...);
-//   --fallback           let faulty frames degrade to the cleanup-only
-//                        reference program instead of failing the
-//                        client after the retry budget.
+// --demo preserves the previous EngineGroup showcase: three
+// localization clients on a ServerPool behind an AdmissionController,
+// with affinity routing, optional fault injection (--inject-faults,
+// --fallback), metrics/trace export (--metrics, --trace) and the
+// per-worker admission lanes (--queue-cap, --edf). With --cache-dir
+// the demo also arms the persistent store; on a warm directory the
+// expected compile count is served from disk instead.
 //
 // Usage:
-//   runtime_server [--threads N] [--replicas N] [--queue-cap N]
+//   runtime_server [--cache-dir DIR] [--no-store] [--simd TIER]
+//   runtime_server --demo [--threads N] [--replicas N] [--queue-cap N]
 //                  [--edf] [--metrics out.json] [--trace out.json]
 //                  [--inject-faults SPEC] [--fallback]
+//                  [--cache-dir DIR] [--no-store] [--simd TIER]
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "apps/benchmark_apps.hpp"
 #include "fg/factors.hpp"
 #include "matrix/simd.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/engine_group.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/program_store.hpp"
 #include "runtime/server_pool.hpp"
+#include "runtime/serving_protocol.hpp"
 #include "runtime/trace_sink.hpp"
 
 using namespace orianna;
@@ -62,32 +59,39 @@ namespace {
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--threads N] [--replicas N] "
-                 "[--queue-cap N] [--edf] [--metrics out.json] "
-                 "[--trace out.json] [--inject-faults SPEC] "
-                 "[--fallback] [--simd TIER]\n"
-                 "  --threads N        worker threads, N >= 1 "
-                 "(default: hardware concurrency)\n"
-                 "  --replicas N       engine replicas, N >= 1 "
-                 "(default: one per worker)\n"
-                 "  --queue-cap N      per-worker admission queue "
-                 "bound, N >= 1 (default: 64)\n"
-                 "  --edf              earliest-deadline-first task "
-                 "ordering (default: FIFO)\n"
-                 "  --metrics F        write the metrics registry "
-                 "JSON to F after serving\n"
-                 "  --trace F          write the unified Perfetto "
-                 "trace JSON to F\n"
-                 "  --inject-faults S  arm the fault injector, S = "
-                 "[SEED@]kind:unit:rate[:cycles],...\n"
-                 "                     kinds: stall, spike, corrupt; "
-                 "unit: a unit name or \"all\"\n"
-                 "  --fallback         degrade faulty frames to the "
-                 "reference program instead of failing\n"
-                 "  --simd TIER        kernel tier: scalar, avx2, "
-                 "neon or auto (overrides ORIANNA_SIMD)\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s [--cache-dir DIR] [--no-store] [--simd TIER]\n"
+        "       %s --demo [--threads N] [--replicas N] "
+        "[--queue-cap N] [--edf] [--metrics out.json] "
+        "[--trace out.json] [--inject-faults SPEC] [--fallback] "
+        "[--cache-dir DIR] [--no-store] [--simd TIER]\n"
+        "  (default)          serve the line-delimited JSON protocol "
+        "on stdin/stdout\n"
+        "  --cache-dir DIR    arm the persistent program store in "
+        "DIR (created if absent)\n"
+        "  --no-store         ignore --cache-dir; serve memory-only\n"
+        "  --demo             run the EngineGroup/ServerPool "
+        "showcase instead\n"
+        "  --threads N        worker threads, N >= 1 "
+        "(default: hardware concurrency)\n"
+        "  --replicas N       engine replicas, N >= 1 "
+        "(default: one per worker)\n"
+        "  --queue-cap N      per-worker admission queue bound, "
+        "N >= 1 (default: 64)\n"
+        "  --edf              earliest-deadline-first task ordering "
+        "(default: FIFO)\n"
+        "  --metrics F        write the metrics registry JSON to F "
+        "after serving\n"
+        "  --trace F          write the unified Perfetto trace JSON "
+        "to F\n"
+        "  --inject-faults S  arm the fault injector, S = "
+        "[SEED@]kind:unit:rate[:cycles],...\n"
+        "  --fallback         degrade faulty frames to the reference "
+        "program instead of failing\n"
+        "  --simd TIER        kernel tier: scalar, avx2, neon or "
+        "auto (overrides ORIANNA_SIMD)\n",
+        argv0, argv0);
     return 2;
 }
 
@@ -100,6 +104,94 @@ parsePositive(const char *text)
     if (end == text || *end != '\0' || value <= 0)
         return 0;
     return static_cast<unsigned>(value);
+}
+
+/** Everything argv can say, for both modes. */
+struct ServerArgs
+{
+    bool demo = false;
+    std::string cacheDir;
+    bool noStore = false;
+    unsigned threads = 0;  // 0: hardware_concurrency.
+    unsigned replicas = 0; // 0: one per worker.
+    unsigned queueCap = 64;
+    bool edf = false;
+    std::string metricsPath;
+    std::string tracePath;
+    std::string faultSpec;
+    bool fallback = false;
+};
+
+/**
+ * Register the four Tbl. 4 applications on @p server. Each submit
+ * builds the requested mission fresh (deterministic per seed) and
+ * exposes the named algorithm's graph — "" picks the application's
+ * first algorithm (localization).
+ */
+void
+registerBenchmarkApps(runtime::ProtocolServer &server)
+{
+    for (const apps::AppKind kind : apps::allApps()) {
+        server.registerApp(
+            apps::appName(kind),
+            [kind](const std::string &algorithm, unsigned seed) {
+                const apps::BenchmarkApp built =
+                    apps::buildApp(kind, seed);
+                const core::Application &app = built.app;
+                const core::Algorithm *chosen =
+                    algorithm.empty() ? &app.algorithm(0)
+                                      : app.find(algorithm);
+                if (chosen == nullptr)
+                    throw std::invalid_argument(
+                        "application \"" +
+                        std::string(apps::appName(kind)) +
+                        "\" has no algorithm \"" + algorithm + "\"");
+                runtime::SubmittedGraph out;
+                out.graph = chosen->graph;
+                out.initial = chosen->values;
+                out.stepScale = chosen->stepScale;
+                return out;
+            });
+    }
+}
+
+/** The JSON protocol loop: the default server mode. */
+int
+runProtocol(const ServerArgs &args)
+{
+    runtime::EngineOptions options;
+    if (!args.noStore)
+        options.storeDir = args.cacheDir;
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
+                           std::move(options));
+
+    runtime::ProtocolServer server(engine);
+    registerBenchmarkApps(server);
+
+    // Diagnostics strictly on stderr: stdout is the protocol channel.
+    std::fprintf(stderr, "simd: %s\n",
+                 mat::kernels::simdCapabilityString().c_str());
+    if (engine.store() != nullptr)
+        std::fprintf(stderr, "store: %s (%s)\n",
+                     engine.store()->dir().c_str(),
+                     engine.store()->available() ? "available"
+                                                 : "unavailable");
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        std::fputs(server.handle(line).c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    }
+    std::fprintf(stderr,
+                 "served %llu request(s), %llu error(s), "
+                 "%zu session(s) left open\n",
+                 static_cast<unsigned long long>(server.requests()),
+                 static_cast<unsigned long long>(server.errors()),
+                 server.openSessions());
+    return server.errors() > 0 ? 3 : 0;
 }
 
 /** A small odometry chain with a loop closure and an anchored start. */
@@ -119,60 +211,11 @@ buildGraph(const std::vector<Pose> &truth)
     return graph;
 }
 
-} // namespace
-
+/** The legacy EngineGroup/ServerPool showcase (--demo). */
 int
-main(int argc, char **argv)
+runDemo(const ServerArgs &args, const char *argv0)
 {
-    unsigned threads = 0;  // 0: hardware_concurrency.
-    unsigned replicas = 0; // 0: one per worker.
-    unsigned queue_cap = 64;
-    bool edf = false;
-    std::string metrics_path;
-    std::string trace_path;
-    std::string fault_spec;
-    bool fallback = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--threads" && i + 1 < argc) {
-            threads = parsePositive(argv[++i]);
-            if (threads == 0)
-                return usage(argv[0]);
-        } else if (arg == "--replicas" && i + 1 < argc) {
-            replicas = parsePositive(argv[++i]);
-            if (replicas == 0)
-                return usage(argv[0]);
-        } else if (arg == "--queue-cap" && i + 1 < argc) {
-            queue_cap = parsePositive(argv[++i]);
-            if (queue_cap == 0)
-                return usage(argv[0]);
-        } else if (arg == "--edf") {
-            edf = true;
-        } else if (arg == "--metrics" && i + 1 < argc) {
-            metrics_path = argv[++i];
-        } else if (arg == "--trace" && i + 1 < argc) {
-            trace_path = argv[++i];
-        } else if (arg == "--inject-faults" && i + 1 < argc) {
-            fault_spec = argv[++i];
-        } else if (arg == "--fallback") {
-            fallback = true;
-        } else if (arg == "--simd" && i + 1 < argc) {
-            const auto selection =
-                mat::kernels::selectTierFromSpec(argv[++i]);
-            if (!selection.ok) {
-                std::fprintf(stderr, "error: --simd: %s\n",
-                             selection.message.c_str());
-                return usage(argv[0]);
-            }
-            if (!selection.message.empty())
-                std::fprintf(stderr, "warning: --simd: %s\n",
-                             selection.message.c_str());
-        } else {
-            return usage(argv[0]);
-        }
-    }
-
-    if (!trace_path.empty())
+    if (!args.tracePath.empty())
         runtime::TraceCollector::setEnabled(true);
     std::printf("simd: %s\n",
                 mat::kernels::simdCapabilityString().c_str());
@@ -184,27 +227,30 @@ main(int argc, char **argv)
     const fg::FactorGraph graph = buildGraph(truth);
 
     runtime::EngineOptions options;
-    if (!fault_spec.empty()) {
+    if (!args.faultSpec.empty()) {
         try {
-            options.faultPlan = hw::FaultPlan::parse(fault_spec);
+            options.faultPlan = hw::FaultPlan::parse(args.faultSpec);
         } catch (const std::exception &error) {
             std::fprintf(stderr, "error: bad --inject-faults: %s\n",
                          error.what());
-            return usage(argv[0]);
+            return usage(argv0);
         }
     }
-    options.degradation.fallback = fallback;
+    options.degradation.fallback = args.fallback;
+    if (!args.noStore)
+        options.storeDir = args.cacheDir;
 
     runtime::PoolOptions pool_options;
-    pool_options.threads = threads;
-    pool_options.edf = edf;
+    pool_options.threads = args.threads;
+    pool_options.edf = args.edf;
     runtime::ServerPool pool(pool_options);
+    unsigned replicas = args.replicas;
     if (replicas == 0)
         replicas = pool.threads();
     runtime::EngineGroup group(hw::AcceleratorConfig::minimal(true),
                                std::move(options), replicas);
     runtime::AdmissionController admission(
-        pool, {/*queueCapacity=*/queue_cap});
+        pool, {/*queueCapacity=*/args.queueCap});
 
     // Three hypotheses: perturb the initial guess differently per
     // client. The graphs (and their measurements) are identical, so
@@ -220,7 +266,7 @@ main(int argc, char **argv)
     std::printf("routing: fingerprint -> replica %u of %u, worker %u "
                 "of %u (queue cap %u, %s order)\n",
                 replica, group.replicas(), worker, pool.threads(),
-                queue_cap, pool.edf() ? "EDF" : "FIFO");
+                args.queueCap, pool.edf() ? "EDF" : "FIFO");
 
     // Serve the clients concurrently: each client is one admitted
     // task pinned to the owning replica's worker, which opens the
@@ -265,10 +311,12 @@ main(int argc, char **argv)
     admission.drain();
 
     const auto stats = group.stats();
-    std::printf("group: %zu compile(s), %zu shared hit(s), %zu "
-                "replica-local hit(s); admission: %llu admitted, "
-                "%llu rejected\n",
-                stats.compiles, stats.sharedHits, stats.localHits,
+    const auto engine_stats = group.sharedEngine().stats();
+    std::printf("group: %zu compile(s), %zu store hit(s), %zu shared "
+                "hit(s), %zu replica-local hit(s); admission: %llu "
+                "admitted, %llu rejected\n",
+                stats.compiles, engine_stats.storeHits,
+                stats.sharedHits, stats.localHits,
                 static_cast<unsigned long long>(admission.admitted()),
                 static_cast<unsigned long long>(admission.rejected()));
 
@@ -313,22 +361,26 @@ main(int argc, char **argv)
     }
     std::printf("health: %s\n", group.healthJson().c_str());
 
-    // One compile, two replica-local hits — per artifact: with a
-    // provisioned fallback the replica also fetches the reference
-    // program once (a second compile), and the later clients hit the
-    // replica's fallback cache.
-    const bool fallback_armed = fallback && !fault_spec.empty();
+    // One artifact acquisition, two replica-local hits — per
+    // artifact: with a provisioned fallback the replica also fetches
+    // the reference program once (a second acquisition), and the
+    // later clients hit the replica's fallback cache. With the store
+    // armed an acquisition may be a disk load instead of a compile,
+    // so the invariant is on their sum.
+    const bool fallback_armed =
+        args.fallback && !args.faultSpec.empty();
     const auto expect_compiles =
         static_cast<std::size_t>(fallback_armed ? 2 : 1);
-    const bool cache_ok = stats.compiles == expect_compiles &&
-                          stats.localHits == 2 &&
-                          stats.sharedHits == 0;
+    const bool cache_ok =
+        stats.compiles + engine_stats.storeHits == expect_compiles &&
+        stats.localHits == 2 && stats.sharedHits == 0;
     if (!cache_ok)
         std::fprintf(stderr,
-                     "unexpected cache traffic: %zu compiles (want "
-                     "%zu), %zu local hits (want 2), %zu shared hits "
-                     "(want 0)\n",
-                     stats.compiles, expect_compiles, stats.localHits,
+                     "unexpected cache traffic: %zu compiles + %zu "
+                     "store hits (want %zu), %zu local hits (want 2), "
+                     "%zu shared hits (want 0)\n",
+                     stats.compiles, engine_stats.storeHits,
+                     expect_compiles, stats.localHits,
                      stats.sharedHits);
 
     // Close the sessions before exporting: each destructor reports
@@ -336,21 +388,75 @@ main(int argc, char **argv)
     sessions.clear();
 
     try {
-        if (!metrics_path.empty()) {
-            std::ofstream out(metrics_path);
+        if (!args.metricsPath.empty()) {
+            std::ofstream out(args.metricsPath);
             out << runtime::Engine::metricsJson();
             if (!out)
                 throw std::runtime_error("cannot write " +
-                                         metrics_path);
-            std::printf("wrote %s\n", metrics_path.c_str());
+                                         args.metricsPath);
+            std::printf("wrote %s\n", args.metricsPath.c_str());
         }
-        if (!trace_path.empty()) {
-            runtime::TraceCollector::global().write(trace_path);
-            std::printf("wrote %s\n", trace_path.c_str());
+        if (!args.tracePath.empty()) {
+            runtime::TraceCollector::global().write(args.tracePath);
+            std::printf("wrote %s\n", args.tracePath.c_str());
         }
     } catch (const std::exception &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     }
     return cache_ok && clients_ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--demo") {
+            args.demo = true;
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            args.cacheDir = argv[++i];
+        } else if (arg == "--no-store") {
+            args.noStore = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            args.threads = parsePositive(argv[++i]);
+            if (args.threads == 0)
+                return usage(argv[0]);
+        } else if (arg == "--replicas" && i + 1 < argc) {
+            args.replicas = parsePositive(argv[++i]);
+            if (args.replicas == 0)
+                return usage(argv[0]);
+        } else if (arg == "--queue-cap" && i + 1 < argc) {
+            args.queueCap = parsePositive(argv[++i]);
+            if (args.queueCap == 0)
+                return usage(argv[0]);
+        } else if (arg == "--edf") {
+            args.edf = true;
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            args.metricsPath = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            args.tracePath = argv[++i];
+        } else if (arg == "--inject-faults" && i + 1 < argc) {
+            args.faultSpec = argv[++i];
+        } else if (arg == "--fallback") {
+            args.fallback = true;
+        } else if (arg == "--simd" && i + 1 < argc) {
+            const auto selection =
+                mat::kernels::selectTierFromSpec(argv[++i]);
+            if (!selection.ok) {
+                std::fprintf(stderr, "error: --simd: %s\n",
+                             selection.message.c_str());
+                return usage(argv[0]);
+            }
+            if (!selection.message.empty())
+                std::fprintf(stderr, "warning: --simd: %s\n",
+                             selection.message.c_str());
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    return args.demo ? runDemo(args, argv[0]) : runProtocol(args);
 }

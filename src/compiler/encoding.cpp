@@ -227,6 +227,18 @@ decodeInstruction(Reader &r)
 
 } // namespace
 
+std::uint32_t
+encodingVersion()
+{
+    return kVersion;
+}
+
+std::uint32_t
+minEncodingVersion()
+{
+    return kMinVersion;
+}
+
 std::vector<std::uint8_t>
 encodeProgram(const Program &program)
 {

@@ -17,6 +17,12 @@ namespace orianna::comp {
  * factor graph that produced it.
  */
 
+/** Container version the encoder writes (currently 2). */
+std::uint32_t encodingVersion();
+
+/** Oldest container version the decoder still accepts (currently 1). */
+std::uint32_t minEncodingVersion();
+
 /** Serialize @p program to bytes. */
 std::vector<std::uint8_t> encodeProgram(const Program &program);
 

@@ -11,6 +11,7 @@
 #include "fg/ordering.hpp"
 #include "matrix/simd.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/program_store.hpp"
 #include "runtime/trace_sink.hpp"
 
 namespace orianna::runtime {
@@ -112,9 +113,19 @@ graphFingerprint(const fg::FactorGraph &graph, const fg::Values &shapes,
             h.mix(node.camera.fy);
             h.mix(node.camera.cx);
             h.mix(node.camera.cy);
-            // SDF maps hash by identity: sharing one map object means
-            // sharing its compiled lookups.
-            h.mix(reinterpret_cast<std::uintptr_t>(node.sdf.get()));
+            // SDF maps hash by obstacle content, not object identity:
+            // the fingerprint doubles as the persistent-store key, so
+            // it must be stable across processes.
+            if (node.sdf != nullptr) {
+                const auto obstacles = node.sdf->obstacles();
+                h.mix(static_cast<std::uint64_t>(obstacles.size()));
+                for (const auto &[center, radius] : obstacles) {
+                    h.mix(center);
+                    h.mix(radius);
+                }
+            } else {
+                h.mix(static_cast<std::uint64_t>(0));
+            }
         }
         h.mix(static_cast<std::uint64_t>(dfg.outputs().size()));
         for (fg::NodeId output : dfg.outputs())
@@ -122,6 +133,21 @@ graphFingerprint(const fg::FactorGraph &graph, const fg::Values &shapes,
     }
     return h.state;
 }
+
+Engine::Engine(hw::AcceleratorConfig config, EngineOptions options)
+    : config_(std::move(config)), options_(std::move(options)),
+      pipeline_(comp::PassManager::parse(options_.passes)),
+      referencePipeline_(comp::PassManager::parse("dedup,dce")),
+      health_(std::make_shared<EngineHealth>())
+{
+    if (!options_.faultPlan.empty())
+        injector_ = std::make_shared<const hw::FaultInjector>(
+            options_.faultPlan);
+    if (!options_.storeDir.empty())
+        store_ = std::make_unique<ProgramStore>(options_.storeDir);
+}
+
+Engine::~Engine() = default;
 
 std::shared_ptr<const comp::Program>
 Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
@@ -204,6 +230,34 @@ Engine::compileCached(std::uint64_t key, const fg::FactorGraph &graph,
         s.cache.emplace(key, future);
     }
 
+    // Persistent tier, consulted inside the claimed single-flight
+    // slot: a stored artifact satisfies every waiter without a
+    // compile. Any invalid/stale/corrupt entry is a clean miss and
+    // falls through to the normal compile below.
+    if (store_ != nullptr) {
+        std::shared_ptr<const comp::Program> stored;
+        try {
+            stored = store_->load(key, pipeline.spec());
+        } catch (...) {
+            stored = nullptr; // The store never fails a request.
+        }
+        const bool metrics_on = MetricsRegistry::enabled();
+        if (stored != nullptr) {
+            storeHits_.fetch_add(1, std::memory_order_relaxed);
+            if (metrics_on)
+                MetricsRegistry::global()
+                    .counter("engine.store_hits")
+                    .add();
+            promise.set_value(stored);
+            return stored;
+        }
+        storeMisses_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_on)
+            MetricsRegistry::global()
+                .counter("engine.store_misses")
+                .add();
+    }
+
     // Compile outside any lock: other fingerprints proceed in
     // parallel, requesters of this one wait on the future.
     try {
@@ -247,6 +301,17 @@ Engine::compileCached(std::uint64_t key, const fg::FactorGraph &graph,
             std::lock_guard lock(logMutex_);
             log_.push_back({name, key, compiled->instructions.size(),
                             pass_stats});
+        }
+        // Publish the fresh compile to the persistent tier so a
+        // restarted process (or a sibling on the same directory)
+        // skips this compile. Failures are counted, never raised.
+        if (store_ != nullptr &&
+            store_->store(key, pipeline.spec(), *compiled)) {
+            storeWrites_.fetch_add(1, std::memory_order_relaxed);
+            if (MetricsRegistry::enabled())
+                MetricsRegistry::global()
+                    .counter("engine.store_writes")
+                    .add();
         }
         promise.set_value(compiled);
         return compiled;
@@ -331,6 +396,8 @@ Engine::healthJson() const
     out += mat::kernels::simdTierName(mat::kernels::activeTier());
     out += "\",\"fault_injection\":";
     out += injector_ != nullptr ? "true" : "false";
+    out += ",\"store\":";
+    out += store_ != nullptr && store_->available() ? "true" : "false";
     const auto field = [&out](const char *key, std::uint64_t value) {
         out += ",\"";
         out += key;
@@ -345,6 +412,9 @@ Engine::healthJson() const
     field("failures", failures);
     field("compiles", cache.compiles);
     field("cache_hits", cache.cacheHits);
+    field("store_hits", cache.storeHits);
+    field("store_misses", cache.storeMisses);
+    field("store_writes", cache.storeWrites);
     out += "}";
     return out;
 }

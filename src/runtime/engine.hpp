@@ -131,7 +131,20 @@ struct EngineOptions
 
     /** Retry/fallback behavior of the sessions this engine opens. */
     DegradationPolicy degradation;
+
+    /**
+     * Directory of the persistent program store (DESIGN.md §11).
+     * Empty (the default) disables the on-disk tier entirely. When
+     * set, the engine consults the store inside the single-flight
+     * slot before compiling and publishes every fresh compile back —
+     * a warm restart against the same directory serves previously
+     * seen graphs with zero compiles. An unusable directory degrades
+     * to a permanently cold store, never an error.
+     */
+    std::string storeDir;
 };
+
+class ProgramStore;
 
 class EngineGroup;
 
@@ -144,16 +157,9 @@ class Engine
     }
 
     /** @throws std::invalid_argument on an unknown pass name. */
-    Engine(hw::AcceleratorConfig config, EngineOptions options)
-        : config_(std::move(config)), options_(std::move(options)),
-          pipeline_(comp::PassManager::parse(options_.passes)),
-          referencePipeline_(comp::PassManager::parse("dedup,dce")),
-          health_(std::make_shared<EngineHealth>())
-    {
-        if (!options_.faultPlan.empty())
-            injector_ = std::make_shared<const hw::FaultInjector>(
-                options_.faultPlan);
-    }
+    Engine(hw::AcceleratorConfig config, EngineOptions options);
+
+    ~Engine();
 
     const hw::AcceleratorConfig &config() const { return config_; }
 
@@ -195,8 +201,10 @@ class Engine
     /**
      * JSON snapshot of the degradation counters plus cache stats:
      * {"status": "ok"|"degraded"|"failing", "fault_injection": bool,
+     *  "store": bool (persistent tier armed and usable),
      *  "frames_ok", "faults_detected", "frame_timeouts", "retries",
-     *  "fallbacks", "failures", "compiles", "cache_hits"}.
+     *  "fallbacks", "failures", "compiles", "cache_hits",
+     *  "store_hits", "store_misses", "store_writes"}.
      * "degraded" means at least one retry or fallback happened;
      * "failing" means at least one frame exhausted the ladder.
      */
@@ -216,6 +224,10 @@ class Engine
     {
         std::size_t compiles = 0;  //!< Cache misses (programs built).
         std::size_t cacheHits = 0; //!< Sessions served from cache.
+        // Persistent-store tier (all zero when storeDir is unset).
+        std::size_t storeHits = 0;   //!< Compiles avoided via disk.
+        std::size_t storeMisses = 0; //!< Store consults that compiled.
+        std::size_t storeWrites = 0; //!< Artifacts published to disk.
     };
 
     Stats
@@ -224,8 +236,14 @@ class Engine
         Stats s;
         s.compiles = compiles_.load(std::memory_order_relaxed);
         s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+        s.storeHits = storeHits_.load(std::memory_order_relaxed);
+        s.storeMisses = storeMisses_.load(std::memory_order_relaxed);
+        s.storeWrites = storeWrites_.load(std::memory_order_relaxed);
         return s;
     }
+
+    /** The persistent store tier, or nullptr when disabled. */
+    const ProgramStore *store() const { return store_.get(); }
 
     std::size_t cachedPrograms() const;
 
@@ -299,9 +317,13 @@ class Engine
     comp::PassManager referencePipeline_;
     std::shared_ptr<const hw::FaultInjector> injector_;
     std::shared_ptr<EngineHealth> health_;
+    std::unique_ptr<ProgramStore> store_;
     std::array<Shard, kShards> shards_;
     std::atomic<std::size_t> compiles_{0};
     std::atomic<std::size_t> cacheHits_{0};
+    std::atomic<std::size_t> storeHits_{0};
+    std::atomic<std::size_t> storeMisses_{0};
+    std::atomic<std::size_t> storeWrites_{0};
     mutable std::mutex logMutex_;
     std::vector<CompileRecord> log_;
 };

@@ -1,0 +1,248 @@
+#include "runtime/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace orianna::runtime::json {
+
+const Value *
+Value::field(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &input) : input_(input) {}
+
+    ValuePtr
+    parse()
+    {
+        ValuePtr value = parseValue();
+        skipSpace();
+        if (pos_ != input_.size())
+            fail("trailing characters");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error(what + " at byte " +
+                                 std::to_string(pos_));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < input_.size() &&
+               std::isspace(static_cast<unsigned char>(input_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= input_.size())
+            fail("unexpected end of input");
+        return input_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const std::string &word)
+    {
+        skipSpace();
+        if (input_.compare(pos_, word.size(), word) != 0)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        const char c = peek();
+        auto value = std::make_shared<Value>();
+        if (c == '{') {
+            value->kind = Value::Kind::Object;
+            ++pos_;
+            if (peek() == '}') {
+                ++pos_;
+                return value;
+            }
+            while (true) {
+                const std::string key = parseString();
+                expect(':');
+                // Duplicate keys: last one wins, like every tolerant
+                // reader — a request is never rejected for it.
+                value->fields[key] = parseValue();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return value;
+            }
+        }
+        if (c == '[') {
+            value->kind = Value::Kind::Array;
+            ++pos_;
+            if (peek() == ']') {
+                ++pos_;
+                return value;
+            }
+            while (true) {
+                value->items.push_back(parseValue());
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return value;
+            }
+        }
+        if (c == '"') {
+            value->kind = Value::Kind::String;
+            value->text = parseString();
+            return value;
+        }
+        if (consume("true")) {
+            value->kind = Value::Kind::Bool;
+            value->boolean = true;
+            return value;
+        }
+        if (consume("false")) {
+            value->kind = Value::Kind::Bool;
+            value->boolean = false;
+            return value;
+        }
+        if (consume("null"))
+            return value;
+        value->kind = Value::Kind::Number;
+        value->number = parseNumber();
+        return value;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < input_.size()) {
+            const char c = input_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= input_.size())
+                    fail("unterminated escape");
+                const char e = input_[pos_++];
+                switch (e) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case '/': out += '/'; break;
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case 'u':
+                    // Accepted but substituted: no request field the
+                    // protocol reads carries non-ASCII payloads.
+                    if (pos_ + 4 > input_.size())
+                        fail("truncated \\u escape");
+                    pos_ += 4;
+                    out += '?';
+                    break;
+                default: fail("unknown escape");
+                }
+                continue;
+            }
+            out += c;
+        }
+        fail("unterminated string");
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(input_.substr(start), &consumed);
+        } catch (const std::exception &) {
+            fail("malformed number");
+        }
+        pos_ = start + consumed;
+        return value;
+    }
+
+    const std::string &input_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+ValuePtr
+parse(const std::string &input)
+{
+    return Parser(input).parse();
+}
+
+std::string
+quote(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+numberToJson(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+} // namespace orianna::runtime::json

@@ -9,8 +9,10 @@
 
 #include <cctype>
 #include <cstddef>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -269,6 +271,56 @@ inline JsonPtr
 parseJson(const std::string &input)
 {
     return JsonParser(input).parse();
+}
+
+// --- Shared helpers for JSON-consuming tests ------------------------
+//
+// Everything below is gtest-free (throws on failure, which any test
+// framework reports with the message) so the header stays usable from
+// helper code outside TEST bodies.
+
+/** Whole file as a string; throws when unreadable. */
+inline std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Parse the JSON document stored at @p path. */
+inline JsonPtr
+parseJsonFile(const std::string &path)
+{
+    try {
+        return parseJson(slurp(path));
+    } catch (const std::exception &error) {
+        throw std::runtime_error(path + ": " + error.what());
+    }
+}
+
+/**
+ * A counter from a metrics-registry export (Engine::metricsJson() or
+ * a --metrics file): root.counters[name]. Throws when absent, so a
+ * renamed counter fails loudly instead of comparing against 0.
+ */
+inline double
+counterValue(const JsonValue &root, const std::string &name)
+{
+    return root.at("counters").at(name).asNumber();
+}
+
+/**
+ * A numeric field of a healthJson()/protocol response object; same
+ * loud-failure contract as counterValue().
+ */
+inline double
+numberField(const JsonValue &root, const std::string &name)
+{
+    return root.at(name).asNumber();
 }
 
 } // namespace orianna::test

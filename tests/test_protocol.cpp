@@ -1,0 +1,292 @@
+// JSON serving-protocol conformance (DESIGN.md §11): every op
+// round-trips in process through ProtocolServer with the responses
+// checked by the shared test JSON parser; unknown fields are ignored
+// (schema tolerance); and a table of malformed requests maps each
+// failure shape to its typed error without disturbing server state.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark_apps.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/serving_protocol.hpp"
+#include "test_json.hpp"
+
+namespace {
+
+using namespace orianna;
+using orianna::test::JsonPtr;
+using orianna::test::numberField;
+using orianna::test::parseJson;
+using runtime::ProtocolOptions;
+using runtime::ProtocolServer;
+using runtime::SubmittedGraph;
+
+/** A server over the real benchmark apps, like runtime_server wires. */
+class ProtocolTest : public ::testing::Test
+{
+  protected:
+    ProtocolTest()
+        : engine_(hw::AcceleratorConfig::minimal(true)),
+          server_(engine_)
+    {
+        for (const apps::AppKind kind : apps::allApps()) {
+            server_.registerApp(
+                apps::appName(kind),
+                [kind](const std::string &algorithm, unsigned seed) {
+                    apps::BenchmarkApp app = apps::buildApp(kind, seed);
+                    const core::Algorithm *chosen =
+                        algorithm.empty() ? &app.app.algorithm(0)
+                                          : app.app.find(algorithm);
+                    if (chosen == nullptr)
+                        throw std::invalid_argument(
+                            "unknown algorithm: " + algorithm);
+                    return SubmittedGraph{chosen->graph, chosen->values,
+                                          chosen->stepScale};
+                });
+        }
+    }
+
+    /** Handle @p line and parse the response (throws when invalid). */
+    JsonPtr
+    roundTrip(const std::string &line)
+    {
+        return parseJson(server_.handle(line));
+    }
+
+    /** Expect a typed error response for @p line. */
+    void
+    expectError(const std::string &line, const std::string &type)
+    {
+        const JsonPtr response = roundTrip(line);
+        EXPECT_FALSE(response->at("ok").boolean) << line;
+        EXPECT_EQ(response->at("error").asString(), type) << line;
+        EXPECT_FALSE(response->at("message").asString().empty())
+            << line;
+    }
+
+    runtime::Engine engine_;
+    ProtocolServer server_;
+};
+
+TEST_F(ProtocolTest, AppsListsEveryRegisteredApp)
+{
+    const JsonPtr response = roundTrip(R"({"op":"apps"})");
+    EXPECT_TRUE(response->at("ok").boolean);
+    const auto &apps_array = response->at("apps").asArray();
+    ASSERT_EQ(apps_array.size(), apps::allApps().size());
+    std::vector<std::string> names;
+    for (const auto &item : apps_array)
+        names.push_back(item->asString());
+    for (const apps::AppKind kind : apps::allApps())
+        EXPECT_NE(std::find(names.begin(), names.end(),
+                            apps::appName(kind)),
+                  names.end());
+}
+
+TEST_F(ProtocolTest, SubmitStepValuesCloseRoundTrip)
+{
+    const JsonPtr submit = roundTrip(
+        R"({"op":"submit","app":"MobileRobot","seed":3})");
+    ASSERT_TRUE(submit->at("ok").boolean);
+    EXPECT_EQ(submit->at("op").asString(), "submit");
+    EXPECT_EQ(submit->at("app").asString(), "MobileRobot");
+    EXPECT_EQ(submit->at("fingerprint").asString().size(), 16u);
+    const auto session =
+        static_cast<std::uint64_t>(numberField(*submit, "session"));
+    EXPECT_EQ(server_.openSessions(), 1u);
+    EXPECT_EQ(engine_.stats().compiles, 1u);
+
+    const JsonPtr step = roundTrip(
+        R"({"op":"step","session":)" + std::to_string(session) +
+        R"(,"frames":4})");
+    ASSERT_TRUE(step->at("ok").boolean);
+    EXPECT_EQ(numberField(*step, "frames"), 4.0);
+    EXPECT_EQ(numberField(*step, "total_frames"), 4.0);
+    EXPECT_GT(numberField(*step, "cycles"), 0.0);
+    // The objective is a finite number (17-digit doubles, not null).
+    EXPECT_TRUE(std::isfinite(numberField(*step, "objective")));
+
+    // Two identical values queries are byte-identical: state only
+    // moves on step.
+    const std::string values_request =
+        R"({"op":"values","session":)" + std::to_string(session) + "}";
+    const std::string first = server_.handle(values_request);
+    EXPECT_EQ(first, server_.handle(values_request));
+    const JsonPtr values = parseJson(first);
+    ASSERT_TRUE(values->at("ok").boolean);
+    EXPECT_FALSE(values->at("values").asObject().empty());
+    for (const auto &[key, value] : values->at("values").asObject()) {
+        // Poses serialize as {"phi":[..],"t":[..]}, vectors as [..].
+        if (value->kind == test::JsonValue::Kind::Object) {
+            EXPECT_FALSE(value->at("phi").asArray().empty()) << key;
+            EXPECT_FALSE(value->at("t").asArray().empty()) << key;
+        } else {
+            EXPECT_FALSE(value->asArray().empty()) << key;
+        }
+    }
+
+    const JsonPtr close = roundTrip(
+        R"({"op":"close","session":)" + std::to_string(session) + "}");
+    EXPECT_TRUE(close->at("ok").boolean);
+    EXPECT_EQ(server_.openSessions(), 0u);
+    // The session is gone: further use reports unknown_session.
+    expectError(R"({"op":"step","session":)" +
+                    std::to_string(session) + "}",
+                "unknown_session");
+    EXPECT_EQ(server_.requests(), 6u);
+    EXPECT_EQ(server_.errors(), 1u);
+}
+
+TEST_F(ProtocolTest, SecondSubmitOfSameGraphHitsTheCache)
+{
+    const JsonPtr first = roundTrip(
+        R"({"op":"submit","app":"Quadrotor","seed":9})");
+    const JsonPtr second = roundTrip(
+        R"({"op":"submit","app":"Quadrotor","seed":9})");
+    ASSERT_TRUE(first->at("ok").boolean);
+    ASSERT_TRUE(second->at("ok").boolean);
+    EXPECT_EQ(first->at("fingerprint").asString(),
+              second->at("fingerprint").asString());
+    EXPECT_NE(numberField(*first, "session"),
+              numberField(*second, "session"));
+    EXPECT_EQ(engine_.stats().compiles, 1u);
+    EXPECT_EQ(engine_.stats().cacheHits, 1u);
+}
+
+TEST_F(ProtocolTest, ExplicitAlgorithmSelectionWorks)
+{
+    // Every app's first algorithm can also be requested by name.
+    for (const apps::AppKind kind : apps::allApps()) {
+        const apps::BenchmarkApp app = apps::buildApp(kind, 1);
+        const std::string name = app.app.algorithm(0).name;
+        const JsonPtr response = roundTrip(
+            R"({"op":"submit","app":")" +
+            std::string(apps::appName(kind)) + R"(","algorithm":")" +
+            name + R"("})");
+        EXPECT_TRUE(response->at("ok").boolean)
+            << apps::appName(kind) << "/" << name;
+    }
+}
+
+TEST_F(ProtocolTest, UnknownFieldsAreIgnoredEverywhere)
+{
+    // Schema tolerance: decorated requests behave like bare ones.
+    const JsonPtr submit = roundTrip(
+        R"({"op":"submit","app":"Manipulator","client":"t",)"
+        R"("retry":3,"nested":{"deep":[1,2]},"seed":2})");
+    ASSERT_TRUE(submit->at("ok").boolean);
+    const auto session =
+        static_cast<std::uint64_t>(numberField(*submit, "session"));
+    const JsonPtr step = roundTrip(
+        R"({"op":"step","session":)" + std::to_string(session) +
+        R"(,"frames":1,"deadline_hint":99.5,"tags":["a"]})");
+    EXPECT_TRUE(step->at("ok").boolean);
+    EXPECT_EQ(server_.errors(), 0u);
+}
+
+TEST_F(ProtocolTest, MalformedRequestTableMapsToTypedErrors)
+{
+    const struct
+    {
+        const char *line;
+        const char *error;
+    } table[] = {
+        {"{not json", "parse_error"},
+        {"[1,2,3]", "bad_request"},
+        {"\"just a string\"", "bad_request"},
+        {"42", "bad_request"},
+        {R"({"app":"MobileRobot"})", "missing_field"}, // No op.
+        {R"({"op":17})", "bad_type"},
+        {R"({"op":"warp"})", "unknown_op"},
+        {R"({"op":"submit"})", "missing_field"}, // No app.
+        {R"({"op":"submit","app":7})", "bad_type"},
+        {R"({"op":"submit","app":"NoSuchApp"})", "unknown_app"},
+        {R"({"op":"submit","app":"MobileRobot","algorithm":"x"})",
+         "unknown_algorithm"},
+        {R"({"op":"submit","app":"MobileRobot","seed":-1})",
+         "bad_value"},
+        {R"({"op":"submit","app":"MobileRobot","seed":1.5})",
+         "bad_value"},
+        {R"({"op":"step"})", "missing_field"}, // No session.
+        {R"({"op":"step","session":"one"})", "bad_type"},
+        {R"({"op":"step","session":404})", "unknown_session"},
+        {R"({"op":"values","session":404})", "unknown_session"},
+        {R"({"op":"close","session":404})", "unknown_session"},
+    };
+    std::uint64_t expected_errors = 0;
+    for (const auto &row : table) {
+        expectError(row.line, row.error);
+        EXPECT_EQ(server_.errors(), ++expected_errors) << row.line;
+    }
+    // Frame-count bounds: zero, negative and absurd all reject.
+    const JsonPtr submit = roundTrip(
+        R"({"op":"submit","app":"MobileRobot"})");
+    ASSERT_TRUE(submit->at("ok").boolean);
+    const std::string id = std::to_string(
+        static_cast<std::uint64_t>(numberField(*submit, "session")));
+    for (const char *frames : {"0", "-3", "100001", "2.5"})
+        expectError(R"({"op":"step","session":)" + id +
+                        R"(,"frames":)" + frames + "}",
+                    "bad_value");
+    // The session survived all that abuse.
+    EXPECT_TRUE(roundTrip(R"({"op":"step","session":)" + id + "}")
+                    ->at("ok")
+                    .boolean);
+    EXPECT_EQ(server_.openSessions(), 1u);
+}
+
+TEST_F(ProtocolTest, OversizedRequestsAreRefusedUnparsed)
+{
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    ProtocolOptions options;
+    options.maxRequestBytes = 64;
+    ProtocolServer small(engine, options);
+    const std::string big =
+        R"({"op":"apps","padding":")" + std::string(128, 'x') + R"("})";
+    const JsonPtr response = parseJson(small.handle(big));
+    EXPECT_FALSE(response->at("ok").boolean);
+    EXPECT_EQ(response->at("error").asString(), "oversized");
+    // At the limit itself the request is still served.
+    EXPECT_TRUE(
+        parseJson(small.handle(R"({"op":"metrics"})"))->at("ok")
+            .boolean);
+}
+
+TEST_F(ProtocolTest, MetricsAndHealthEmbedEngineState)
+{
+    // The metrics registry is process-global and registers counters
+    // lazily, so read the starting value tolerantly (the counter may
+    // not exist before the first compile of the process).
+    const JsonPtr before = roundTrip(R"({"op":"metrics"})");
+    const auto &counters_before =
+        before->at("metrics").at("counters");
+    const double compiles_before =
+        counters_before.has("engine.compiles")
+            ? counters_before.at("engine.compiles").asNumber()
+            : 0.0;
+    roundTrip(R"({"op":"submit","app":"AutoVehicle"})");
+    const JsonPtr health = roundTrip(R"({"op":"health"})");
+    ASSERT_TRUE(health->at("ok").boolean);
+    const auto &engine_health = health->at("health");
+    EXPECT_EQ(engine_health.at("status").asString(), "ok");
+    // No storeDir configured: the persistent tier reports disarmed.
+    EXPECT_FALSE(engine_health.at("store").boolean);
+    EXPECT_EQ(numberField(engine_health, "compiles"), 1.0);
+    EXPECT_EQ(numberField(engine_health, "store_hits"), 0.0);
+
+    const JsonPtr metrics = roundTrip(R"({"op":"metrics"})");
+    ASSERT_TRUE(metrics->at("ok").boolean);
+    // Counter deltas are only observable when instrumentation is
+    // compiled in (the export self-reports via "compiled").
+    if (metrics->at("metrics").at("compiled").boolean)
+        EXPECT_EQ(test::counterValue(metrics->at("metrics"),
+                                     "engine.compiles"),
+                  compiles_before + 1.0);
+}
+
+} // namespace

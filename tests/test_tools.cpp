@@ -1,15 +1,18 @@
 // End-to-end tests of the command-line tools: runs the real
 // runtime_server and orianna_compile binaries (paths injected by
 // CMake) and checks their exported artifacts — the metrics registry
-// JSON and the unified Perfetto trace — plus the argument-validation
-// error paths (bad values and unknown flags must print usage and exit
-// nonzero without doing work).
+// JSON and the unified Perfetto trace — plus the JSON serving
+// protocol over real pipes (responses, exit codes, warm restart from
+// a --cache-dir) and the argument-validation error paths (bad values
+// and unknown flags must print usage and exit nonzero without doing
+// work).
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -20,33 +23,83 @@
 namespace {
 
 using orianna::test::JsonPtr;
+using orianna::test::numberField;
 using orianna::test::parseJson;
+using orianna::test::parseJsonFile;
+using orianna::test::slurp;
 
-/** Run @p command silenced; returns the tool's exit status. */
+/**
+ * Run @p command silenced with stdin closed (so the protocol mode
+ * sees EOF instead of blocking); returns the tool's exit status.
+ */
 int
 run(const std::string &command)
 {
-    const int status =
-        std::system((command + " >/dev/null 2>&1").c_str());
+    const int status = std::system(
+        (command + " </dev/null >/dev/null 2>&1").c_str());
     if (status == -1)
         return -1;
     return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 std::string
-slurp(const std::string &path)
-{
-    std::ifstream in(path);
-    EXPECT_TRUE(in.good()) << "cannot read " << path;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-}
-
-std::string
 tmpPath(const std::string &name)
 {
     return testing::TempDir() + "orianna_tools_" + name;
+}
+
+struct ToolRun
+{
+    int status = -1;
+    std::string output; //!< Captured stdout, stderr discarded.
+
+    std::vector<std::string>
+    lines() const
+    {
+        std::vector<std::string> out;
+        std::string current;
+        for (const char c : output) {
+            if (c == '\n') {
+                out.push_back(current);
+                current.clear();
+            } else {
+                current += c;
+            }
+        }
+        if (!current.empty())
+            out.push_back(current);
+        return out;
+    }
+};
+
+/**
+ * Run @p command with @p input piped to stdin (via a file named by
+ * the unique @p tag) and capture stdout; protocol tests hinge on both
+ * the response lines and the exit status.
+ */
+ToolRun
+runCapture(const std::string &command, const std::string &input,
+           const std::string &tag)
+{
+    const std::string in_path = tmpPath(tag + "_stdin.txt");
+    {
+        std::ofstream out(in_path);
+        out << input;
+        EXPECT_TRUE(out.good());
+    }
+    ToolRun result;
+    FILE *pipe = popen(
+        (command + " < " + in_path + " 2>/dev/null").c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    char buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+        result.output.append(buffer, got);
+    const int status = pclose(pipe);
+    result.status =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
 }
 
 /** A two-vertex pose graph in g2o text form. */
@@ -69,14 +122,14 @@ TEST(RuntimeServerTool, ServesAndExportsMetricsAndTrace)
     const std::string metrics_path = tmpPath("server_metrics.json");
     const std::string trace_path = tmpPath("server_trace.json");
     ASSERT_EQ(run(std::string(ORIANNA_RUNTIME_SERVER) +
-                  " --threads 4 --metrics " + metrics_path +
+                  " --demo --threads 4 --metrics " + metrics_path +
                   " --trace " + trace_path),
               0);
 
     // Metrics: the acceptance-criteria quantities must all be there.
     // The export self-reports whether instrumentation was compiled in
     // (ORIANNA_METRICS=OFF still emits a valid, empty registry).
-    const JsonPtr metrics = parseJson(slurp(metrics_path));
+    const JsonPtr metrics = parseJsonFile(metrics_path);
     if (metrics->at("compiled").boolean) {
         const auto &counters = metrics->at("counters");
         EXPECT_EQ(counters.at("engine.compiles").asNumber(), 1.0);
@@ -113,7 +166,7 @@ TEST(RuntimeServerTool, ServesAndExportsMetricsAndTrace)
 
     // Trace: one runtime process with per-session tracks; session ->
     // frame -> stage spans nested by time; hardware rows below.
-    const JsonPtr trace = parseJson(slurp(trace_path));
+    const JsonPtr trace = parseJsonFile(trace_path);
     std::size_t sessions = 0;
     std::size_t frames = 0;
     std::size_t stages = 0;
@@ -168,7 +221,8 @@ TEST(RuntimeServerTool, ServesWithExplicitShardingFlags)
     // queue bound, and EDF ordering: the cache expectations are
     // identical because all three clients share one fingerprint.
     EXPECT_EQ(run(std::string(ORIANNA_RUNTIME_SERVER) +
-                  " --threads 2 --replicas 4 --queue-cap 3 --edf"),
+                  " --demo --threads 2 --replicas 4 --queue-cap 3"
+                  " --edf"),
               0);
 }
 
@@ -182,8 +236,161 @@ TEST(RuntimeServerTool, RejectsUnknownFlags)
 TEST(RuntimeServerTool, FailsOnUnwritableExportPath)
 {
     EXPECT_EQ(run(std::string(ORIANNA_RUNTIME_SERVER) +
-                  " --metrics /nonexistent-dir-orianna/m.json"),
+                  " --demo --metrics /nonexistent-dir-orianna/m.json"),
               1);
+}
+
+// --- runtime_server: JSON protocol over real pipes ------------------
+
+TEST(RuntimeServerTool, ProtocolSessionRoundTrip)
+{
+    const std::string requests =
+        R"({"op":"apps"})" "\n"
+        R"({"op":"submit","app":"MobileRobot","seed":3})" "\n"
+        R"({"op":"step","session":1,"frames":4})" "\n"
+        "\n" // Blank lines are skipped, not answered.
+        R"({"op":"values","session":1})" "\n"
+        R"({"op":"close","session":1})" "\n"
+        R"({"op":"health"})" "\n";
+    const ToolRun result = runCapture(ORIANNA_RUNTIME_SERVER,
+                                      requests, "proto");
+    EXPECT_EQ(result.status, 0); // No request errored.
+    const auto lines = result.lines();
+    ASSERT_EQ(lines.size(), 6u);
+    for (const std::string &line : lines)
+        EXPECT_TRUE(parseJson(line)->at("ok").boolean) << line;
+
+    const JsonPtr apps = parseJson(lines[0]);
+    bool has_mobile_robot = false;
+    for (const auto &name : apps->at("apps").asArray())
+        has_mobile_robot |= name->asString() == "MobileRobot";
+    EXPECT_TRUE(has_mobile_robot);
+
+    const JsonPtr submit = parseJson(lines[1]);
+    EXPECT_EQ(numberField(*submit, "session"), 1.0);
+    EXPECT_EQ(submit->at("fingerprint").asString().size(), 16u);
+
+    const JsonPtr step = parseJson(lines[2]);
+    EXPECT_EQ(numberField(*step, "total_frames"), 4.0);
+    EXPECT_GT(numberField(*step, "cycles"), 0.0);
+
+    const JsonPtr health = parseJson(lines[5]);
+    EXPECT_EQ(numberField(health->at("health"), "compiles"), 1.0);
+    // No --cache-dir: the persistent tier reports disarmed.
+    EXPECT_FALSE(health->at("health").at("store").boolean);
+}
+
+TEST(RuntimeServerTool, ProtocolErrorsAnswerInlineAndSetExitCode)
+{
+    // A malformed line gets a typed error response, later requests
+    // still serve, and the exit status reports "some request failed".
+    const std::string requests =
+        "{broken\n"
+        R"({"op":"apps"})" "\n";
+    const ToolRun result = runCapture(ORIANNA_RUNTIME_SERVER,
+                                      requests, "proto_err");
+    EXPECT_EQ(result.status, 3);
+    const auto lines = result.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    const JsonPtr error = parseJson(lines[0]);
+    EXPECT_FALSE(error->at("ok").boolean);
+    EXPECT_EQ(error->at("error").asString(), "parse_error");
+    EXPECT_TRUE(parseJson(lines[1])->at("ok").boolean);
+}
+
+TEST(RuntimeServerTool, WarmRestartServesFromStoreByteIdentically)
+{
+    // The acceptance drill: run the server against a fresh cache
+    // directory, kill it, run it again with the same requests — the
+    // second process serves entirely from the persistent store (zero
+    // compiles) and its response lines are byte-identical.
+    const std::string dir = tmpPath("warm_cache");
+    std::filesystem::remove_all(dir);
+    const std::string command =
+        std::string(ORIANNA_RUNTIME_SERVER) + " --cache-dir " + dir;
+    const std::string requests =
+        R"({"op":"submit","app":"MobileRobot","seed":7})" "\n"
+        R"({"op":"step","session":1,"frames":3})" "\n"
+        R"({"op":"values","session":1})" "\n"
+        R"({"op":"health"})" "\n";
+
+    const ToolRun cold = runCapture(command, requests, "cold");
+    ASSERT_EQ(cold.status, 0);
+    const auto cold_lines = cold.lines();
+    ASSERT_EQ(cold_lines.size(), 4u);
+    const JsonPtr cold_health =
+        parseJson(cold_lines[3])->fields.at("health");
+    EXPECT_TRUE(cold_health->at("store").boolean);
+    EXPECT_EQ(numberField(*cold_health, "compiles"), 1.0);
+    EXPECT_EQ(numberField(*cold_health, "store_writes"), 1.0);
+
+    const ToolRun warm = runCapture(command, requests, "warm");
+    ASSERT_EQ(warm.status, 0);
+    const auto warm_lines = warm.lines();
+    ASSERT_EQ(warm_lines.size(), 4u);
+    // Everything up to the health snapshot is byte-identical: same
+    // session ids, same cycles, same 17-digit doubles.
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(cold_lines[i], warm_lines[i]) << "line " << i;
+    const JsonPtr warm_health =
+        parseJson(warm_lines[3])->fields.at("health");
+    EXPECT_EQ(numberField(*warm_health, "compiles"), 0.0);
+    EXPECT_EQ(numberField(*warm_health, "store_hits"), 1.0);
+
+    // --no-store on the same directory ignores it: compiles again.
+    const ToolRun opted_out =
+        runCapture(command + " --no-store", requests, "nostore");
+    ASSERT_EQ(opted_out.status, 0);
+    const JsonPtr out_health =
+        parseJson(opted_out.lines()[3])->fields.at("health");
+    EXPECT_FALSE(out_health->at("store").boolean);
+    EXPECT_EQ(numberField(*out_health, "compiles"), 1.0);
+    EXPECT_EQ(numberField(*out_health, "store_hits"), 0.0);
+}
+
+TEST(RuntimeServerTool, ConcurrentStorePopulationSurvivesRestart)
+{
+    // Two server processes race to populate one cache directory
+    // (overlapping on MobileRobot, disjoint on the second app); the
+    // atomic temp-file publish keeps every entry valid, so a third
+    // warm process serves all three programs without compiling.
+    const std::string dir = tmpPath("race_cache");
+    std::filesystem::remove_all(dir);
+    const std::string tool = ORIANNA_RUNTIME_SERVER;
+    const std::string in_a = tmpPath("race_a_stdin.txt");
+    const std::string in_b = tmpPath("race_b_stdin.txt");
+    {
+        std::ofstream a(in_a);
+        a << R"({"op":"submit","app":"MobileRobot"})" << "\n"
+          << R"({"op":"submit","app":"Manipulator"})" << "\n";
+        std::ofstream b(in_b);
+        b << R"({"op":"submit","app":"MobileRobot"})" << "\n"
+          << R"({"op":"submit","app":"Quadrotor"})" << "\n";
+    }
+    ASSERT_EQ(run("sh -c '" + tool + " --cache-dir " + dir + " < " +
+                  in_a + " >/dev/null 2>&1 & " + tool +
+                  " --cache-dir " + dir + " < " + in_b +
+                  " >/dev/null 2>&1 & wait'"),
+              0);
+    // No half-written temp files survive the race.
+    for (const auto &item :
+         std::filesystem::directory_iterator(dir))
+        EXPECT_EQ(item.path().filename().string().rfind(".tmp.", 0),
+                  std::string::npos)
+            << item.path();
+
+    const std::string requests =
+        R"({"op":"submit","app":"MobileRobot"})" "\n"
+        R"({"op":"submit","app":"Manipulator"})" "\n"
+        R"({"op":"submit","app":"Quadrotor"})" "\n"
+        R"({"op":"health"})" "\n";
+    const ToolRun warm = runCapture(tool + " --cache-dir " + dir,
+                                    requests, "race_warm");
+    ASSERT_EQ(warm.status, 0);
+    const JsonPtr health =
+        parseJson(warm.lines()[3])->fields.at("health");
+    EXPECT_EQ(numberField(*health, "compiles"), 0.0);
+    EXPECT_EQ(numberField(*health, "store_hits"), 3.0);
 }
 
 // --- orianna_compile ------------------------------------------------
@@ -198,7 +405,7 @@ TEST(CompileTool, CompilesAndExportsUnifiedTrace)
                   " --metrics " + metrics_path),
               0);
 
-    const JsonPtr metrics = parseJson(slurp(metrics_path));
+    const JsonPtr metrics = parseJsonFile(metrics_path);
     if (metrics->at("compiled").boolean) {
         // Three sequential frames plus the served sessions' frames.
         EXPECT_GE(metrics->at("counters").at("frame.count").asNumber(),
@@ -210,7 +417,7 @@ TEST(CompileTool, CompilesAndExportsUnifiedTrace)
                   0.0);
     }
 
-    const JsonPtr trace = parseJson(slurp(trace_path));
+    const JsonPtr trace = parseJsonFile(trace_path);
     std::size_t sessions = 0;
     std::size_t hw_events = 0;
     for (const JsonPtr &event : trace->asArray()) {
@@ -224,6 +431,36 @@ TEST(CompileTool, CompilesAndExportsUnifiedTrace)
     // The sequential session plus the two served sessions.
     EXPECT_EQ(sessions, 3u);
     EXPECT_GT(hw_events, 0u);
+}
+
+TEST(CompileTool, CacheDirSkipsRecompilationOnSecondRun)
+{
+    const std::string input = writeTinyG2o();
+    const std::string dir = tmpPath("compile_cache");
+    std::filesystem::remove_all(dir);
+    const std::string command = std::string(ORIANNA_COMPILE) + " " +
+                                input + " --cache-dir " + dir +
+                                " --simulate";
+    const ToolRun cold = runCapture(command, "", "compile_cold");
+    EXPECT_EQ(cold.status, 0);
+    EXPECT_NE(cold.output.find("store: wrote"), std::string::npos)
+        << cold.output;
+
+    // Same graph, same directory: the program comes off disk and the
+    // simulation still runs from the stored artifact.
+    const ToolRun warm = runCapture(command, "", "compile_warm");
+    EXPECT_EQ(warm.status, 0);
+    EXPECT_NE(warm.output.find("store: hit"), std::string::npos)
+        << warm.output;
+    EXPECT_NE(warm.output.find("compile skipped"), std::string::npos)
+        << warm.output;
+
+    // --no-store opts out: a normal compile, no new store traffic.
+    const ToolRun opted_out =
+        runCapture(command + " --no-store", "", "compile_nostore");
+    EXPECT_EQ(opted_out.status, 0);
+    EXPECT_EQ(opted_out.output.find("store:"), std::string::npos)
+        << opted_out.output;
 }
 
 TEST(CompileTool, RejectsBadArguments)
@@ -257,7 +494,7 @@ TEST(CompileTool, SimdTierSelection)
 TEST(RuntimeServerTool, SimdTierSelection)
 {
     const std::string tool = ORIANNA_RUNTIME_SERVER;
-    EXPECT_EQ(run(tool + " --threads 2 --simd scalar"), 0);
+    EXPECT_EQ(run(tool + " --demo --threads 2 --simd scalar"), 0);
     EXPECT_EQ(run(tool + " --threads 2 --simd bogus"), 2);
 }
 

@@ -59,6 +59,7 @@
 #include "runtime/engine.hpp"
 #include "runtime/engine_group.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/program_store.hpp"
 #include "runtime/server_pool.hpp"
 #include "runtime/trace_sink.hpp"
 
@@ -77,8 +78,12 @@ usage(const char *argv0)
                  "[--metrics out.json] [--dot out.dot] "
                  "[--passes LIST] [--list-passes] "
                  "[--dump-ir PREFIX] [--verify-passes] "
-                 "[--inject-faults SPEC] [--fallback] [--simd TIER]\n"
+                 "[--inject-faults SPEC] [--fallback] [--simd TIER] "
+                 "[--cache-dir DIR] [--no-store]\n"
                  "  --iterate N and --threads N require N >= 1\n"
+                 "  --cache-dir DIR reuses compiled programs from the "
+                 "persistent store in DIR (created if absent); "
+                 "--no-store ignores it\n"
                  "  --simd takes scalar, avx2, neon or auto "
                  "(overrides ORIANNA_SIMD; unavailable tiers fall "
                  "back to the best supported one)\n"
@@ -143,6 +148,8 @@ main(int argc, char **argv)
     bool verify_passes = false;
     std::string fault_spec;
     bool fallback = false;
+    std::string cache_dir;
+    bool no_store = false;
     std::size_t iterations = 1;
     unsigned threads = 0; // 0: hardware_concurrency.
     for (int i = 1; i < argc; ++i) {
@@ -186,6 +193,10 @@ main(int argc, char **argv)
             fault_spec = argv[++i];
         } else if (arg == "--fallback") {
             fallback = true;
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_dir = argv[++i];
+        } else if (arg == "--no-store") {
+            no_store = true;
         } else if (arg == "--simd" && i + 1 < argc) {
             const auto selection =
                 mat::kernels::selectTierFromSpec(argv[++i]);
@@ -235,46 +246,86 @@ main(int argc, char **argv)
         const comp::PassManager pipeline =
             comp::PassManager::parse(passes_spec);
 
-        comp::Program program =
-            comp::compileGraph(data.graph, data.initial, options);
-        const std::size_t raw_instructions =
-            program.instructions.size();
+        // Persistent store tier (--cache-dir): the fingerprint is
+        // computed over the anchored graph, exactly what the Engine
+        // keys its own caches by, so tool-written and server-written
+        // entries interoperate on one directory.
+        std::unique_ptr<runtime::ProgramStore> store;
+        std::uint64_t fingerprint = 0;
+        if (!cache_dir.empty() && !no_store) {
+            store =
+                std::make_unique<runtime::ProgramStore>(cache_dir);
+            fingerprint =
+                runtime::graphFingerprint(data.graph, data.initial);
+        }
 
-        auto dumpIr = [&](const char *tag) {
-            const std::string base = dump_ir_prefix + "." + tag;
-            std::ofstream listing(base + ".ir");
-            listing << comp::programListing(program);
-            std::ofstream dot(base + ".dot");
-            dot << comp::programToDot(program);
-            if (!listing || !dot)
-                throw std::runtime_error("cannot write " + base +
-                                         ".{ir,dot}");
-            std::printf("wrote %s.ir, %s.dot\n", base.c_str(),
-                        base.c_str());
-        };
-        if (!dump_ir_prefix.empty())
-            dumpIr("before");
+        comp::Program program;
+        bool from_store = false;
+        if (store != nullptr) {
+            if (auto stored =
+                    store->load(fingerprint, pipeline.spec())) {
+                program = *stored;
+                from_store = true;
+                std::printf("store: hit %s (pipeline \"%s\"), "
+                            "compile skipped\n",
+                            store->entryPath(fingerprint).c_str(),
+                            pipeline.spec().c_str());
+                std::printf("compiled: %zu instructions (from "
+                            "store), %zu value slots\n",
+                            program.instructions.size(),
+                            program.valueSlots);
+            }
+        }
 
         comp::PassManager::RunOptions pass_options;
         pass_options.probe = &data.initial;
         pass_options.verify =
             verify_passes || comp::PassManager::verifyFromEnv();
-        const std::vector<comp::PassStats> pass_stats =
-            pipeline.run(program, pass_options);
 
-        std::printf("compiled: %zu instructions (%zu before pipeline "
-                    "\"%s\"), %zu value slots\n",
-                    program.instructions.size(), raw_instructions,
-                    pipeline.spec().c_str(), program.valueSlots);
-        for (const comp::PassStats &stat : pass_stats)
-            std::printf("  pass %-6s %4zu -> %4zu instructions "
-                        "(%zu rewrites, %llu us%s)\n",
-                        stat.pass.c_str(), stat.before, stat.after,
-                        stat.rewrites,
-                        static_cast<unsigned long long>(stat.wallUs),
-                        stat.verified ? ", verified" : "");
-        if (!dump_ir_prefix.empty())
-            dumpIr("after");
+        if (!from_store) {
+            program =
+                comp::compileGraph(data.graph, data.initial, options);
+            const std::size_t raw_instructions =
+                program.instructions.size();
+
+            auto dumpIr = [&](const char *tag) {
+                const std::string base = dump_ir_prefix + "." + tag;
+                std::ofstream listing(base + ".ir");
+                listing << comp::programListing(program);
+                std::ofstream dot(base + ".dot");
+                dot << comp::programToDot(program);
+                if (!listing || !dot)
+                    throw std::runtime_error("cannot write " + base +
+                                             ".{ir,dot}");
+                std::printf("wrote %s.ir, %s.dot\n", base.c_str(),
+                            base.c_str());
+            };
+            if (!dump_ir_prefix.empty())
+                dumpIr("before");
+
+            const std::vector<comp::PassStats> pass_stats =
+                pipeline.run(program, pass_options);
+
+            std::printf("compiled: %zu instructions (%zu before "
+                        "pipeline \"%s\"), %zu value slots\n",
+                        program.instructions.size(),
+                        raw_instructions, pipeline.spec().c_str(),
+                        program.valueSlots);
+            for (const comp::PassStats &stat : pass_stats)
+                std::printf(
+                    "  pass %-6s %4zu -> %4zu instructions "
+                    "(%zu rewrites, %llu us%s)\n",
+                    stat.pass.c_str(), stat.before, stat.after,
+                    stat.rewrites,
+                    static_cast<unsigned long long>(stat.wallUs),
+                    stat.verified ? ", verified" : "");
+            if (!dump_ir_prefix.empty())
+                dumpIr("after");
+            if (store != nullptr &&
+                store->store(fingerprint, pipeline.spec(), program))
+                std::printf("store: wrote %s\n",
+                            store->entryPath(fingerprint).c_str());
+        }
         const auto histogram = program.opHistogram();
         std::printf("instruction mix:");
         for (std::size_t op = 0; op < histogram.size(); ++op)
@@ -375,6 +426,8 @@ main(int argc, char **argv)
                     engine_options.faultPlan =
                         hw::FaultPlan::parse(fault_spec);
                 engine_options.degradation.fallback = fallback;
+                if (!no_store)
+                    engine_options.storeDir = cache_dir;
                 runtime::EngineGroup group(
                     hw::AcceleratorConfig::minimal(true),
                     std::move(engine_options), n);
