@@ -11,10 +11,16 @@
 //
 //   --gate-simd X   CI gate: on hosts whose detected tier is avx2,
 //                   fail (exit 1) unless every gemm shape with
-//                   n >= 64 reaches at least X times the scalar
-//                   GFLOP/s. Hosts without AVX2 (scalar or NEON
-//                   detected) print a note and exit 0, so the gate
-//                   is safe to run on any runner.
+//                   n >= 64 — fp64 and fp32 rows alike — reaches at
+//                   least X times its own scalar GFLOP/s. Hosts
+//                   without AVX2 (scalar or NEON detected) print a
+//                   note and exit 0, so the gate is safe to run on
+//                   any runner.
+//
+// The fp32 rows ("gemm_fp32") time the single-precision tables of
+// DESIGN.md §12 — same shapes, twice the SIMD lane width — so the
+// report shows the fp32-over-fp64 throughput win alongside the
+// SIMD-over-scalar one.
 
 #include <algorithm>
 #include <chrono>
@@ -46,6 +52,17 @@ randomBuffer(std::size_t n, unsigned seed)
     std::uniform_real_distribution<double> dist(-1.0, 1.0);
     std::vector<double> out(n);
     for (double &v : out)
+        v = dist(rng);
+    return out;
+}
+
+std::vector<float>
+randomBufferF(std::size_t n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    std::vector<float> out(n);
+    for (float &v : out)
         v = dist(rng);
     return out;
 }
@@ -179,6 +196,21 @@ timeKernel(const kernels::KernelTable &table, kernels::KernelOp op,
     }
 }
 
+/** Time the fp32 gemm of @p table (the only fp32 row the bench and
+ *  the gate track — it is the kernel the accelerator study leans on). */
+double
+timeGemm32(const kernels::KernelTable32 &table, std::size_t m,
+           std::size_t k, std::size_t n)
+{
+    const auto a = randomBufferF(m * k, 21);
+    const auto b = randomBufferF(k * n, 22);
+    std::vector<float> c(m * n);
+    return measureGflops(2.0 * static_cast<double>(m * k * n), [&] {
+        std::fill(c.begin(), c.end(), 0.0f);
+        table.gemm(a.data(), b.data(), c.data(), m, k, n);
+    });
+}
+
 void
 appendNumber(std::string &out, double v)
 {
@@ -278,6 +310,36 @@ main(int argc, char **argv)
         entries.push_back(entry);
     }
 
+    // fp32 gemm rows: the single-precision tables over the same
+    // square shapes. scalar_gflops is the fp32 *scalar* reference, so
+    // the row's speedup is SIMD-over-scalar at equal precision.
+    const kernels::KernelTable32 *scalar32 =
+        kernels::kernelTable32(kernels::SimdTier::Scalar);
+    const kernels::KernelTable32 *fast32 =
+        best != kernels::SimdTier::Scalar
+            ? kernels::kernelTable32(best)
+            : nullptr;
+    for (const std::size_t n : {16, 32, 64, 96, 128}) {
+        Entry entry;
+        entry.kernel = "gemm_fp32";
+        entry.n = n;
+        entry.shape = std::to_string(n) + "x" + std::to_string(n) +
+                      "x" + std::to_string(n);
+        entry.scalar_gflops = timeGemm32(*scalar32, n, n, n);
+        if (fast32 != nullptr)
+            entry.simd_gflops = timeGemm32(*fast32, n, n, n);
+        std::printf("%-18s %-12s scalar %7.3f GF/s",
+                    entry.kernel.c_str(), entry.shape.c_str(),
+                    entry.scalar_gflops);
+        if (fast32 != nullptr)
+            std::printf("  %s %7.3f GF/s  %.2fx",
+                        kernels::simdTierName(best),
+                        entry.simd_gflops,
+                        entry.simd_gflops / entry.scalar_gflops);
+        std::printf("\n");
+        entries.push_back(entry);
+    }
+
     std::string json = "{\n  \"simd\": \"";
     json += kernels::simdCapabilityString();
     json += "\",\n  \"best_tier\": \"";
@@ -325,22 +387,25 @@ main(int argc, char **argv)
         }
         bool ok = true;
         for (const Entry &entry : entries) {
-            if (entry.kernel != "gemm" || entry.n < 64)
+            if ((entry.kernel != "gemm" &&
+                 entry.kernel != "gemm_fp32") ||
+                entry.n < 64)
                 continue;
             const double speedup =
                 entry.simd_gflops / entry.scalar_gflops;
             if (speedup < gate) {
                 std::fprintf(stderr,
-                             "gate-simd FAILED: gemm %s speedup "
+                             "gate-simd FAILED: %s %s speedup "
                              "%.2fx < %.2fx\n",
+                             entry.kernel.c_str(),
                              entry.shape.c_str(), speedup, gate);
                 ok = false;
             }
         }
         if (!ok)
             return 1;
-        std::printf("gate-simd: OK (every gemm shape with n >= 64 "
-                    "reached %.2fx)\n",
+        std::printf("gate-simd: OK (every gemm and gemm_fp32 shape "
+                    "with n >= 64 reached %.2fx)\n",
                     gate);
     }
     return 0;

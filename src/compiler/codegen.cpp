@@ -826,6 +826,7 @@ compileGraph(const fg::FactorGraph &graph, const fg::Values &values,
     }
 
     prog = b.finish(options.name);
+    prog.precision = options.precision;
     prog.deltas = std::move(bindings);
     return prog;
 }
@@ -925,6 +926,7 @@ compileDenseGraph(const fg::FactorGraph &graph, const fg::Values &values,
     }
 
     Program prog = b.finish(options.name + "-dense");
+    prog.precision = options.precision;
     prog.deltas = std::move(bindings);
     return prog;
 }

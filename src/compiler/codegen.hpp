@@ -20,6 +20,9 @@ struct CompileOptions
 
     /** Program name for listings. */
     std::string name = "graph";
+
+    /** Datapath precision stamped on the program (DESIGN.md §12). */
+    Precision precision = Precision::Fp64;
 };
 
 /**

@@ -13,7 +13,10 @@ constexpr std::uint32_t kMagic = 0x414e524f; // "ORNA".
 // layout is unchanged — fused opcodes were appended after STORE so
 // every version-1 byte stream decodes identically — so the decoder
 // accepts both versions.
-constexpr std::uint32_t kVersion = 2;
+// Version 3 appends a one-byte datapath precision tag after the
+// algorithm tag (DESIGN.md §12). Version 1/2 payloads carry no tag
+// and decode as Fp64, which is what every pre-v3 program executed in.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
 
 /** Little-endian byte writer. */
@@ -247,6 +250,7 @@ encodeProgram(const Program &program)
     w.pod(kVersion);
     w.str(program.name);
     w.pod(program.algorithm);
+    w.pod(static_cast<std::uint8_t>(program.precision));
     w.pod(static_cast<std::uint64_t>(program.valueSlots));
     w.pod(static_cast<std::uint32_t>(program.deltas.size()));
     for (const DeltaBinding &binding : program.deltas) {
@@ -272,6 +276,12 @@ decodeProgram(const std::vector<std::uint8_t> &bytes)
     Program program;
     program.name = r.str();
     program.algorithm = r.pod<std::uint8_t>();
+    if (version >= 3) {
+        const auto raw = r.pod<std::uint8_t>();
+        if (raw >= kPrecisionCount)
+            throw std::runtime_error("decodeProgram: bad precision");
+        program.precision = static_cast<Precision>(raw);
+    }
     program.valueSlots =
         static_cast<std::size_t>(r.pod<std::uint64_t>());
     const auto ndeltas = r.pod<std::uint32_t>();

@@ -11,22 +11,49 @@ namespace orianna::comp {
 
 namespace {
 
-/** Elementwise hinge max(0, eps - x). */
-Vector
-hinge(const Vector &v, double eps)
+/**
+ * Widen/narrow shims around the extended-precision special-function
+ * units (lie::, camera projection, SDF lookups) and the host
+ * boundary (LOADC/LOADV payloads in, deltas out). For T = double both
+ * directions are the identity, so the fp64 interpreter compiles to
+ * the exact pre-template code.
+ */
+template <typename T> struct Ext;
+
+template <> struct Ext<double>
 {
-    Vector out(v.size());
+    static const Vector &in(const Vector &v) { return v; }
+    static const Matrix &in(const Matrix &m) { return m; }
+    static Vector out(Vector v) { return v; }
+    static Matrix out(Matrix m) { return m; }
+};
+
+template <> struct Ext<float>
+{
+    static Vector in(const mat::VectorF &v) { return mat::toDouble(v); }
+    static Matrix in(const mat::MatrixF &m) { return mat::toDouble(m); }
+    static mat::VectorF out(const Vector &v) { return mat::toFloat(v); }
+    static mat::MatrixF out(const Matrix &m) { return mat::toFloat(m); }
+};
+
+/** Elementwise hinge max(0, eps - x). */
+template <typename T>
+mat::VectorT<T>
+hinge(const mat::VectorT<T> &v, double eps)
+{
+    mat::VectorT<T> out(v.size());
     for (std::size_t i = 0; i < v.size(); ++i)
-        out[i] = std::max(0.0, eps - v[i]);
+        out[i] = std::max(T(0), T(eps) - v[i]);
     return out;
 }
 
-Matrix
-hingeJacobian(const Vector &v, double eps)
+template <typename T>
+mat::MatrixT<T>
+hingeJacobian(const mat::VectorT<T> &v, double eps)
 {
-    Matrix j(v.size(), v.size());
+    mat::MatrixT<T> j(v.size(), v.size());
     for (std::size_t i = 0; i < v.size(); ++i)
-        j(i, i) = (v[i] < eps) ? -1.0 : 0.0;
+        j(i, i) = (v[i] < T(eps)) ? T(-1) : T(0);
     return j;
 }
 
@@ -53,108 +80,115 @@ projectJacobian(const Vector &p, const fg::CameraModel &c)
 }
 
 /** Row-scale by 1/sigma (whitening) for matrices. */
-Matrix
-scaleRows(const Matrix &m, const Vector &sigmas)
+template <typename T>
+mat::MatrixT<T>
+scaleRows(const mat::MatrixT<T> &m, const Vector &sigmas)
 {
-    Matrix out = m;
+    mat::MatrixT<T> out = m;
     for (std::size_t i = 0; i < m.rows(); ++i)
         for (std::size_t j = 0; j < m.cols(); ++j)
-            out(i, j) /= sigmas[i];
+            out(i, j) /= T(sigmas[i]);
     return out;
 }
 
-Vector
-scaleRows(const Vector &v, const Vector &sigmas)
+template <typename T>
+mat::VectorT<T>
+scaleRows(const mat::VectorT<T> &v, const Vector &sigmas)
 {
-    Vector out = v;
+    mat::VectorT<T> out = v;
     for (std::size_t i = 0; i < v.size(); ++i)
-        out[i] /= sigmas[i];
+        out[i] /= T(sigmas[i]);
     return out;
 }
 
 } // namespace
 
+template <typename T>
 void
-Executor::reset()
+ExecutorT<T>::reset()
 {
     slots_.assign(program_->valueSlots, std::monostate{});
 }
 
+template <typename T>
 void
-Executor::corruptSlot(std::uint32_t index)
+ExecutorT<T>::corruptSlot(std::uint32_t index)
 {
-    const double nan = std::numeric_limits<double>::quiet_NaN();
-    SlotValue &slot = slots_.at(index);
-    if (std::holds_alternative<Matrix>(slot)) {
-        Matrix &m = std::get<Matrix>(slot);
+    const T nan = std::numeric_limits<T>::quiet_NaN();
+    SlotValueT<T> &slot = slots_.at(index);
+    if (std::holds_alternative<mat::MatrixT<T>>(slot)) {
+        mat::MatrixT<T> &m = std::get<mat::MatrixT<T>>(slot);
         for (std::size_t i = 0; i < m.rows(); ++i)
             for (std::size_t j = 0; j < m.cols(); ++j)
                 m(i, j) = nan;
-    } else if (std::holds_alternative<Vector>(slot)) {
-        Vector &v = std::get<Vector>(slot);
+    } else if (std::holds_alternative<mat::VectorT<T>>(slot)) {
+        mat::VectorT<T> &v = std::get<mat::VectorT<T>>(slot);
         for (std::size_t i = 0; i < v.size(); ++i)
             v[i] = nan;
     }
 }
 
-const Matrix &
-Executor::matrixAt(std::uint32_t slot) const
+template <typename T>
+const mat::MatrixT<T> &
+ExecutorT<T>::matrixAt(std::uint32_t slot) const
 {
-    if (!std::holds_alternative<Matrix>(slots_[slot]))
+    if (!std::holds_alternative<mat::MatrixT<T>>(slots_[slot]))
         throw std::logic_error("Executor: slot is not a matrix");
-    return std::get<Matrix>(slots_[slot]);
+    return std::get<mat::MatrixT<T>>(slots_[slot]);
 }
 
-const Vector &
-Executor::vectorAt(std::uint32_t slot) const
+template <typename T>
+const mat::VectorT<T> &
+ExecutorT<T>::vectorAt(std::uint32_t slot) const
 {
-    if (!std::holds_alternative<Vector>(slots_[slot]))
+    if (!std::holds_alternative<mat::VectorT<T>>(slots_[slot]))
         throw std::logic_error("Executor: slot is not a vector");
-    return std::get<Vector>(slots_[slot]);
+    return std::get<mat::VectorT<T>>(slots_[slot]);
 }
 
+template <typename T>
 void
-Executor::step(std::size_t index, const fg::Values &values)
+ExecutorT<T>::step(std::size_t index, const fg::Values &values)
 {
     const Instruction &inst = program_->instructions[index];
     auto &dst = slots_[inst.dst];
 
     auto isVec = [&](std::uint32_t s) {
-        return std::holds_alternative<Vector>(slots_[s]);
+        return std::holds_alternative<mat::VectorT<T>>(slots_[s]);
     };
 
     switch (inst.op) {
       case IsaOp::LOADC:
         if (inst.constVec.size() > 0)
-            dst = inst.constVec;
+            dst = Ext<T>::out(inst.constVec);
         else
-            dst = inst.constMat;
+            dst = Ext<T>::out(inst.constMat);
         break;
       case IsaOp::LOADV:
         switch (inst.component) {
           case VarComponent::Phi:
-            dst = values.pose(inst.key).phi();
+            dst = Ext<T>::out(values.pose(inst.key).phi());
             break;
           case VarComponent::Translation:
-            dst = values.pose(inst.key).t();
+            dst = Ext<T>::out(values.pose(inst.key).t());
             break;
           case VarComponent::Whole:
-            dst = values.vector(inst.key);
+            dst = Ext<T>::out(values.vector(inst.key));
             break;
         }
         break;
       case IsaOp::EXP:
-        dst = lie::expSo(vectorAt(inst.srcs[0]));
+        dst = Ext<T>::out(lie::expSo(Ext<T>::in(vectorAt(inst.srcs[0]))));
         break;
       case IsaOp::LOG:
-        dst = lie::logSo(matrixAt(inst.srcs[0]));
+        dst = Ext<T>::out(lie::logSo(Ext<T>::in(matrixAt(inst.srcs[0]))));
         break;
       case IsaOp::RT:
         dst = matrixAt(inst.srcs[0]).transpose();
         break;
       case IsaOp::RR:
       case IsaOp::MM: {
-        const Matrix &a = matrixAt(inst.srcs[0]);
+        const mat::MatrixT<T> &a = matrixAt(inst.srcs[0]);
         if (isVec(inst.srcs[1])) {
             // Vector operand treated as a column matrix.
             dst = a * vectorAt(inst.srcs[1]).asColumn();
@@ -186,29 +220,35 @@ Executor::step(std::size_t index, const fg::Values &values)
             dst = -matrixAt(inst.srcs[0]);
         break;
       case IsaOp::HAT:
-        dst = lie::hat(vectorAt(inst.srcs[0]));
+        dst = Ext<T>::out(lie::hat(Ext<T>::in(vectorAt(inst.srcs[0]))));
         break;
       case IsaOp::JR:
-        dst = lie::rightJacobian(vectorAt(inst.srcs[0]));
+        dst = Ext<T>::out(
+            lie::rightJacobian(Ext<T>::in(vectorAt(inst.srcs[0]))));
         break;
       case IsaOp::JRINV:
-        dst = lie::rightJacobianInv(vectorAt(inst.srcs[0]));
+        dst = Ext<T>::out(
+            lie::rightJacobianInv(Ext<T>::in(vectorAt(inst.srcs[0]))));
         break;
       case IsaOp::PROJ:
-        dst = project(vectorAt(inst.srcs[0]), inst.camera);
+        dst = Ext<T>::out(
+            project(Ext<T>::in(vectorAt(inst.srcs[0])), inst.camera));
         break;
       case IsaOp::PROJJ:
-        dst = projectJacobian(vectorAt(inst.srcs[0]), inst.camera);
+        dst = Ext<T>::out(projectJacobian(
+            Ext<T>::in(vectorAt(inst.srcs[0])), inst.camera));
         break;
       case IsaOp::SDF:
-        dst = Vector{inst.sdf->distance(vectorAt(inst.srcs[0]))};
+        dst = Ext<T>::out(Vector{
+            inst.sdf->distance(Ext<T>::in(vectorAt(inst.srcs[0])))});
         break;
       case IsaOp::SDFJ: {
-        const Vector g = inst.sdf->gradient(vectorAt(inst.srcs[0]));
+        const Vector g =
+            inst.sdf->gradient(Ext<T>::in(vectorAt(inst.srcs[0])));
         Matrix j(1, g.size());
         for (std::size_t i = 0; i < g.size(); ++i)
             j(0, i) = g[i];
-        dst = std::move(j);
+        dst = Ext<T>::out(std::move(j));
         break;
       }
       case IsaOp::HINGE:
@@ -218,18 +258,18 @@ Executor::step(std::size_t index, const fg::Values &values)
         dst = hingeJacobian(vectorAt(inst.srcs[0]), inst.hingeEps);
         break;
       case IsaOp::NORM:
-        dst = Vector{vectorAt(inst.srcs[0]).norm()};
+        dst = mat::VectorT<T>{vectorAt(inst.srcs[0]).norm()};
         break;
       case IsaOp::HUBERW: {
-        const double norm = vectorAt(inst.srcs[0]).norm();
-        const double k = inst.hingeEps;
-        dst = Vector{(k <= 0.0 || norm <= k)
-                         ? 1.0
-                         : std::sqrt(k / norm)};
+        const T norm = vectorAt(inst.srcs[0]).norm();
+        const T k = T(inst.hingeEps);
+        dst = mat::VectorT<T>{(k <= T(0) || norm <= k)
+                                  ? T(1)
+                                  : std::sqrt(k / norm)};
         break;
       }
       case IsaOp::SMUL: {
-        const double scale = vectorAt(inst.srcs[1])[0];
+        const T scale = vectorAt(inst.srcs[1])[0];
         if (isVec(inst.srcs[0]))
             dst = vectorAt(inst.srcs[0]) * scale;
         else
@@ -237,10 +277,10 @@ Executor::step(std::size_t index, const fg::Values &values)
         break;
       }
       case IsaOp::NORMJ: {
-        const Vector &v = vectorAt(inst.srcs[0]);
-        const double n = v.norm();
-        Matrix j(1, v.size());
-        if (n > 1e-12)
+        const mat::VectorT<T> &v = vectorAt(inst.srcs[0]);
+        const T n = v.norm();
+        mat::MatrixT<T> j(1, v.size());
+        if (n > T(1e-12))
             for (std::size_t i = 0; i < v.size(); ++i)
                 j(0, i) = v[i] / n;
         dst = std::move(j);
@@ -259,15 +299,15 @@ Executor::step(std::size_t index, const fg::Values &values)
         for (const GatherPlacement &p : inst.placements)
             vector_gather = vector_gather && p.isRhs && p.colBegin == 0;
         if (vector_gather) {
-            Vector out(inst.rows);
+            mat::VectorT<T> out(inst.rows);
             for (const GatherPlacement &p : inst.placements)
                 out.setSegment(p.rowBegin, vectorAt(p.src));
             dst = std::move(out);
         } else {
-            Matrix out(inst.rows, inst.cols);
+            mat::MatrixT<T> out(inst.rows, inst.cols);
             for (const GatherPlacement &p : inst.placements) {
                 if (p.isRhs) {
-                    const Vector &v = vectorAt(p.src);
+                    const mat::VectorT<T> &v = vectorAt(p.src);
                     for (std::size_t i = 0; i < v.size(); ++i)
                         out(p.rowBegin + i, p.colBegin) = v[i];
                 } else {
@@ -282,12 +322,12 @@ Executor::step(std::size_t index, const fg::Values &values)
       case IsaOp::QR: {
         // Givens-array template on the augmented [A | b]: the last
         // column is the rhs and is carried through the rotations.
-        const Matrix &aug = matrixAt(inst.srcs[0]);
+        const mat::MatrixT<T> &aug = matrixAt(inst.srcs[0]);
         const std::size_t n = aug.cols() - 1;
-        Matrix a = aug.block(0, 0, aug.rows(), n);
-        Vector rhs = aug.col(n);
-        mat::QrResult qr = mat::givensQr(a, rhs);
-        Matrix out(aug.rows(), aug.cols());
+        mat::MatrixT<T> a = aug.block(0, 0, aug.rows(), n);
+        mat::VectorT<T> rhs = aug.col(n);
+        mat::QrResultT<T> qr = mat::givensQr(a, rhs);
+        mat::MatrixT<T> out(aug.rows(), aug.cols());
         out.setBlock(0, 0, qr.r);
         for (std::size_t i = 0; i < rhs.size(); ++i)
             out(i, n) = qr.rhs[i];
@@ -295,9 +335,9 @@ Executor::step(std::size_t index, const fg::Values &values)
         break;
       }
       case IsaOp::EXTRACT: {
-        const Matrix &src = matrixAt(inst.srcs[0]);
+        const mat::MatrixT<T> &src = matrixAt(inst.srcs[0]);
         if (inst.extractVector) {
-            Vector out(inst.rows);
+            mat::VectorT<T> out(inst.rows);
             for (std::size_t i = 0; i < inst.rows; ++i)
                 out[i] = src(inst.extractRow + i, inst.extractCol);
             dst = std::move(out);
@@ -321,15 +361,15 @@ Executor::step(std::size_t index, const fg::Values &values)
         for (const GatherPlacement &p : inst.placements)
             vector_gather = vector_gather && p.isRhs && p.colBegin == 0;
         if (vector_gather) {
-            Vector out(inst.rows);
+            mat::VectorT<T> out(inst.rows);
             for (const GatherPlacement &p : inst.placements)
                 out.setSegment(p.rowBegin, vectorAt(p.src));
             dst = scaleRows(out, inst.constVec);
         } else {
-            Matrix out(inst.rows, inst.cols);
+            mat::MatrixT<T> out(inst.rows, inst.cols);
             for (const GatherPlacement &p : inst.placements) {
                 if (p.isRhs) {
-                    const Vector &v = vectorAt(p.src);
+                    const mat::VectorT<T> &v = vectorAt(p.src);
                     for (std::size_t i = 0; i < v.size(); ++i)
                         out(p.rowBegin + i, p.colBegin) = v[i];
                 } else {
@@ -350,8 +390,16 @@ Executor::step(std::size_t index, const fg::Values &values)
     }
 }
 
+template <typename T>
+Vector
+ExecutorT<T>::deltaAt(std::uint32_t index) const
+{
+    return Ext<T>::in(vectorAt(index));
+}
+
+template <typename T>
 std::map<Key, Vector>
-Executor::run(const fg::Values &values)
+ExecutorT<T>::run(const fg::Values &values)
 {
     reset();
     for (std::size_t i = 0; i < program_->instructions.size(); ++i)
@@ -359,15 +407,25 @@ Executor::run(const fg::Values &values)
 
     std::map<Key, Vector> deltas;
     for (const DeltaBinding &binding : program_->deltas)
-        deltas.emplace(binding.key, vectorAt(binding.slot));
+        deltas.emplace(binding.key, Ext<T>::in(vectorAt(binding.slot)));
     return deltas;
 }
+
+// The two supported datapath precisions (DESIGN.md §12).
+template class ExecutorT<double>;
+template class ExecutorT<float>;
 
 fg::Values
 applyProgramStep(const Program &program, const fg::Values &values)
 {
-    Executor executor(program);
-    const auto deltas = executor.run(values);
+    std::map<Key, Vector> deltas;
+    if (program.precision == Precision::Fp32) {
+        Executor32 executor(program);
+        deltas = executor.run(values);
+    } else {
+        Executor executor(program);
+        deltas = executor.run(values);
+    }
     fg::Values updated = values;
     updated.retractAll(deltas);
     return updated;

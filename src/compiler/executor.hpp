@@ -8,7 +8,11 @@
 namespace orianna::comp {
 
 /** A value-table slot: matrix, vector, or empty. */
-using SlotValue = std::variant<std::monostate, Matrix, Vector>;
+template <typename T>
+using SlotValueT =
+    std::variant<std::monostate, mat::MatrixT<T>, mat::VectorT<T>>;
+
+using SlotValue = SlotValueT<double>;
 
 /**
  * Reference (functional) semantics of the ORIANNA ISA.
@@ -18,8 +22,19 @@ using SlotValue = std::variant<std::monostate, Matrix, Vector>;
  * this interpreter for the numerics and adds the timing, energy and
  * resource models on top, so the scheduled accelerator and this
  * reference path can never diverge numerically.
+ *
+ * T is the datapath scalar (DESIGN.md §12): double is the bit-exact
+ * reference, float the fp32 accelerator mode. In fp32 mode the
+ * matrix/vector units run natively in float, while the
+ * special-function units (Exp/Log/Jr, projection, SDF lookups) widen
+ * to double internally and narrow the result — hardware SFUs evaluate
+ * in extended precision, so the model does too. Host-side inputs
+ * (Values, constant payloads) are always double and are narrowed at
+ * the LOAD boundary; deltas widen back to double on the way out.
+ * Only the double and float instantiations are defined (executor.cpp).
  */
-class Executor
+template <typename T>
+class ExecutorT
 {
   public:
     /**
@@ -27,14 +42,15 @@ class Executor
      * never reallocated afterwards. A fresh executor starts with all
      * slots empty, as if reset() had been called.
      */
-    explicit Executor(const Program &program) : program_(&program)
+    explicit ExecutorT(const Program &program) : program_(&program)
     {
         slots_.resize(program.valueSlots);
     }
 
     /**
      * Run the whole program in order. Returns the tangent updates
-     * (delta) per variable from the program's delta bindings.
+     * (delta) per variable from the program's delta bindings, widened
+     * to double (retraction always happens in double on the host).
      */
     std::map<Key, Vector> run(const fg::Values &values);
 
@@ -54,10 +70,13 @@ class Executor
     void reset();
 
     /** Read back a slot (for tests and delta extraction). */
-    const SlotValue &slot(std::uint32_t index) const
+    const SlotValueT<T> &slot(std::uint32_t index) const
     {
         return slots_.at(index);
     }
+
+    /** Read back a delta slot widened to double (host readback). */
+    Vector deltaAt(std::uint32_t index) const;
 
     /**
      * Overwrite every element of @p index with quiet NaN, keeping the
@@ -69,16 +88,23 @@ class Executor
     void corruptSlot(std::uint32_t index);
 
   private:
-    const Matrix &matrixAt(std::uint32_t slot) const;
-    const Vector &vectorAt(std::uint32_t slot) const;
+    const mat::MatrixT<T> &matrixAt(std::uint32_t slot) const;
+    const mat::VectorT<T> &vectorAt(std::uint32_t slot) const;
 
     const Program *program_;
-    std::vector<SlotValue> slots_;
+    std::vector<SlotValueT<T>> slots_;
 };
+
+using Executor = ExecutorT<double>;
+using Executor32 = ExecutorT<float>;
+
+extern template class ExecutorT<double>;
+extern template class ExecutorT<float>;
 
 /**
  * Convenience wrapper: one Gauss-Newton step of @p program applied to
- * @p values (run + retract). Returns the updated values.
+ * @p values (run + retract). Honours the program's precision tag:
+ * Fp32 programs step through the float interpreter.
  */
 fg::Values applyProgramStep(const Program &program,
                             const fg::Values &values);

@@ -5,6 +5,32 @@
 namespace orianna::comp {
 
 const char *
+precisionName(Precision precision)
+{
+    switch (precision) {
+    case Precision::Fp64:
+        return "fp64";
+    case Precision::Fp32:
+        return "fp32";
+    }
+    return "unknown";
+}
+
+bool
+parsePrecision(const std::string &spec, Precision &out)
+{
+    if (spec == "fp64" || spec == "double") {
+        out = Precision::Fp64;
+        return true;
+    }
+    if (spec == "fp32" || spec == "float") {
+        out = Precision::Fp32;
+        return true;
+    }
+    return false;
+}
+
+const char *
 isaOpName(IsaOp op)
 {
     switch (op) {

@@ -74,6 +74,28 @@ constexpr std::size_t kIsaOpCount =
 /** Mnemonic for listings. */
 const char *isaOpName(IsaOp op);
 
+/**
+ * Numeric precision a program's datapath executes in (DESIGN.md §12).
+ * Fp64 is the bit-exact reference every golden digest is defined on;
+ * Fp32 is the reduced-precision accelerator mode — twice the SIMD
+ * lane width and half the word traffic, with the Engine degradation
+ * ladder falling back to the fp64 reference program when the reduced
+ * mantissa breaks a frame. Encoded as one byte in encoding v3; v2
+ * payloads decode as Fp64.
+ */
+enum class Precision : std::uint8_t { Fp64 = 0, Fp32 = 1 };
+
+constexpr std::size_t kPrecisionCount = 2;
+
+/** Lower-case name ("fp64", "fp32"). */
+const char *precisionName(Precision precision);
+
+/**
+ * Parse "fp64"/"fp32" (also accepts "double"/"float"). Returns false
+ * and leaves @p out untouched on an unknown spec.
+ */
+bool parsePrecision(const std::string &spec, Precision &out);
+
 /** Which variable component a LOADV streams in. */
 enum class VarComponent : std::uint8_t {
     Phi,         //!< so(n) orientation of a pose (Exp runs on-chip).
@@ -145,6 +167,8 @@ struct Program
     std::size_t valueSlots = 0;          //!< Size of the value table.
     std::vector<DeltaBinding> deltas;    //!< Output bindings.
     std::uint8_t algorithm = 0;          //!< Tag of every instruction.
+    /** Datapath precision the program executes in (DESIGN.md §12). */
+    Precision precision = Precision::Fp64;
     std::string name;                    //!< For listings.
 
     /** Counts per opcode, for the listings and resource sizing. */

@@ -19,6 +19,7 @@ rewriteProgram(const Program &program, const std::vector<bool> &drop,
     Program out;
     out.name = program.name;
     out.algorithm = program.algorithm;
+    out.precision = program.precision;
 
     std::map<std::uint32_t, std::uint32_t> new_slot;
     std::map<std::uint32_t, std::uint32_t> producer_index;

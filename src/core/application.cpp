@@ -34,7 +34,7 @@ Application::find(const std::string &algorithm_name) const
 }
 
 void
-Application::compile()
+Application::compile(comp::Precision precision)
 {
     // The default pipeline, split at the cleanup/optimization seam so
     // the post-cleanup stream can be kept as the platform-model
@@ -48,6 +48,7 @@ Application::compile()
         comp::CompileOptions options;
         options.algorithmTag = static_cast<std::uint8_t>(i);
         options.name = name_ + "/" + algo.name;
+        options.precision = precision;
         // Minimum-degree ordering eliminates independent leaves first,
         // exposing the out-of-order elimination parallelism of
         // Sec. 6.3 (and keeping QR panels small).
@@ -63,6 +64,10 @@ Application::compile()
             comp::compileGraph(algo.graph, algo.values, options);
         algo.passStats = cleanup.run(algo.program, pass_options);
         algo.referenceProgram = algo.program;
+        // The reference stream is the fp64 ground truth whatever the
+        // accelerator datapath runs; instructions are precision-
+        // independent so retagging is exact.
+        algo.referenceProgram.precision = comp::Precision::Fp64;
         const std::vector<comp::PassStats> opt_stats =
             optimize.run(algo.program, pass_options);
         algo.passStats.insert(algo.passStats.end(),

@@ -76,9 +76,12 @@ class Application
     /**
      * Compile every algorithm with the ORIANNA compiler (tagging each
      * with its index for coarse-grained OoO) and with the VANILLA-HLS
-     * dense compiler for the baseline comparisons.
+     * dense compiler for the baseline comparisons. @p precision
+     * selects the accelerator datapath width stamped on the programs
+     * (DESIGN.md §12); the referenceProgram stays fp64 regardless —
+     * it is the platform-model / fallback ground truth.
      */
-    void compile();
+    void compile(comp::Precision precision = comp::Precision::Fp64);
 
     /**
      * One frame of work: every algorithm's compiled program bound to

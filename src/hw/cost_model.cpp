@@ -236,11 +236,67 @@ CostModel::latency(const Instruction &inst)
     return 1;
 }
 
+std::uint64_t
+CostModel::latency(const Instruction &inst, comp::Precision precision)
+{
+    if (precision == comp::Precision::Fp64)
+        return latency(inst);
+
+    const std::uint64_t m = std::max<std::size_t>(inst.rows, 1);
+    const std::uint64_t n = std::max<std::size_t>(inst.cols, 1);
+    const std::uint64_t k = std::max<std::size_t>(inst.depth, 1);
+    // fp32 word-streaming terms move two 4-byte words per port-cycle.
+    // Systolic fill/drain, back-substitution divide chains and the
+    // special-function pipeline depth are dimension-bound, not
+    // word-bound, and keep their fp64 cycle counts.
+    if (inst.op == IsaOp::GSCALE)
+        return (m * n + 15) / 16 + 1;
+    if (inst.op == IsaOp::MVSUB)
+        return (m + 1 + k) / 2 + 3;
+    switch (unitFor(inst.op)) {
+      case UnitKind::MatMul:
+        return (m + n + k) / 2 + 3;
+      case UnitKind::Transpose:
+        return m / 2 + 2;
+      case UnitKind::Qr: {
+        // Twice the rotation throughput per Givens lane.
+        constexpr std::uint64_t lanes = 64;
+        return 2 * m + n + 12 + instructionMacs(inst) / (8 * lanes);
+      }
+      case UnitKind::BackSub:
+        return 2 * m + 6;
+      case UnitKind::VectorAlu:
+        return (m * n + 15) / 16 + 1;
+      case UnitKind::Special:
+        return 10;
+      case UnitKind::Buffer:
+        return (m * n + 15) / 16 + 1;
+      case UnitKind::Dma:
+        return (m * n + 15) / 16 + 8;
+    }
+    return 1;
+}
+
 double
 CostModel::dynamicEnergyNj(const Instruction &inst)
 {
     const double macs = static_cast<double>(instructionMacs(inst));
     double energy = macs * macEnergyNj;
+    if (unitFor(inst.op) == UnitKind::Special)
+        energy += specialEnergyNj;
+    return energy;
+}
+
+double
+CostModel::dynamicEnergyNj(const Instruction &inst,
+                           comp::Precision precision)
+{
+    if (precision == comp::Precision::Fp64)
+        return dynamicEnergyNj(inst);
+    const double macs = static_cast<double>(instructionMacs(inst));
+    double energy = macs * macEnergyFp32Nj;
+    // Special-function units evaluate in extended precision in either
+    // mode, so their energy does not scale with the datapath width.
     if (unitFor(inst.op) == UnitKind::Special)
         energy += specialEnergyNj;
     return energy;

@@ -63,8 +63,20 @@ struct CostModel
     /** Fixed overhead: controller, scoreboard, host interface. */
     static Resources controllerResources();
 
-    /** Latency of @p inst on its unit, in cycles. */
+    /** Latency of @p inst on its unit, in cycles (fp64 datapath). */
     static std::uint64_t latency(const Instruction &inst);
+
+    /**
+     * Precision-aware latency (DESIGN.md §12). Fp64 is exactly
+     * latency(inst). Fp32 halves the word size, so the word-streaming
+     * terms (vector lanes, buffer ports, DMA bursts, the QR rotation
+     * work spread over the Givens lanes) move two words per
+     * port-cycle; fill/drain and pipeline-depth terms are
+     * dimension-bound and unchanged, as is the special-function
+     * pipeline, which evaluates in extended precision either way.
+     */
+    static std::uint64_t latency(const Instruction &inst,
+                                 comp::Precision precision);
 
     /**
      * Compute (datapath) energy of @p inst, in nanojoules. Memory
@@ -73,6 +85,20 @@ struct CostModel
      * through DRAM (in-order controller).
      */
     static double dynamicEnergyNj(const Instruction &inst);
+
+    /** Precision-aware datapath energy (fp32 MACs are cheaper). */
+    static double dynamicEnergyNj(const Instruction &inst,
+                                  comp::Precision precision);
+
+    /**
+     * Scale factor on per-word memory energy: fp32 words are half the
+     * bytes, so buffer and DRAM traffic cost half per word moved.
+     */
+    static double
+    wordEnergyScale(comp::Precision precision)
+    {
+        return precision == comp::Precision::Fp32 ? 0.5 : 1.0;
+    }
 
     /** Accelerator static power in watts (clock tree + leakage). */
     static constexpr double staticPowerW = 0.9;
@@ -97,6 +123,13 @@ struct CostModel
 
     /** Energy per scalar MAC on the fabric, nanojoules. */
     static constexpr double macEnergyNj = 0.22;
+
+    /**
+     * Energy per fp32 MAC, nanojoules. A single-precision multiply
+     * maps to one DSP slice instead of the cascaded quad a double
+     * multiplier needs, so it is ~4x cheaper.
+     */
+    static constexpr double macEnergyFp32Nj = 0.06;
 
     /** Energy per special-function evaluation, nanojoules. */
     static constexpr double specialEnergyNj = 0.35;

@@ -199,7 +199,8 @@ FramePipeline::run(double horizon_s)
         // programs write every slot before reading it, so no reset.
         executors_[frame.stream].step(g - frame.firstInstr,
                                       *streams_[frame.stream].values);
-        const std::uint64_t latency = CostModel::latency(inst);
+        const std::uint64_t latency = CostModel::latency(
+            inst, streams_[frame.stream].program->precision);
         busy[static_cast<std::size_t>(kind)] += latency;
         done.emplace(now + latency, g);
         return true;

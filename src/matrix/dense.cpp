@@ -21,47 +21,52 @@ requireSameSize(std::size_t a, std::size_t b, const char *what)
 
 } // namespace
 
-Vector
-Vector::operator+(const Vector &other) const
+template <typename T>
+VectorT<T>
+VectorT<T>::operator+(const VectorT &other) const
 {
     requireSameSize(size(), other.size(), "Vector::operator+");
-    Vector out(size());
+    VectorT out(size());
     for (std::size_t i = 0; i < size(); ++i)
         out[i] = data_[i] + other[i];
     return out;
 }
 
-Vector
-Vector::operator-(const Vector &other) const
+template <typename T>
+VectorT<T>
+VectorT<T>::operator-(const VectorT &other) const
 {
     requireSameSize(size(), other.size(), "Vector::operator-");
-    Vector out(size());
+    VectorT out(size());
     for (std::size_t i = 0; i < size(); ++i)
         out[i] = data_[i] - other[i];
     return out;
 }
 
-Vector
-Vector::operator-() const
+template <typename T>
+VectorT<T>
+VectorT<T>::operator-() const
 {
-    Vector out(size());
+    VectorT out(size());
     for (std::size_t i = 0; i < size(); ++i)
         out[i] = -data_[i];
     return out;
 }
 
-Vector
-Vector::operator*(double scale) const
+template <typename T>
+VectorT<T>
+VectorT<T>::operator*(T scale) const
 {
-    Vector out(size());
+    VectorT out(size());
     for (std::size_t i = 0; i < size(); ++i)
         out[i] = data_[i] * scale;
     MacCounter::add(size());
     return out;
 }
 
-Vector &
-Vector::operator+=(const Vector &other)
+template <typename T>
+VectorT<T> &
+VectorT<T>::operator+=(const VectorT &other)
 {
     requireSameSize(size(), other.size(), "Vector::operator+=");
     for (std::size_t i = 0; i < size(); ++i)
@@ -69,8 +74,9 @@ Vector::operator+=(const Vector &other)
     return *this;
 }
 
-Vector &
-Vector::operator-=(const Vector &other)
+template <typename T>
+VectorT<T> &
+VectorT<T>::operator-=(const VectorT &other)
 {
     requireSameSize(size(), other.size(), "Vector::operator-=");
     for (std::size_t i = 0; i < size(); ++i)
@@ -78,44 +84,49 @@ Vector::operator-=(const Vector &other)
     return *this;
 }
 
-double
-Vector::dot(const Vector &other) const
+template <typename T>
+T
+VectorT<T>::dot(const VectorT &other) const
 {
     requireSameSize(size(), other.size(), "Vector::dot");
-    const double acc =
+    const T acc =
         kernels::dot(data_.data(), other.data_.data(), size());
     MacCounter::add(size());
     return acc;
 }
 
-double
-Vector::norm() const
+template <typename T>
+T
+VectorT<T>::norm() const
 {
     return std::sqrt(dot(*this));
 }
 
-double
-Vector::maxAbs() const
+template <typename T>
+T
+VectorT<T>::maxAbs() const
 {
-    double best = 0.0;
-    for (double v : data_)
+    T best = T(0);
+    for (T v : data_)
         best = std::max(best, std::abs(v));
     return best;
 }
 
-Vector
-Vector::segment(std::size_t start, std::size_t len) const
+template <typename T>
+VectorT<T>
+VectorT<T>::segment(std::size_t start, std::size_t len) const
 {
     if (start + len > size())
         throw std::out_of_range("Vector::segment: out of range");
-    Vector out(len);
+    VectorT out(len);
     for (std::size_t i = 0; i < len; ++i)
         out[i] = data_[start + i];
     return out;
 }
 
+template <typename T>
 void
-Vector::setSegment(std::size_t start, const Vector &value)
+VectorT<T>::setSegment(std::size_t start, const VectorT &value)
 {
     if (start + value.size() > size())
         throw std::out_of_range("Vector::setSegment: out of range");
@@ -123,10 +134,11 @@ Vector::setSegment(std::size_t start, const Vector &value)
         data_[start + i] = value[i];
 }
 
-Vector
-Vector::concat(const Vector &other) const
+template <typename T>
+VectorT<T>
+VectorT<T>::concat(const VectorT &other) const
 {
-    Vector out(size() + other.size());
+    VectorT out(size() + other.size());
     for (std::size_t i = 0; i < size(); ++i)
         out[i] = data_[i];
     for (std::size_t i = 0; i < other.size(); ++i)
@@ -134,17 +146,19 @@ Vector::concat(const Vector &other) const
     return out;
 }
 
-Matrix
-Vector::asColumn() const
+template <typename T>
+MatrixT<T>
+VectorT<T>::asColumn() const
 {
-    Matrix out(size(), 1);
+    MatrixT<T> out(size(), 1);
     for (std::size_t i = 0; i < size(); ++i)
         out(i, 0) = data_[i];
     return out;
 }
 
+template <typename T>
 std::string
-Vector::str() const
+VectorT<T>::str() const
 {
     std::ostringstream os;
     os << "[";
@@ -154,7 +168,8 @@ Vector::str() const
     return os.str();
 }
 
-Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+template <typename T>
+MatrixT<T>::MatrixT(std::initializer_list<std::initializer_list<T>> rows)
 {
     rows_ = rows.size();
     cols_ = rows_ ? rows.begin()->size() : 0;
@@ -166,88 +181,97 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     }
 }
 
-Matrix
-Matrix::identity(std::size_t n)
+template <typename T>
+MatrixT<T>
+MatrixT<T>::identity(std::size_t n)
 {
-    Matrix out(n, n);
+    MatrixT out(n, n);
     for (std::size_t i = 0; i < n; ++i)
-        out(i, i) = 1.0;
+        out(i, i) = T(1);
     return out;
 }
 
-Matrix
-Matrix::zero(std::size_t rows, std::size_t cols)
+template <typename T>
+MatrixT<T>
+MatrixT<T>::zero(std::size_t rows, std::size_t cols)
 {
-    return Matrix(rows, cols);
+    return MatrixT(rows, cols);
 }
 
-Matrix
-Matrix::diagonal(const Vector &diag)
+template <typename T>
+MatrixT<T>
+MatrixT<T>::diagonal(const VectorT<T> &diag)
 {
-    Matrix out(diag.size(), diag.size());
+    MatrixT out(diag.size(), diag.size());
     for (std::size_t i = 0; i < diag.size(); ++i)
         out(i, i) = diag[i];
     return out;
 }
 
-Matrix
-Matrix::operator+(const Matrix &other) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::operator+(const MatrixT &other) const
 {
     requireSameSize(rows_, other.rows_, "Matrix::operator+ rows");
     requireSameSize(cols_, other.cols_, "Matrix::operator+ cols");
-    Matrix out(rows_, cols_);
+    MatrixT out(rows_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         out.data_[i] = data_[i] + other.data_[i];
     return out;
 }
 
-Matrix
-Matrix::operator-(const Matrix &other) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::operator-(const MatrixT &other) const
 {
     requireSameSize(rows_, other.rows_, "Matrix::operator- rows");
     requireSameSize(cols_, other.cols_, "Matrix::operator- cols");
-    Matrix out(rows_, cols_);
+    MatrixT out(rows_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         out.data_[i] = data_[i] - other.data_[i];
     return out;
 }
 
-Matrix
-Matrix::operator-() const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::operator-() const
 {
-    Matrix out(rows_, cols_);
+    MatrixT out(rows_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         out.data_[i] = -data_[i];
     return out;
 }
 
-Matrix
-Matrix::operator*(const Matrix &other) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::operator*(const MatrixT &other) const
 {
     requireSameSize(cols_, other.rows_, "Matrix::operator* inner");
-    Matrix out(rows_, other.cols_);
+    MatrixT out(rows_, other.cols_);
     kernels::gemm(data_.data(), other.data_.data(), out.data_.data(),
                   rows_, cols_, other.cols_);
     MacCounter::add(rows_ * cols_ * other.cols_);
     return out;
 }
 
-Matrix
-Matrix::transposeTimes(const Matrix &other) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::transposeTimes(const MatrixT &other) const
 {
     requireSameSize(rows_, other.rows_, "Matrix::transposeTimes inner");
-    Matrix out(cols_, other.cols_);
+    MatrixT out(cols_, other.cols_);
     kernels::gemmTransA(data_.data(), other.data_.data(),
                         out.data_.data(), rows_, cols_, other.cols_);
     MacCounter::add(cols_ * rows_ * other.cols_);
     return out;
 }
 
-Vector
-Matrix::transposeTimes(const Vector &vec) const
+template <typename T>
+VectorT<T>
+MatrixT<T>::transposeTimes(const VectorT<T> &vec) const
 {
     requireSameSize(rows_, vec.size(), "Matrix::transposeTimes vector");
-    Vector out(cols_);
+    VectorT<T> out(cols_);
     if (rows_ > 0 && cols_ > 0)
         kernels::gemvTransA(data_.data(), vec.data().data(), &out[0],
                             rows_, cols_);
@@ -255,32 +279,35 @@ Matrix::transposeTimes(const Vector &vec) const
     return out;
 }
 
-Matrix
-Matrix::timesTranspose(const Matrix &other) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::timesTranspose(const MatrixT &other) const
 {
     requireSameSize(cols_, other.cols_, "Matrix::timesTranspose inner");
-    Matrix out(rows_, other.rows_);
+    MatrixT out(rows_, other.rows_);
     kernels::gemmTransB(data_.data(), other.data_.data(),
                         out.data_.data(), rows_, cols_, other.rows_);
     MacCounter::add(rows_ * cols_ * other.rows_);
     return out;
 }
 
-Matrix
-Matrix::operator*(double scale) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::operator*(T scale) const
 {
-    Matrix out(rows_, cols_);
+    MatrixT out(rows_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         out.data_[i] = data_[i] * scale;
     MacCounter::add(data_.size());
     return out;
 }
 
-Vector
-Matrix::operator*(const Vector &vec) const
+template <typename T>
+VectorT<T>
+MatrixT<T>::operator*(const VectorT<T> &vec) const
 {
     requireSameSize(cols_, vec.size(), "Matrix::operator* vector");
-    Vector out(rows_);
+    VectorT<T> out(rows_);
     if (rows_ > 0)
         kernels::gemv(data_.data(), vec.data().data(), &out[0], rows_,
                       cols_);
@@ -288,36 +315,41 @@ Matrix::operator*(const Vector &vec) const
     return out;
 }
 
-Matrix &
-Matrix::operator+=(const Matrix &other)
+template <typename T>
+MatrixT<T> &
+MatrixT<T>::operator+=(const MatrixT &other)
 {
     *this = *this + other;
     return *this;
 }
 
-Matrix
-Matrix::transpose() const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::transpose() const
 {
-    Matrix out(cols_, rows_);
+    MatrixT out(cols_, rows_);
     kernels::transpose(data_.data(), out.data_.data(), rows_, cols_);
     return out;
 }
 
-Matrix
-Matrix::block(std::size_t i0, std::size_t j0, std::size_t r,
-              std::size_t c) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::block(std::size_t i0, std::size_t j0, std::size_t r,
+                  std::size_t c) const
 {
     if (i0 + r > rows_ || j0 + c > cols_)
         throw std::out_of_range("Matrix::block: out of range");
-    Matrix out(r, c);
+    MatrixT out(r, c);
     for (std::size_t i = 0; i < r; ++i)
         for (std::size_t j = 0; j < c; ++j)
             out(i, j) = (*this)(i0 + i, j0 + j);
     return out;
 }
 
+template <typename T>
 void
-Matrix::setBlock(std::size_t i0, std::size_t j0, const Matrix &value)
+MatrixT<T>::setBlock(std::size_t i0, std::size_t j0,
+                     const MatrixT &value)
 {
     if (i0 + value.rows() > rows_ || j0 + value.cols() > cols_)
         throw std::out_of_range("Matrix::setBlock: out of range");
@@ -326,44 +358,49 @@ Matrix::setBlock(std::size_t i0, std::size_t j0, const Matrix &value)
             (*this)(i0 + i, j0 + j) = value(i, j);
 }
 
-Vector
-Matrix::row(std::size_t i) const
+template <typename T>
+VectorT<T>
+MatrixT<T>::row(std::size_t i) const
 {
-    Vector out(cols_);
+    VectorT<T> out(cols_);
     for (std::size_t j = 0; j < cols_; ++j)
         out[j] = (*this)(i, j);
     return out;
 }
 
-Vector
-Matrix::col(std::size_t j) const
+template <typename T>
+VectorT<T>
+MatrixT<T>::col(std::size_t j) const
 {
-    Vector out(rows_);
+    VectorT<T> out(rows_);
     for (std::size_t i = 0; i < rows_; ++i)
         out[i] = (*this)(i, j);
     return out;
 }
 
-double
-Matrix::norm() const
+template <typename T>
+T
+MatrixT<T>::norm() const
 {
-    double acc = 0.0;
-    for (double v : data_)
+    T acc = T(0);
+    for (T v : data_)
         acc += v * v;
     return std::sqrt(acc);
 }
 
-double
-Matrix::maxAbs() const
+template <typename T>
+T
+MatrixT<T>::maxAbs() const
 {
-    double best = 0.0;
-    for (double v : data_)
+    T best = T(0);
+    for (T v : data_)
         best = std::max(best, std::abs(v));
     return best;
 }
 
+template <typename T>
 double
-Matrix::density(double tol) const
+MatrixT<T>::density(double tol) const
 {
     if (data_.empty())
         return 0.0;
@@ -371,52 +408,57 @@ Matrix::density(double tol) const
            static_cast<double>(data_.size());
 }
 
+template <typename T>
 std::size_t
-Matrix::nonZeros(double tol) const
+MatrixT<T>::nonZeros(double tol) const
 {
     std::size_t count = 0;
-    for (double v : data_)
-        if (std::abs(v) > tol)
+    for (T v : data_)
+        if (std::abs(static_cast<double>(v)) > tol)
             ++count;
     return count;
 }
 
+template <typename T>
 bool
-Matrix::isUpperTriangular(double tol) const
+MatrixT<T>::isUpperTriangular(double tol) const
 {
     for (std::size_t i = 1; i < rows_; ++i)
         for (std::size_t j = 0; j < std::min(i, cols_); ++j)
-            if (std::abs((*this)(i, j)) > tol)
+            if (std::abs(static_cast<double>((*this)(i, j))) > tol)
                 return false;
     return true;
 }
 
-Matrix
-Matrix::vstack(const Matrix &other) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::vstack(const MatrixT &other) const
 {
     if (cols_ == 0 && rows_ == 0)
         return other;
     requireSameSize(cols_, other.cols_, "Matrix::vstack");
-    Matrix out(rows_ + other.rows_, cols_);
+    MatrixT out(rows_ + other.rows_, cols_);
     out.setBlock(0, 0, *this);
     out.setBlock(rows_, 0, other);
     return out;
 }
 
-Matrix
-Matrix::hstack(const Matrix &other) const
+template <typename T>
+MatrixT<T>
+MatrixT<T>::hstack(const MatrixT &other) const
 {
     if (cols_ == 0 && rows_ == 0)
         return other;
     requireSameSize(rows_, other.rows_, "Matrix::hstack");
-    Matrix out(rows_, cols_ + other.cols_);
+    MatrixT out(rows_, cols_ + other.cols_);
     out.setBlock(0, 0, *this);
     out.setBlock(0, cols_, other);
     return out;
 }
 
+template <typename T>
 std::string
-Matrix::str() const
+MatrixT<T>::str() const
 {
     std::ostringstream os;
     for (std::size_t i = 0; i < rows_; ++i) {
@@ -428,25 +470,101 @@ Matrix::str() const
     return os.str();
 }
 
-double
-maxDifference(const Matrix &a, const Matrix &b)
+// The only two supported scalar types (DESIGN.md §12). Definitions
+// stay in this translation unit so the fp64 codegen — and with it the
+// golden digests — is byte-identical to the pre-template layout.
+template class VectorT<double>;
+template class VectorT<float>;
+template class MatrixT<double>;
+template class MatrixT<float>;
+
+namespace {
+
+template <typename T>
+T
+maxDifferenceImpl(const MatrixT<T> &a, const MatrixT<T> &b)
 {
     assert(a.rows() == b.rows() && a.cols() == b.cols());
-    double best = 0.0;
+    T best = T(0);
     for (std::size_t i = 0; i < a.rows(); ++i)
         for (std::size_t j = 0; j < a.cols(); ++j)
             best = std::max(best, std::abs(a(i, j) - b(i, j)));
     return best;
 }
 
-double
-maxDifference(const Vector &a, const Vector &b)
+template <typename T>
+T
+maxDifferenceImpl(const VectorT<T> &a, const VectorT<T> &b)
 {
     assert(a.size() == b.size());
-    double best = 0.0;
+    T best = T(0);
     for (std::size_t i = 0; i < a.size(); ++i)
         best = std::max(best, std::abs(a[i] - b[i]));
     return best;
+}
+
+} // namespace
+
+double
+maxDifference(const Matrix &a, const Matrix &b)
+{
+    return maxDifferenceImpl(a, b);
+}
+
+float
+maxDifference(const MatrixF &a, const MatrixF &b)
+{
+    return maxDifferenceImpl(a, b);
+}
+
+double
+maxDifference(const Vector &a, const Vector &b)
+{
+    return maxDifferenceImpl(a, b);
+}
+
+float
+maxDifference(const VectorF &a, const VectorF &b)
+{
+    return maxDifferenceImpl(a, b);
+}
+
+VectorF
+toFloat(const Vector &v)
+{
+    VectorF out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<float>(v[i]);
+    return out;
+}
+
+MatrixF
+toFloat(const Matrix &m)
+{
+    MatrixF out(m.rows(), m.cols());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            out(i, j) = static_cast<float>(m(i, j));
+    return out;
+}
+
+Vector
+toDouble(const VectorF &v)
+{
+    Vector out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<double>(v[i]);
+    return out;
+}
+
+Matrix
+toDouble(const MatrixF &m)
+{
+    Matrix out(m.rows(), m.cols());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            out(i, j) = static_cast<double>(m(i, j));
+    return out;
 }
 
 } // namespace orianna::mat

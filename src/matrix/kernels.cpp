@@ -7,6 +7,10 @@
 // byte-identical schedules and deltas. Speed comes from register
 // tiling (outputs written once), pointer arithmetic and cache-blocked
 // traversal only; no reassociation.
+//
+// Both precisions (DESIGN.md §12) share one set of templated bodies;
+// the scalar:: overload pairs below instantiate them for double and
+// float, so the fp64 codegen is unchanged by the fp32 addition.
 
 #include "matrix/simd.hpp"
 
@@ -28,15 +32,15 @@ constexpr std::size_t NR = 8;
  * the full k range. load(ii, p) supplies a(i0+ii, p) so the same body
  * serves the straight and transposed-A kernels.
  */
-template <typename LoadA>
+template <typename T, typename LoadA>
 inline void
-tile(const double *b, double *c, std::size_t ldb, std::size_t ldc,
-     std::size_t k, std::size_t mr, std::size_t nr, LoadA load)
+tile(const T *b, T *c, std::size_t ldb, std::size_t ldc, std::size_t k,
+     std::size_t mr, std::size_t nr, LoadA load)
 {
-    double acc[MR][NR] = {};
+    T acc[MR][NR] = {};
     for (std::size_t p = 0; p < k; ++p) {
-        const double *brow = b + p * ldb;
-        double avals[MR];
+        const T *brow = b + p * ldb;
+        T avals[MR];
         for (std::size_t ii = 0; ii < mr; ++ii)
             avals[ii] = load(ii, p);
         for (std::size_t ii = 0; ii < mr; ++ii)
@@ -48,13 +52,10 @@ tile(const double *b, double *c, std::size_t ldb, std::size_t ldc,
             c[ii * ldc + jj] = acc[ii][jj];
 }
 
-} // namespace
-
-namespace scalar {
-
+template <typename T>
 void
-gemm(const double *a, const double *b, double *c, std::size_t m,
-     std::size_t k, std::size_t n)
+gemmImpl(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+         std::size_t n)
 {
     for (std::size_t i0 = 0; i0 < m; i0 += MR) {
         const std::size_t mr = std::min(MR, m - i0);
@@ -68,9 +69,10 @@ gemm(const double *a, const double *b, double *c, std::size_t m,
     }
 }
 
+template <typename T>
 void
-gemmTransA(const double *a, const double *b, double *c, std::size_t k,
-           std::size_t m, std::size_t n)
+gemmTransAImpl(const T *a, const T *b, T *c, std::size_t k,
+               std::size_t m, std::size_t n)
 {
     for (std::size_t i0 = 0; i0 < m; i0 += MR) {
         const std::size_t mr = std::min(MR, m - i0);
@@ -86,20 +88,21 @@ gemmTransA(const double *a, const double *b, double *c, std::size_t k,
     }
 }
 
+template <typename T>
 void
-gemmTransB(const double *a, const double *b, double *c, std::size_t m,
-           std::size_t k, std::size_t n)
+gemmTransBImpl(const T *a, const T *b, T *c, std::size_t m,
+               std::size_t k, std::size_t n)
 {
     // c(i, j) is a dot of row i of a with row j of b — both
     // contiguous. Tile over j so NR output dots share each pass over
     // row i of a.
     for (std::size_t i = 0; i < m; ++i) {
-        const double *arow = a + i * k;
+        const T *arow = a + i * k;
         for (std::size_t j0 = 0; j0 < n; j0 += NR) {
             const std::size_t nr = std::min(NR, n - j0);
-            double acc[NR] = {};
+            T acc[NR] = {};
             for (std::size_t p = 0; p < k; ++p) {
-                const double aval = arow[p];
+                const T aval = arow[p];
                 for (std::size_t jj = 0; jj < nr; ++jj)
                     acc[jj] += aval * b[(j0 + jj) * k + p];
             }
@@ -109,8 +112,9 @@ gemmTransB(const double *a, const double *b, double *c, std::size_t m,
     }
 }
 
+template <typename T>
 void
-transpose(const double *a, double *out, std::size_t m, std::size_t n)
+transposeImpl(const T *a, T *out, std::size_t m, std::size_t n)
 {
     // Square blocking keeps one side of every block in cache; 32x32
     // doubles = 8 KiB per operand block.
@@ -126,74 +130,231 @@ transpose(const double *a, double *out, std::size_t m, std::size_t n)
     }
 }
 
-void
-gemv(const double *a, const double *x, double *y, std::size_t m,
-     std::size_t n)
+template <typename T>
+T
+dotImpl(const T *a, const T *b, std::size_t n)
 {
-    for (std::size_t i = 0; i < m; ++i)
-        y[i] = dot(a + i * n, x, n);
-}
-
-void
-gemvTransA(const double *a, const double *x, double *y, std::size_t m,
-           std::size_t n)
-{
-    // i outer keeps the accumulation over ascending i per output —
-    // the same order as materializing a^T — while streaming the rows
-    // of a contiguously.
-    for (std::size_t i = 0; i < m; ++i) {
-        const double *arow = a + i * n;
-        const double xi = x[i];
-        for (std::size_t j = 0; j < n; ++j)
-            y[j] += xi * arow[j];
-    }
-}
-
-double
-dot(const double *a, const double *b, std::size_t n)
-{
-    double acc = 0.0;
+    T acc = T(0);
     for (std::size_t i = 0; i < n; ++i)
         acc += a[i] * b[i];
     return acc;
 }
 
-double
-dotStrided(const double *a, std::size_t stride_a, const double *b,
-           std::size_t stride_b, std::size_t n)
+template <typename T>
+void
+gemvImpl(const T *a, const T *x, T *y, std::size_t m, std::size_t n)
 {
-    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        y[i] = dotImpl(a + i * n, x, n);
+}
+
+template <typename T>
+void
+gemvTransAImpl(const T *a, const T *x, T *y, std::size_t m,
+               std::size_t n)
+{
+    // i outer keeps the accumulation over ascending i per output —
+    // the same order as materializing a^T — while streaming the rows
+    // of a contiguously.
+    for (std::size_t i = 0; i < m; ++i) {
+        const T *arow = a + i * n;
+        const T xi = x[i];
+        for (std::size_t j = 0; j < n; ++j)
+            y[j] += xi * arow[j];
+    }
+}
+
+template <typename T>
+T
+dotStridedImpl(const T *a, std::size_t stride_a, const T *b,
+               std::size_t stride_b, std::size_t n)
+{
+    T acc = T(0);
     for (std::size_t i = 0; i < n; ++i)
         acc += a[i * stride_a] * b[i * stride_b];
     return acc;
 }
 
-double
-fusedSubtractDot(double acc, const double *a, const double *x,
-                 std::size_t n)
+template <typename T>
+T
+fusedSubtractDotImpl(T acc, const T *a, const T *x, std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i)
         acc -= a[i] * x[i];
     return acc;
 }
 
+template <typename T>
 void
-axpyNegStrided(double *y, std::size_t stride_y, double alpha,
-               const double *x, std::size_t n)
+axpyNegStridedImpl(T *y, std::size_t stride_y, T alpha, const T *x,
+                   std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i)
         y[i * stride_y] -= alpha * x[i];
 }
 
+template <typename T>
 void
-givensRotate(double *rj, double *ri, double c, double s, std::size_t n)
+givensRotateImpl(T *rj, T *ri, T c, T s, std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i) {
-        const double a = rj[i];
-        const double b = ri[i];
+        const T a = rj[i];
+        const T b = ri[i];
         rj[i] = c * a + s * b;
         ri[i] = -s * a + c * b;
     }
+}
+
+} // namespace
+
+namespace scalar {
+
+void
+gemm(const double *a, const double *b, double *c, std::size_t m,
+     std::size_t k, std::size_t n)
+{
+    gemmImpl(a, b, c, m, k, n);
+}
+
+void
+gemm(const float *a, const float *b, float *c, std::size_t m,
+     std::size_t k, std::size_t n)
+{
+    gemmImpl(a, b, c, m, k, n);
+}
+
+void
+gemmTransA(const double *a, const double *b, double *c, std::size_t k,
+           std::size_t m, std::size_t n)
+{
+    gemmTransAImpl(a, b, c, k, m, n);
+}
+
+void
+gemmTransA(const float *a, const float *b, float *c, std::size_t k,
+           std::size_t m, std::size_t n)
+{
+    gemmTransAImpl(a, b, c, k, m, n);
+}
+
+void
+gemmTransB(const double *a, const double *b, double *c, std::size_t m,
+           std::size_t k, std::size_t n)
+{
+    gemmTransBImpl(a, b, c, m, k, n);
+}
+
+void
+gemmTransB(const float *a, const float *b, float *c, std::size_t m,
+           std::size_t k, std::size_t n)
+{
+    gemmTransBImpl(a, b, c, m, k, n);
+}
+
+void
+transpose(const double *a, double *out, std::size_t m, std::size_t n)
+{
+    transposeImpl(a, out, m, n);
+}
+
+void
+transpose(const float *a, float *out, std::size_t m, std::size_t n)
+{
+    transposeImpl(a, out, m, n);
+}
+
+void
+gemv(const double *a, const double *x, double *y, std::size_t m,
+     std::size_t n)
+{
+    gemvImpl(a, x, y, m, n);
+}
+
+void
+gemv(const float *a, const float *x, float *y, std::size_t m,
+     std::size_t n)
+{
+    gemvImpl(a, x, y, m, n);
+}
+
+void
+gemvTransA(const double *a, const double *x, double *y, std::size_t m,
+           std::size_t n)
+{
+    gemvTransAImpl(a, x, y, m, n);
+}
+
+void
+gemvTransA(const float *a, const float *x, float *y, std::size_t m,
+           std::size_t n)
+{
+    gemvTransAImpl(a, x, y, m, n);
+}
+
+double
+dot(const double *a, const double *b, std::size_t n)
+{
+    return dotImpl(a, b, n);
+}
+
+float
+dot(const float *a, const float *b, std::size_t n)
+{
+    return dotImpl(a, b, n);
+}
+
+double
+dotStrided(const double *a, std::size_t stride_a, const double *b,
+           std::size_t stride_b, std::size_t n)
+{
+    return dotStridedImpl(a, stride_a, b, stride_b, n);
+}
+
+float
+dotStrided(const float *a, std::size_t stride_a, const float *b,
+           std::size_t stride_b, std::size_t n)
+{
+    return dotStridedImpl(a, stride_a, b, stride_b, n);
+}
+
+double
+fusedSubtractDot(double acc, const double *a, const double *x,
+                 std::size_t n)
+{
+    return fusedSubtractDotImpl(acc, a, x, n);
+}
+
+float
+fusedSubtractDot(float acc, const float *a, const float *x,
+                 std::size_t n)
+{
+    return fusedSubtractDotImpl(acc, a, x, n);
+}
+
+void
+axpyNegStrided(double *y, std::size_t stride_y, double alpha,
+               const double *x, std::size_t n)
+{
+    axpyNegStridedImpl(y, stride_y, alpha, x, n);
+}
+
+void
+axpyNegStrided(float *y, std::size_t stride_y, float alpha,
+               const float *x, std::size_t n)
+{
+    axpyNegStridedImpl(y, stride_y, alpha, x, n);
+}
+
+void
+givensRotate(double *rj, double *ri, double c, double s, std::size_t n)
+{
+    givensRotateImpl(rj, ri, c, s, n);
+}
+
+void
+givensRotate(float *rj, float *ri, float c, float s, std::size_t n)
+{
+    givensRotateImpl(rj, ri, c, s, n);
 }
 
 } // namespace scalar

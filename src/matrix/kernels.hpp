@@ -20,6 +20,11 @@ namespace orianna::mat::kernels {
  * Fast-path tables may reassociate the chains (wide accumulators,
  * FMA) and match the reference only within the documented tolerance.
  *
+ * Every entry point is templated on the scalar type (double = the
+ * reference precision, float = the fp32 accelerator mode, DESIGN.md
+ * §12) and dispatches through the active table of that precision;
+ * both tables always belong to the same tier.
+ *
  * All matrices are row-major. Output buffers must be zero-initialized
  * where the kernel accumulates (gemm, gemmTransA, gemv).
  *
@@ -34,12 +39,13 @@ namespace orianna::mat::kernels {
 inline constexpr std::size_t kMicroDispatchCutoff = 16;
 
 /** c (m x n) += a (m x k) * b (k x n); c must start zeroed. */
+template <typename T>
 inline void
-gemm(const double *a, const double *b, double *c, std::size_t m,
-     std::size_t k, std::size_t n)
+gemm(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+     std::size_t n)
 {
     countKernelCall(KernelOp::Gemm);
-    activeKernels().gemm(a, b, c, m, k, n);
+    activeKernelsT<T>().gemm(a, b, c, m, k, n);
 }
 
 /**
@@ -47,89 +53,95 @@ gemm(const double *a, const double *b, double *c, std::size_t m,
  * start zeroed. The fused transpose-multiply: equivalent to
  * materializing a^T and calling gemm, without the copy.
  */
+template <typename T>
 inline void
-gemmTransA(const double *a, const double *b, double *c, std::size_t k,
-           std::size_t m, std::size_t n)
+gemmTransA(const T *a, const T *b, T *c, std::size_t k, std::size_t m,
+           std::size_t n)
 {
     countKernelCall(KernelOp::GemmTransA);
-    activeKernels().gemmTransA(a, b, c, k, m, n);
+    activeKernelsT<T>().gemmTransA(a, b, c, k, m, n);
 }
 
 /**
  * c (m x n) += a * b^T with a stored m x k, b stored n x k; c must
  * start zeroed. Both operands stream along contiguous rows.
  */
+template <typename T>
 inline void
-gemmTransB(const double *a, const double *b, double *c, std::size_t m,
-           std::size_t k, std::size_t n)
+gemmTransB(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+           std::size_t n)
 {
     countKernelCall(KernelOp::GemmTransB);
-    activeKernels().gemmTransB(a, b, c, m, k, n);
+    activeKernelsT<T>().gemmTransB(a, b, c, m, k, n);
 }
 
 /** out (n x m) = transpose of a (m x n), cache-blocked. */
+template <typename T>
 inline void
-transpose(const double *a, double *out, std::size_t m, std::size_t n)
+transpose(const T *a, T *out, std::size_t m, std::size_t n)
 {
     countKernelCall(KernelOp::Transpose);
-    activeKernels().transpose(a, out, m, n);
+    activeKernelsT<T>().transpose(a, out, m, n);
 }
 
 /** y (m) = a (m x n) * x (n). */
+template <typename T>
 inline void
-gemv(const double *a, const double *x, double *y, std::size_t m,
-     std::size_t n)
+gemv(const T *a, const T *x, T *y, std::size_t m, std::size_t n)
 {
     countKernelCall(KernelOp::Gemv);
-    activeKernels().gemv(a, x, y, m, n);
+    activeKernelsT<T>().gemv(a, x, y, m, n);
 }
 
 /** y (n) += a^T x with a stored m x n, x of size m; y must start zeroed. */
+template <typename T>
 inline void
-gemvTransA(const double *a, const double *x, double *y, std::size_t m,
-           std::size_t n)
+gemvTransA(const T *a, const T *x, T *y, std::size_t m, std::size_t n)
 {
     countKernelCall(KernelOp::GemvTransA);
-    activeKernels().gemvTransA(a, x, y, m, n);
+    activeKernelsT<T>().gemvTransA(a, x, y, m, n);
 }
 
 /** Dot product over ascending index (single chain below the cutoff). */
-inline double
-dot(const double *a, const double *b, std::size_t n)
+template <typename T>
+inline T
+dot(const T *a, const T *b, std::size_t n)
 {
     if (n >= kMicroDispatchCutoff) {
         countKernelCall(KernelOp::Dot);
-        return activeKernels().dot(a, b, n);
+        return activeKernelsT<T>().dot(a, b, n);
     }
-    double acc = 0.0;
+    T acc = T(0);
     for (std::size_t i = 0; i < n; ++i)
         acc += a[i] * b[i];
     return acc;
 }
 
 /** Dot product with strided operands (e.g. a matrix column). */
-inline double
-dotStrided(const double *a, std::size_t stride_a, const double *b,
+template <typename T>
+inline T
+dotStrided(const T *a, std::size_t stride_a, const T *b,
            std::size_t stride_b, std::size_t n)
 {
     if (n >= kMicroDispatchCutoff) {
         countKernelCall(KernelOp::DotStrided);
-        return activeKernels().dotStrided(a, stride_a, b, stride_b, n);
+        return activeKernelsT<T>().dotStrided(a, stride_a, b, stride_b,
+                                              n);
     }
-    double acc = 0.0;
+    T acc = T(0);
     for (std::size_t i = 0; i < n; ++i)
         acc += a[i * stride_a] * b[i * stride_b];
     return acc;
 }
 
 /** acc - sum_i a[i] * x[i], subtracting in ascending order (back-sub row). */
-inline double
-fusedSubtractDot(double acc, const double *a, const double *x,
-                 std::size_t n)
+template <typename T>
+inline T
+fusedSubtractDot(T acc, const T *a, const T *x, std::size_t n)
 {
     if (n >= kMicroDispatchCutoff) {
         countKernelCall(KernelOp::FusedSubtractDot);
-        return activeKernels().fusedSubtractDot(acc, a, x, n);
+        return activeKernelsT<T>().fusedSubtractDot(acc, a, x, n);
     }
     for (std::size_t i = 0; i < n; ++i)
         acc -= a[i] * x[i];
@@ -137,13 +149,14 @@ fusedSubtractDot(double acc, const double *a, const double *x,
 }
 
 /** y[i] -= alpha * x[i] over a strided destination (Householder update). */
+template <typename T>
 inline void
-axpyNegStrided(double *y, std::size_t stride_y, double alpha,
-               const double *x, std::size_t n)
+axpyNegStrided(T *y, std::size_t stride_y, T alpha, const T *x,
+               std::size_t n)
 {
     if (n >= kMicroDispatchCutoff) {
         countKernelCall(KernelOp::AxpyNegStrided);
-        activeKernels().axpyNegStrided(y, stride_y, alpha, x, n);
+        activeKernelsT<T>().axpyNegStrided(y, stride_y, alpha, x, n);
         return;
     }
     for (std::size_t i = 0; i < n; ++i)
@@ -151,17 +164,18 @@ axpyNegStrided(double *y, std::size_t stride_y, double alpha,
 }
 
 /** In-place Givens rotation of two row segments: (rj, ri) <- G(c,s). */
+template <typename T>
 inline void
-givensRotate(double *rj, double *ri, double c, double s, std::size_t n)
+givensRotate(T *rj, T *ri, T c, T s, std::size_t n)
 {
     if (n >= kMicroDispatchCutoff) {
         countKernelCall(KernelOp::GivensRotate);
-        activeKernels().givensRotate(rj, ri, c, s, n);
+        activeKernelsT<T>().givensRotate(rj, ri, c, s, n);
         return;
     }
     for (std::size_t i = 0; i < n; ++i) {
-        const double a = rj[i];
-        const double b = ri[i];
+        const T a = rj[i];
+        const T b = ri[i];
         rj[i] = c * a + s * b;
         ri[i] = -s * a + c * b;
     }

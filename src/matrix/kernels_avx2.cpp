@@ -267,12 +267,269 @@ const KernelTable kAvx2Table = {
     axpyNegStridedAvx2, givensRotateAvx2,
 };
 
+// --- fp32 tier (DESIGN.md §12) --------------------------------------
+//
+// Same tiling as the fp64 kernels with 8-lane __m256 registers: each
+// 4 x 16 gemm tile covers twice the output of the fp64 4 x 8 tile at
+// the same register budget, which is where the fp32 throughput win
+// over fp64 comes from (bench_micro_kernels reports both).
+
+/** Sum of the eight lanes of @p v. */
+inline float
+hsumf(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 sum = _mm_add_ps(lo, hi);
+    sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+    sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 1));
+    return _mm_cvtss_f32(sum);
+}
+
+/** Register tile of the fp32 gemm family: 4 x 16 outputs. */
+template <typename LoadA>
+inline void
+fullTileF(const float *b, float *c, std::size_t ldb, std::size_t ldc,
+          std::size_t k, LoadA load)
+{
+    __m256 acc[4][2];
+    for (std::size_t ii = 0; ii < 4; ++ii) {
+        acc[ii][0] = _mm256_setzero_ps();
+        acc[ii][1] = _mm256_setzero_ps();
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *brow = b + p * ldb;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (std::size_t ii = 0; ii < 4; ++ii) {
+            const __m256 aval = _mm256_set1_ps(load(ii, p));
+            acc[ii][0] = _mm256_fmadd_ps(aval, b0, acc[ii][0]);
+            acc[ii][1] = _mm256_fmadd_ps(aval, b1, acc[ii][1]);
+        }
+    }
+    for (std::size_t ii = 0; ii < 4; ++ii) {
+        _mm256_storeu_ps(c + ii * ldc, acc[ii][0]);
+        _mm256_storeu_ps(c + ii * ldc + 8, acc[ii][1]);
+    }
+}
+
+/** Scalar edge tile (mr <= 4, nr <= 16) for the ragged borders. */
+template <typename LoadA>
+inline void
+edgeTileF(const float *b, float *c, std::size_t ldb, std::size_t ldc,
+          std::size_t k, std::size_t mr, std::size_t nr, LoadA load)
+{
+    float acc[4][16] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *brow = b + p * ldb;
+        for (std::size_t ii = 0; ii < mr; ++ii) {
+            const float aval = load(ii, p);
+            for (std::size_t jj = 0; jj < nr; ++jj)
+                acc[ii][jj] += aval * brow[jj];
+        }
+    }
+    for (std::size_t ii = 0; ii < mr; ++ii)
+        for (std::size_t jj = 0; jj < nr; ++jj)
+            c[ii * ldc + jj] = acc[ii][jj];
+}
+
+template <typename MakeLoad>
+inline void
+gemmTiledF(const float *b, float *c, std::size_t m, std::size_t k,
+           std::size_t n, MakeLoad makeLoad)
+{
+    const std::size_t m4 = m - m % 4;
+    const std::size_t n16 = n - n % 16;
+    for (std::size_t i0 = 0; i0 < m4; i0 += 4) {
+        for (std::size_t j0 = 0; j0 < n16; j0 += 16)
+            fullTileF(b + j0, c + i0 * n + j0, n, n, k, makeLoad(i0));
+        if (n16 < n)
+            edgeTileF(b + n16, c + i0 * n + n16, n, n, k, 4, n - n16,
+                      makeLoad(i0));
+    }
+    if (m4 < m)
+        for (std::size_t j0 = 0; j0 < n; j0 += 16)
+            edgeTileF(b + j0, c + m4 * n + j0, n, n, k, m - m4,
+                      n - j0 < 16 ? n - j0 : 16, makeLoad(m4));
+}
+
+void
+gemmAvx2F(const float *a, const float *b, float *c, std::size_t m,
+          std::size_t k, std::size_t n)
+{
+    gemmTiledF(b, c, m, k, n, [&](std::size_t i0) {
+        return [a, k, i0](std::size_t ii, std::size_t p) {
+            return a[(i0 + ii) * k + p];
+        };
+    });
+}
+
+void
+gemmTransAAvx2F(const float *a, const float *b, float *c,
+                std::size_t k, std::size_t m, std::size_t n)
+{
+    gemmTiledF(b, c, m, k, n, [&](std::size_t i0) {
+        return [a, m, i0](std::size_t ii, std::size_t p) {
+            return a[p * m + i0 + ii];
+        };
+    });
+}
+
+float
+dotAvx2F(const float *a, const float *b, std::size_t n)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    const std::size_t n16 = n - n % 16;
+    for (std::size_t i = 0; i < n16; i += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                               _mm256_loadu_ps(b + i + 8), acc1);
+    }
+    float acc = hsumf(_mm256_add_ps(acc0, acc1));
+    for (std::size_t i = n16; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+gemmTransBAvx2F(const float *a, const float *b, float *c,
+                std::size_t m, std::size_t k, std::size_t n)
+{
+    const std::size_t k8 = k - k % 8;
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        std::size_t j0 = 0;
+        for (; j0 < n4; j0 += 4) {
+            __m256 acc[4] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                             _mm256_setzero_ps(), _mm256_setzero_ps()};
+            for (std::size_t p = 0; p < k8; p += 8) {
+                const __m256 av = _mm256_loadu_ps(arow + p);
+                for (std::size_t jj = 0; jj < 4; ++jj)
+                    acc[jj] = _mm256_fmadd_ps(
+                        av, _mm256_loadu_ps(b + (j0 + jj) * k + p),
+                        acc[jj]);
+            }
+            for (std::size_t jj = 0; jj < 4; ++jj) {
+                float sum = hsumf(acc[jj]);
+                const float *brow = b + (j0 + jj) * k;
+                for (std::size_t p = k8; p < k; ++p)
+                    sum += arow[p] * brow[p];
+                c[i * n + j0 + jj] = sum;
+            }
+        }
+        for (; j0 < n; ++j0)
+            c[i * n + j0] = dotAvx2F(arow, b + j0 * k, k);
+    }
+}
+
+void
+gemvAvx2F(const float *a, const float *x, float *y, std::size_t m,
+          std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        y[i] = dotAvx2F(a + i * n, x, n);
+}
+
+void
+gemvTransAAvx2F(const float *a, const float *x, float *y,
+                std::size_t m, std::size_t n)
+{
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * n;
+        const __m256 xi = _mm256_set1_ps(x[i]);
+        for (std::size_t j = 0; j < n8; j += 8)
+            _mm256_storeu_ps(
+                y + j,
+                _mm256_fmadd_ps(xi, _mm256_loadu_ps(arow + j),
+                                _mm256_loadu_ps(y + j)));
+        for (std::size_t j = n8; j < n; ++j)
+            y[j] += x[i] * arow[j];
+    }
+}
+
+float
+dotStridedAvx2F(const float *a, std::size_t stride_a, const float *b,
+                std::size_t stride_b, std::size_t n)
+{
+    if (stride_a == 1 && stride_b == 1)
+        return dotAvx2F(a, b, n);
+    return scalar::dotStrided(a, stride_a, b, stride_b, n);
+}
+
+float
+fusedSubtractDotAvx2F(float acc, const float *a, const float *x,
+                      std::size_t n)
+{
+    return acc - dotAvx2F(a, x, n);
+}
+
+void
+axpyNegStridedAvx2F(float *y, std::size_t stride_y, float alpha,
+                    const float *x, std::size_t n)
+{
+    if (stride_y != 1) {
+        scalar::axpyNegStrided(y, stride_y, alpha, x, n);
+        return;
+    }
+    const __m256 av = _mm256_set1_ps(alpha);
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t i = 0; i < n8; i += 8)
+        _mm256_storeu_ps(
+            y + i,
+            _mm256_fnmadd_ps(av, _mm256_loadu_ps(x + i),
+                             _mm256_loadu_ps(y + i)));
+    for (std::size_t i = n8; i < n; ++i)
+        y[i] -= alpha * x[i];
+}
+
+void
+givensRotateAvx2F(float *rj, float *ri, float c, float s,
+                  std::size_t n)
+{
+    const __m256 cv = _mm256_set1_ps(c);
+    const __m256 sv = _mm256_set1_ps(s);
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t i = 0; i < n8; i += 8) {
+        const __m256 a = _mm256_loadu_ps(rj + i);
+        const __m256 b = _mm256_loadu_ps(ri + i);
+        _mm256_storeu_ps(
+            rj + i, _mm256_fmadd_ps(cv, a, _mm256_mul_ps(sv, b)));
+        _mm256_storeu_ps(
+            ri + i, _mm256_fnmadd_ps(sv, a, _mm256_mul_ps(cv, b)));
+    }
+    for (std::size_t i = n8; i < n; ++i) {
+        const float a = rj[i];
+        const float b = ri[i];
+        rj[i] = c * a + s * b;
+        ri[i] = -s * a + c * b;
+    }
+}
+
+const KernelTable32 kAvx2Table32 = {
+    SimdTier::Avx2,      gemmAvx2F,
+    gemmTransAAvx2F,     gemmTransBAvx2F,
+    scalar::transpose,   gemvAvx2F,
+    gemvTransAAvx2F,     dotAvx2F,
+    dotStridedAvx2F,     fusedSubtractDotAvx2F,
+    axpyNegStridedAvx2F, givensRotateAvx2F,
+};
+
 } // namespace
 
 const KernelTable *
 avx2Table()
 {
     return &kAvx2Table;
+}
+
+const KernelTable32 *
+avx2Table32()
+{
+    return &kAvx2Table32;
 }
 
 } // namespace orianna::mat::kernels
@@ -283,6 +540,12 @@ namespace orianna::mat::kernels {
 
 const KernelTable *
 avx2Table()
+{
+    return nullptr;
+}
+
+const KernelTable32 *
+avx2Table32()
 {
     return nullptr;
 }

@@ -129,12 +129,133 @@ const KernelTable kNeonTable = {
     axpyNegStridedNeon, givensRotateNeon,
 };
 
+// --- fp32 tier (DESIGN.md §12): 4-lane float32x4_t versions ---------
+
+float
+dotNeonF(const float *a, const float *b, std::size_t n)
+{
+    float32x4_t acc0 = vdupq_n_f32(0.0f);
+    float32x4_t acc1 = vdupq_n_f32(0.0f);
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t i = 0; i < n8; i += 8) {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4),
+                         vld1q_f32(b + i + 4));
+    }
+    float acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+    for (std::size_t i = n8; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+gemmTransBNeonF(const float *a, const float *b, float *c,
+                std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            c[i * n + j] = dotNeonF(a + i * k, b + j * k, k);
+}
+
+void
+gemvNeonF(const float *a, const float *x, float *y, std::size_t m,
+          std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        y[i] = dotNeonF(a + i * n, x, n);
+}
+
+void
+gemvTransANeonF(const float *a, const float *x, float *y,
+                std::size_t m, std::size_t n)
+{
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * n;
+        const float32x4_t xi = vdupq_n_f32(x[i]);
+        for (std::size_t j = 0; j < n4; j += 4)
+            vst1q_f32(y + j, vfmaq_f32(vld1q_f32(y + j), xi,
+                                       vld1q_f32(arow + j)));
+        for (std::size_t j = n4; j < n; ++j)
+            y[j] += x[i] * arow[j];
+    }
+}
+
+float
+dotStridedNeonF(const float *a, std::size_t stride_a, const float *b,
+                std::size_t stride_b, std::size_t n)
+{
+    if (stride_a == 1 && stride_b == 1)
+        return dotNeonF(a, b, n);
+    return scalar::dotStrided(a, stride_a, b, stride_b, n);
+}
+
+float
+fusedSubtractDotNeonF(float acc, const float *a, const float *x,
+                      std::size_t n)
+{
+    return acc - dotNeonF(a, x, n);
+}
+
+void
+axpyNegStridedNeonF(float *y, std::size_t stride_y, float alpha,
+                    const float *x, std::size_t n)
+{
+    if (stride_y != 1) {
+        scalar::axpyNegStrided(y, stride_y, alpha, x, n);
+        return;
+    }
+    const float32x4_t av = vdupq_n_f32(alpha);
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < n4; i += 4)
+        vst1q_f32(y + i,
+                  vfmsq_f32(vld1q_f32(y + i), av, vld1q_f32(x + i)));
+    for (std::size_t i = n4; i < n; ++i)
+        y[i] -= alpha * x[i];
+}
+
+void
+givensRotateNeonF(float *rj, float *ri, float c, float s,
+                  std::size_t n)
+{
+    const float32x4_t cv = vdupq_n_f32(c);
+    const float32x4_t sv = vdupq_n_f32(s);
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const float32x4_t a = vld1q_f32(rj + i);
+        const float32x4_t b = vld1q_f32(ri + i);
+        vst1q_f32(rj + i, vfmaq_f32(vmulq_f32(sv, b), cv, a));
+        vst1q_f32(ri + i, vfmsq_f32(vmulq_f32(cv, b), sv, a));
+    }
+    for (std::size_t i = n4; i < n; ++i) {
+        const float a = rj[i];
+        const float b = ri[i];
+        rj[i] = c * a + s * b;
+        ri[i] = -s * a + c * b;
+    }
+}
+
+const KernelTable32 kNeonTable32 = {
+    SimdTier::Neon,      scalar::gemm,
+    scalar::gemmTransA,  gemmTransBNeonF,
+    scalar::transpose,   gemvNeonF,
+    gemvTransANeonF,     dotNeonF,
+    dotStridedNeonF,     fusedSubtractDotNeonF,
+    axpyNegStridedNeonF, givensRotateNeonF,
+};
+
 } // namespace
 
 const KernelTable *
 neonTable()
 {
     return &kNeonTable;
+}
+
+const KernelTable32 *
+neonTable32()
+{
+    return &kNeonTable32;
 }
 
 } // namespace orianna::mat::kernels
@@ -145,6 +266,12 @@ namespace orianna::mat::kernels {
 
 const KernelTable *
 neonTable()
+{
+    return nullptr;
+}
+
+const KernelTable32 *
+neonTable32()
 {
     return nullptr;
 }

@@ -8,131 +8,154 @@
 
 namespace orianna::mat {
 
-QrResult
-householderQr(const Matrix &a, const Vector &b)
+template <typename T>
+QrResultT<T>
+householderQr(const MatrixT<T> &a, const VectorT<T> &b)
 {
     if (a.rows() != b.size())
         throw std::invalid_argument("householderQr: A/b row mismatch");
 
     const std::size_t m = a.rows();
     const std::size_t n = a.cols();
-    Matrix r = a;
-    Vector rhs = b;
+    MatrixT<T> r = a;
+    VectorT<T> rhs = b;
     // Row-major base pointers; all column accesses below stride by n.
-    double *rp = m > 0 && n > 0 ? &r(0, 0) : nullptr;
-    double *rhsp = m > 0 ? &rhs[0] : nullptr;
+    T *rp = m > 0 && n > 0 ? &r(0, 0) : nullptr;
+    T *rhsp = m > 0 ? &rhs[0] : nullptr;
 
     const std::size_t steps = std::min(m == 0 ? 0 : m - 1, n);
     for (std::size_t k = 0; k < steps; ++k) {
         // Build the Householder reflector for column k below row k.
-        double *col_k = rp + k * n + k;
-        const double sigma =
+        T *col_k = rp + k * n + k;
+        const T sigma =
             kernels::dotStrided(col_k, n, col_k, n, m - k);
         MacCounter::add(m - k);
-        double alpha = std::sqrt(sigma);
-        if (alpha == 0.0)
+        T alpha = std::sqrt(sigma);
+        if (alpha == T(0))
             continue;
-        if (r(k, k) > 0.0)
+        if (r(k, k) > T(0))
             alpha = -alpha;
 
-        Vector v(m - k);
+        VectorT<T> v(m - k);
         v[0] = r(k, k) - alpha;
         for (std::size_t i = k + 1; i < m; ++i)
             v[i - k] = r(i, k);
-        const double vnorm2 = sigma - 2.0 * alpha * r(k, k) + alpha * alpha;
-        if (vnorm2 == 0.0)
+        const T vnorm2 = sigma - T(2) * alpha * r(k, k) + alpha * alpha;
+        if (vnorm2 == T(0))
             continue;
-        const double *vp = &v[0];
+        const T *vp = &v[0];
 
         // Apply I - 2 v v^T / (v^T v) to the trailing columns and rhs
         // through the strided dot/axpy microkernels.
         for (std::size_t j = k; j < n; ++j) {
-            double *col_j = rp + k * n + j;
-            const double dot =
+            T *col_j = rp + k * n + j;
+            const T dot =
                 kernels::dotStrided(vp, 1, col_j, n, m - k);
-            const double beta = 2.0 * dot / vnorm2;
+            const T beta = T(2) * dot / vnorm2;
             kernels::axpyNegStrided(col_j, n, beta, vp, m - k);
             MacCounter::add(2 * (m - k));
         }
-        const double dot = kernels::dot(vp, rhsp + k, m - k);
-        const double beta = 2.0 * dot / vnorm2;
+        const T dot = kernels::dot(vp, rhsp + k, m - k);
+        const T beta = T(2) * dot / vnorm2;
         kernels::axpyNegStrided(rhsp + k, 1, beta, vp, m - k);
         MacCounter::add(2 * (m - k));
     }
     return {std::move(r), std::move(rhs)};
 }
 
-QrResult
-givensQr(const Matrix &a, const Vector &b)
+template <typename T>
+QrResultT<T>
+givensQr(const MatrixT<T> &a, const VectorT<T> &b)
 {
     if (a.rows() != b.size())
         throw std::invalid_argument("givensQr: A/b row mismatch");
 
     const std::size_t m = a.rows();
     const std::size_t n = a.cols();
-    Matrix r = a;
-    Vector rhs = b;
-    double *rp = m > 0 && n > 0 ? &r(0, 0) : nullptr;
+    MatrixT<T> r = a;
+    VectorT<T> rhs = b;
+    T *rp = m > 0 && n > 0 ? &r(0, 0) : nullptr;
 
     for (std::size_t j = 0; j < n; ++j) {
         for (std::size_t i = m; i-- > j + 1;) {
-            const double x = r(j, j);
-            const double y = r(i, j);
-            if (y == 0.0)
+            const T x = r(j, j);
+            const T y = r(i, j);
+            if (y == T(0))
                 continue;
-            const double hyp = std::hypot(x, y);
-            const double c = x / hyp;
-            const double s = y / hyp;
+            const T hyp = std::hypot(x, y);
+            const T c = x / hyp;
+            const T s = y / hyp;
             kernels::givensRotate(rp + j * n + j, rp + i * n + j, c, s,
                                   n - j);
             MacCounter::add(4 * (n - j));
-            const double tj = rhs[j];
-            const double ti = rhs[i];
+            const T tj = rhs[j];
+            const T ti = rhs[i];
             rhs[j] = c * tj + s * ti;
             rhs[i] = -s * tj + c * ti;
             MacCounter::add(4);
-            r(i, j) = 0.0;
+            r(i, j) = T(0);
         }
     }
     return {std::move(r), std::move(rhs)};
 }
 
-Vector
-backSubstitute(const Matrix &r, const Vector &y)
+template <typename T>
+VectorT<T>
+backSubstitute(const MatrixT<T> &r, const VectorT<T> &y)
 {
     const std::size_t n = r.cols();
     if (r.rows() < n || y.size() < n)
         throw std::invalid_argument("backSubstitute: system too short");
 
-    Vector x(n);
+    VectorT<T> x(n);
     if (n == 0)
         return x;
-    const double *rp = r.data().data();
-    double *xp = &x[0];
+    const T *rp = r.data().data();
+    T *xp = &x[0];
     for (std::size_t ii = n; ii-- > 0;) {
         // Subtract the already-solved tail of row ii in place
         // (ascending j, same chain as the reference loop).
-        const double acc = kernels::fusedSubtractDot(
+        const T acc = kernels::fusedSubtractDot(
             y[ii], rp + ii * n + ii + 1, xp + ii + 1, n - ii - 1);
         MacCounter::add(n - ii - 1);
-        const double diag = r(ii, ii);
-        if (std::abs(diag) < 1e-12)
+        const T diag = r(ii, ii);
+        if (std::abs(diag) < T(1e-12))
             throw std::runtime_error("backSubstitute: singular diagonal");
         xp[ii] = acc / diag;
     }
     return x;
 }
 
-Vector
-leastSquares(const Matrix &a, const Vector &b)
+template <typename T>
+VectorT<T>
+leastSquares(const MatrixT<T> &a, const VectorT<T> &b)
 {
-    QrResult qr = householderQr(a, b);
+    QrResultT<T> qr = householderQr(a, b);
     const std::size_t n = a.cols();
-    Matrix top = qr.r.block(0, 0, n, n);
-    Vector y(n);
+    MatrixT<T> top = qr.r.block(0, 0, n, n);
+    VectorT<T> y(n);
     for (std::size_t i = 0; i < n; ++i)
         y[i] = qr.rhs[i];
     return backSubstitute(top, y);
 }
+
+// The only two supported precisions; fp64 instantiates to the exact
+// pre-template code, preserving the golden digests.
+template QrResultT<double> householderQr(const MatrixT<double> &,
+                                         const VectorT<double> &);
+template QrResultT<float> householderQr(const MatrixT<float> &,
+                                        const VectorT<float> &);
+template QrResultT<double> givensQr(const MatrixT<double> &,
+                                    const VectorT<double> &);
+template QrResultT<float> givensQr(const MatrixT<float> &,
+                                   const VectorT<float> &);
+template VectorT<double> backSubstitute(const MatrixT<double> &,
+                                        const VectorT<double> &);
+template VectorT<float> backSubstitute(const MatrixT<float> &,
+                                       const VectorT<float> &);
+template VectorT<double> leastSquares(const MatrixT<double> &,
+                                      const VectorT<double> &);
+template VectorT<float> leastSquares(const MatrixT<float> &,
+                                     const VectorT<float> &);
 
 } // namespace orianna::mat

@@ -9,12 +9,20 @@ namespace orianna::mat {
  * [A | b]: R is upper trapezoidal with the same shape as A, and rhs is
  * Q^T b. Q itself is never materialized; factor-graph elimination only
  * needs R and Q^T b (Sec. 2.2 of the paper).
+ *
+ * Like the dense types, the QR kernels exist in both precisions
+ * (DESIGN.md §12): T = double is the reference, T = float the fp32
+ * accelerator mode. Only those two instantiations are defined
+ * (explicitly, in qr.cpp).
  */
-struct QrResult
+template <typename T> struct QrResultT
 {
-    Matrix r;   //!< Upper-trapezoidal factor, same shape as the input A.
-    Vector rhs; //!< Q^T b, same length as b.
+    MatrixT<T> r;   //!< Upper-trapezoidal factor, same shape as A.
+    VectorT<T> rhs; //!< Q^T b, same length as b.
 };
+
+using QrResult = QrResultT<double>;
+using QrResultF = QrResultT<float>;
 
 /**
  * Householder QR of the augmented system [A | b].
@@ -22,7 +30,8 @@ struct QrResult
  * This is the software-reference kernel used by the CPU baselines and
  * the Gauss-Newton solver. Cost is accounted through MacCounter.
  */
-QrResult householderQr(const Matrix &a, const Vector &b);
+template <typename T>
+QrResultT<T> householderQr(const MatrixT<T> &a, const VectorT<T> &b);
 
 /**
  * Givens-rotation QR of the augmented system [A | b].
@@ -34,7 +43,8 @@ QrResult householderQr(const Matrix &a, const Vector &b);
  * simulator executes this kernel so software/accelerator accuracy can
  * be compared honestly.
  */
-QrResult givensQr(const Matrix &a, const Vector &b);
+template <typename T>
+QrResultT<T> givensQr(const MatrixT<T> &a, const VectorT<T> &b);
 
 /**
  * Solve R x = y by back substitution for square upper-triangular R
@@ -42,12 +52,14 @@ QrResult givensQr(const Matrix &a, const Vector &b);
  *
  * @throws std::runtime_error when a diagonal entry is (near) zero.
  */
-Vector backSubstitute(const Matrix &r, const Vector &y);
+template <typename T>
+VectorT<T> backSubstitute(const MatrixT<T> &r, const VectorT<T> &y);
 
 /**
  * Least-squares solve of min ||A x - b||_2 via Householder QR and back
  * substitution. Requires A to have full column rank.
  */
-Vector leastSquares(const Matrix &a, const Vector &b);
+template <typename T>
+VectorT<T> leastSquares(const MatrixT<T> &a, const VectorT<T> &b);
 
 } // namespace orianna::mat

@@ -46,19 +46,32 @@ constexpr KernelTable kScalarTable = {
     scalar::axpyNegStrided,  scalar::givensRotate,
 };
 
+constexpr KernelTable32 kScalarTable32 = {
+    SimdTier::Scalar,        scalar::gemm,
+    scalar::gemmTransA,      scalar::gemmTransB,
+    scalar::transpose,       scalar::gemv,
+    scalar::gemvTransA,      scalar::dot,
+    scalar::dotStrided,      scalar::fusedSubtractDot,
+    scalar::axpyNegStrided,  scalar::givensRotate,
+};
+
 } // namespace
 
 namespace detail {
 std::atomic<const KernelTable *> gActive{&kScalarTable};
+std::atomic<const KernelTable32 *> gActive32{&kScalarTable32};
 } // namespace detail
 
 // Per-ISA registration hooks, defined in their own TUs when CMake
-// compiles them (each with its own arch flags).
+// compiles them (each with its own arch flags). A tier registers both
+// precisions or neither.
 #ifdef ORIANNA_SIMD_AVX2
 const KernelTable *avx2Table();
+const KernelTable32 *avx2Table32();
 #endif
 #ifdef ORIANNA_SIMD_NEON
 const KernelTable *neonTable();
+const KernelTable32 *neonTable32();
 #endif
 
 const char *
@@ -90,6 +103,28 @@ kernelTable(SimdTier tier)
     case SimdTier::Avx2:
 #ifdef ORIANNA_SIMD_AVX2
         return avx2Table();
+#else
+        return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+const KernelTable32 *
+kernelTable32(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Scalar:
+        return &kScalarTable32;
+    case SimdTier::Neon:
+#ifdef ORIANNA_SIMD_NEON
+        return neonTable32();
+#else
+        return nullptr;
+#endif
+    case SimdTier::Avx2:
+#ifdef ORIANNA_SIMD_AVX2
+        return avx2Table32();
 #else
         return nullptr;
 #endif
@@ -150,7 +185,11 @@ selectTier(SimdTier tier)
 {
     if (!tierSupported(tier))
         return false;
+    // Both precisions switch together: a tier's TU registers both
+    // tables, so fp32 sessions never run a different tier than fp64.
     detail::gActive.store(kernelTable(tier), std::memory_order_relaxed);
+    detail::gActive32.store(kernelTable32(tier),
+                            std::memory_order_relaxed);
     return true;
 }
 

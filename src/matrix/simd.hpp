@@ -38,38 +38,45 @@ inline constexpr std::size_t kSimdTierCount = 3;
 /** Lower-case tier name ("scalar", "neon", "avx2"). */
 const char *simdTierName(SimdTier tier);
 
-/** One dispatchable implementation set. Signatures mirror kernels.hpp. */
-struct KernelTable
+/**
+ * One dispatchable implementation set. Signatures mirror kernels.hpp.
+ * Two instantiations exist (DESIGN.md §12): `T = double` is the
+ * reference precision, `T = float` the fp32 accelerator mode with
+ * twice the SIMD lane width. Each tier's translation unit registers
+ * both tables, so selecting a tier always switches the pair together.
+ */
+template <typename T> struct KernelTableT
 {
     SimdTier tier;
-    void (*gemm)(const double *a, const double *b, double *c,
-                 std::size_t m, std::size_t k, std::size_t n);
-    void (*gemmTransA)(const double *a, const double *b, double *c,
-                       std::size_t k, std::size_t m, std::size_t n);
-    void (*gemmTransB)(const double *a, const double *b, double *c,
-                       std::size_t m, std::size_t k, std::size_t n);
-    void (*transpose)(const double *a, double *out, std::size_t m,
-                      std::size_t n);
-    void (*gemv)(const double *a, const double *x, double *y,
-                 std::size_t m, std::size_t n);
-    void (*gemvTransA)(const double *a, const double *x, double *y,
+    void (*gemm)(const T *a, const T *b, T *c, std::size_t m,
+                 std::size_t k, std::size_t n);
+    void (*gemmTransA)(const T *a, const T *b, T *c, std::size_t k,
                        std::size_t m, std::size_t n);
-    double (*dot)(const double *a, const double *b, std::size_t n);
-    double (*dotStrided)(const double *a, std::size_t stride_a,
-                         const double *b, std::size_t stride_b,
-                         std::size_t n);
-    double (*fusedSubtractDot)(double acc, const double *a,
-                               const double *x, std::size_t n);
-    void (*axpyNegStrided)(double *y, std::size_t stride_y, double alpha,
-                           const double *x, std::size_t n);
-    void (*givensRotate)(double *rj, double *ri, double c, double s,
-                         std::size_t n);
+    void (*gemmTransB)(const T *a, const T *b, T *c, std::size_t m,
+                       std::size_t k, std::size_t n);
+    void (*transpose)(const T *a, T *out, std::size_t m,
+                      std::size_t n);
+    void (*gemv)(const T *a, const T *x, T *y, std::size_t m,
+                 std::size_t n);
+    void (*gemvTransA)(const T *a, const T *x, T *y, std::size_t m,
+                       std::size_t n);
+    T (*dot)(const T *a, const T *b, std::size_t n);
+    T (*dotStrided)(const T *a, std::size_t stride_a, const T *b,
+                    std::size_t stride_b, std::size_t n);
+    T (*fusedSubtractDot)(T acc, const T *a, const T *x,
+                          std::size_t n);
+    void (*axpyNegStrided)(T *y, std::size_t stride_y, T alpha,
+                           const T *x, std::size_t n);
+    void (*givensRotate)(T *rj, T *ri, T c, T s, std::size_t n);
 };
 
+using KernelTable = KernelTableT<double>;
+using KernelTable32 = KernelTableT<float>;
+
 /**
- * The scalar reference implementations (exact accumulation chains).
- * Callable directly — the parity tests and the kernel bench compare
- * fast-path tables against these.
+ * The scalar reference implementations (exact accumulation chains),
+ * one overload set per precision. Callable directly — the parity
+ * tests and the kernel bench compare fast-path tables against these.
  */
 namespace scalar {
 
@@ -95,10 +102,35 @@ void axpyNegStrided(double *y, std::size_t stride_y, double alpha,
 void givensRotate(double *rj, double *ri, double c, double s,
                   std::size_t n);
 
+void gemm(const float *a, const float *b, float *c, std::size_t m,
+          std::size_t k, std::size_t n);
+void gemmTransA(const float *a, const float *b, float *c,
+                std::size_t k, std::size_t m, std::size_t n);
+void gemmTransB(const float *a, const float *b, float *c,
+                std::size_t m, std::size_t k, std::size_t n);
+void transpose(const float *a, float *out, std::size_t m,
+               std::size_t n);
+void gemv(const float *a, const float *x, float *y, std::size_t m,
+          std::size_t n);
+void gemvTransA(const float *a, const float *x, float *y,
+                std::size_t m, std::size_t n);
+float dot(const float *a, const float *b, std::size_t n);
+float dotStrided(const float *a, std::size_t stride_a, const float *b,
+                 std::size_t stride_b, std::size_t n);
+float fusedSubtractDot(float acc, const float *a, const float *x,
+                       std::size_t n);
+void axpyNegStrided(float *y, std::size_t stride_y, float alpha,
+                    const float *x, std::size_t n);
+void givensRotate(float *rj, float *ri, float c, float s,
+                  std::size_t n);
+
 } // namespace scalar
 
-/** Table of @p tier, or nullptr when its TU was not compiled in. */
+/** fp64 table of @p tier, or nullptr when its TU was not compiled in. */
 const KernelTable *kernelTable(SimdTier tier);
+
+/** fp32 table of @p tier, or nullptr when its TU was not compiled in. */
+const KernelTable32 *kernelTable32(SimdTier tier);
 
 /** Whether @p tier's TU was compiled into this binary. */
 bool tierCompiled(SimdTier tier);
@@ -116,16 +148,42 @@ SimdTier detectTier();
 std::vector<SimdTier> compiledTiers();
 
 namespace detail {
-/** Active table. Constant-initialized to scalar; the ORIANNA_SIMD
- *  env override is applied by a dynamic initializer in simd.cpp. */
+/** Active tables, one per precision. Constant-initialized to scalar;
+ *  the ORIANNA_SIMD env override is applied by a dynamic initializer
+ *  in simd.cpp. selectTier() always switches the pair together. */
 extern std::atomic<const KernelTable *> gActive;
+extern std::atomic<const KernelTable32 *> gActive32;
 } // namespace detail
 
-/** The table every kernels::* call dispatches through. */
+/** The fp64 table every kernels::* call dispatches through. */
 inline const KernelTable &
 activeKernels()
 {
     return *detail::gActive.load(std::memory_order_relaxed);
+}
+
+/** Same, fp32. */
+inline const KernelTable32 &
+activeKernels32()
+{
+    return *detail::gActive32.load(std::memory_order_relaxed);
+}
+
+/** Precision-generic access to the active table pair. */
+template <typename T> const KernelTableT<T> &activeKernelsT();
+
+template <>
+inline const KernelTableT<double> &
+activeKernelsT<double>()
+{
+    return activeKernels();
+}
+
+template <>
+inline const KernelTableT<float> &
+activeKernelsT<float>()
+{
+    return activeKernels32();
 }
 
 inline SimdTier

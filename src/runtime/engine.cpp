@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -70,6 +71,19 @@ struct Fnv
     }
 };
 
+/** EngineOptions::precision, or ORIANNA_PRECISION, or Fp64. */
+comp::Precision
+resolvePrecision(const std::optional<comp::Precision> &requested)
+{
+    if (requested.has_value())
+        return *requested;
+    const char *env = std::getenv("ORIANNA_PRECISION");
+    comp::Precision parsed = comp::Precision::Fp64;
+    if (env != nullptr && comp::parsePrecision(env, parsed))
+        return parsed;
+    return comp::Precision::Fp64;
+}
+
 } // namespace
 
 std::uint64_t
@@ -136,6 +150,7 @@ graphFingerprint(const fg::FactorGraph &graph, const fg::Values &shapes,
 
 Engine::Engine(hw::AcceleratorConfig config, EngineOptions options)
     : config_(std::move(config)), options_(std::move(options)),
+      precision_(resolvePrecision(options_.precision)),
       pipeline_(comp::PassManager::parse(options_.passes)),
       referencePipeline_(comp::PassManager::parse("dedup,dce")),
       health_(std::make_shared<EngineHealth>())
@@ -153,8 +168,11 @@ std::shared_ptr<const comp::Program>
 Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
                 std::uint8_t algorithm_tag, const std::string &name)
 {
-    return compileCached(graphFingerprint(graph, shapes, algorithm_tag),
-                         graph, shapes, algorithm_tag, name, pipeline_);
+    std::uint64_t key = graphFingerprint(graph, shapes, algorithm_tag);
+    if (precision_ == comp::Precision::Fp32)
+        key ^= kFp32Salt;
+    return compileCached(key, graph, shapes, algorithm_tag, name,
+                         pipeline_, precision_);
 }
 
 std::shared_ptr<const comp::Program>
@@ -163,10 +181,15 @@ Engine::referenceProgram(const fg::FactorGraph &graph,
                          std::uint8_t algorithm_tag,
                          const std::string &name)
 {
+    // Always fp64, whatever the engine's serving precision: this is
+    // the ground-truth rung of the degradation ladder, and keeping it
+    // unsalted lets fp32 and fp64 engines share one reference
+    // artifact per graph.
     const std::uint64_t key =
         graphFingerprint(graph, shapes, algorithm_tag) ^ kReferenceSalt;
     return compileCached(key, graph, shapes, algorithm_tag,
-                         name + " (reference)", referencePipeline_);
+                         name + " (reference)", referencePipeline_,
+                         comp::Precision::Fp64);
 }
 
 std::shared_ptr<const comp::Program>
@@ -174,7 +197,8 @@ Engine::compileCached(std::uint64_t key, const fg::FactorGraph &graph,
                       const fg::Values &shapes,
                       std::uint8_t algorithm_tag,
                       const std::string &name,
-                      comp::PassManager &pipeline)
+                      comp::PassManager &pipeline,
+                      comp::Precision precision)
 {
     Shard &s = shard(key);
 
@@ -265,6 +289,7 @@ Engine::compileCached(std::uint64_t key, const fg::FactorGraph &graph,
         comp::CompileOptions options;
         options.algorithmTag = algorithm_tag;
         options.name = name;
+        options.precision = precision;
         options.ordering = fg::ordering::minDegree(graph);
         auto compiled = std::make_shared<comp::Program>(
             comp::compileGraph(graph, shapes, options));
@@ -394,6 +419,8 @@ Engine::healthJson() const
     out += status;
     out += "\",\"simd\":\"";
     out += mat::kernels::simdTierName(mat::kernels::activeTier());
+    out += "\",\"precision\":\"";
+    out += comp::precisionName(precision_);
     out += "\",\"fault_injection\":";
     out += injector_ != nullptr ? "true" : "false";
     out += ",\"store\":";
@@ -433,14 +460,22 @@ Engine::session(const fg::FactorGraph &graph, fg::Values initial,
     opts.injector = injector_;
     opts.health = health_;
     // The fallback rung costs a second compile per graph, so it is
-    // provisioned only when a fault source exists: injection or a
-    // frame deadline. Fault-free engines behave exactly as before.
+    // provisioned only when a fault source exists: injection, a frame
+    // deadline, or a reduced-precision datapath (whose mantissa can
+    // break a frame all by itself — non-finite or diverging deltas).
+    // Fault-free fp64 engines behave exactly as before.
     const bool can_fault = injector_ != nullptr ||
-                           options_.degradation.frameTimeoutCycles > 0;
+                           options_.degradation.frameTimeoutCycles > 0 ||
+                           precision_ == comp::Precision::Fp32;
     if (options_.degradation.fallback && can_fault)
         opts.fallback =
             referenceProgram(graph, initial, algorithm_tag, name);
 
+    if (MetricsRegistry::enabled())
+        MetricsRegistry::global()
+            .counter(std::string("engine.sessions.") +
+                     comp::precisionName(precision_))
+            .add();
     if (open.armed())
         MetricsRegistry::global()
             .histogram("engine.session_open_us")
@@ -542,11 +577,20 @@ Session::diagnose(const hw::SimResult &frame,
     if (check_deadline && policy_.frameTimeoutCycles > 0 &&
         frame.cycles > policy_.frameTimeoutCycles)
         return "frame deadline exceeded";
+    // The divergence limit shares the deadline's primary-rung gating:
+    // the fp64 fallback is trusted ground truth and only the
+    // non-finite scan applies to it.
+    const bool check_divergence =
+        check_deadline && policy_.deltaAbsLimit > 0.0;
     for (const auto &deltas : frame.deltas)
         for (const auto &[key, delta] : deltas)
-            for (std::size_t i = 0; i < delta.size(); ++i)
+            for (std::size_t i = 0; i < delta.size(); ++i) {
                 if (!std::isfinite(delta[i]))
                     return "non-finite delta";
+                if (check_divergence &&
+                    std::abs(delta[i]) > policy_.deltaAbsLimit)
+                    return "diverging delta";
+            }
     return nullptr;
 }
 

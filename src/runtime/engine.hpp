@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -71,6 +72,17 @@ struct DegradationPolicy
 
     /** Sleep attempt*base microseconds before each retry (0 = none). */
     std::uint64_t backoffBaseUs = 0;
+
+    /**
+     * Declare a frame faulty when any delta element's magnitude
+     * exceeds this limit (0 = no check). This is the guard rail of
+     * the fp32 rung (DESIGN.md §12): reduced-mantissa arithmetic that
+     * diverges — an ill-conditioned solve blowing up on its way to
+     * inf — is caught before the update lands and the frame is
+     * replayed on the fp64 reference program. Checked only on the
+     * primary rung; the fp64 fallback is trusted ground truth.
+     */
+    double deltaAbsLimit = 0.0;
 };
 
 /**
@@ -142,6 +154,19 @@ struct EngineOptions
      * to a permanently cold store, never an error.
      */
     std::string storeDir;
+
+    /**
+     * Datapath precision of the programs this engine compiles
+     * (DESIGN.md §12). Unset resolves from the ORIANNA_PRECISION
+     * environment variable ("fp64"/"fp32"), defaulting to Fp64; set
+     * it explicitly to pin a precision regardless of environment.
+     * The precision salts both the in-memory cache key and the
+     * persistent-store key, so both precisions of one graph coexist
+     * without ever serving each other's artifacts. Fp32 engines
+     * provision the fp64 reference program as the degradation-ladder
+     * fallback for every session.
+     */
+    std::optional<comp::Precision> precision;
 };
 
 class ProgramStore;
@@ -162,6 +187,20 @@ class Engine
     ~Engine();
 
     const hw::AcceleratorConfig &config() const { return config_; }
+
+    /** Resolved datapath precision this engine compiles for. */
+    comp::Precision precision() const { return precision_; }
+
+    /**
+     * Cache-key salt for fp32 programs. The instruction stream is
+     * precision-independent, but the Program's precision tag is not,
+     * and the key doubles as the persistent-store key — without the
+     * salt an fp32 engine would happily serve a stored fp64 artifact
+     * (and vice versa) on a warm restart. Public so tools that key
+     * their own --cache-dir stores by graph fingerprint stay
+     * interoperable with engine-written entries.
+     */
+    static constexpr std::uint64_t kFp32Salt = 0x0f32ca5700000001ull;
 
     /**
      * Compile @p graph (minimum-degree ordering plus cleanup passes,
@@ -200,7 +239,8 @@ class Engine
 
     /**
      * JSON snapshot of the degradation counters plus cache stats:
-     * {"status": "ok"|"degraded"|"failing", "fault_injection": bool,
+     * {"status": "ok"|"degraded"|"failing", "precision": "fp64"|"fp32",
+     *  "fault_injection": bool,
      *  "store": bool (persistent tier armed and usable),
      *  "frames_ok", "faults_detected", "frame_timeouts", "retries",
      *  "fallbacks", "failures", "compiles", "cache_hits",
@@ -309,10 +349,12 @@ class Engine
     compileCached(std::uint64_t key, const fg::FactorGraph &graph,
                   const fg::Values &shapes,
                   std::uint8_t algorithm_tag, const std::string &name,
-                  comp::PassManager &pipeline);
+                  comp::PassManager &pipeline,
+                  comp::Precision precision);
 
     hw::AcceleratorConfig config_;
     EngineOptions options_;
+    comp::Precision precision_ = comp::Precision::Fp64;
     comp::PassManager pipeline_;
     comp::PassManager referencePipeline_;
     std::shared_ptr<const hw::FaultInjector> injector_;

@@ -82,7 +82,8 @@ EngineGroup::session(unsigned replica, const fg::FactorGraph &graph,
     opts.health = shared_.health_;
     const bool can_fault =
         shared_.injector_ != nullptr ||
-        shared_.options_.degradation.frameTimeoutCycles > 0;
+        shared_.options_.degradation.frameTimeoutCycles > 0 ||
+        shared_.precision_ == comp::Precision::Fp32;
     if (shared_.options_.degradation.fallback && can_fault) {
         auto it = rep.fallbacks.find(fingerprint);
         if (it != rep.fallbacks.end()) {

@@ -102,7 +102,10 @@ ExecutionContext::buildStatic()
     latency_.resize(total);
     dynamicNj_.resize(total);
     words_.resize(total);
+    wordEnergyScale_.resize(programs_.size());
     for (std::size_t w = 0; w < programs_.size(); ++w) {
+        const comp::Precision precision = programs_[w]->precision;
+        wordEnergyScale_[w] = CostModel::wordEnergyScale(precision);
         const auto &instrs = programs_[w]->instructions;
         for (std::size_t i = 0; i < instrs.size(); ++i) {
             const std::size_t g = base_[w] + i;
@@ -112,8 +115,8 @@ ExecutionContext::buildStatic()
             depCount_[g] = static_cast<std::uint32_t>(inst.deps.size());
             unitKind_[g] =
                 static_cast<std::uint8_t>(hw::unitFor(inst.op));
-            latency_[g] = CostModel::latency(inst);
-            dynamicNj_[g] = CostModel::dynamicEnergyNj(inst);
+            latency_[g] = CostModel::latency(inst, precision);
+            dynamicNj_[g] = CostModel::dynamicEnergyNj(inst, precision);
             words_[g] = hw::instructionWords(inst);
         }
     }
@@ -145,8 +148,14 @@ ExecutionContext::buildStatic()
     }
 
     executors_.reserve(programs_.size());
-    for (const comp::Program *program : programs_)
-        executors_.emplace_back(*program);
+    for (const comp::Program *program : programs_) {
+        if (program->precision == comp::Precision::Fp32)
+            executors_.emplace_back(
+                std::in_place_type<comp::Executor32>, *program);
+        else
+            executors_.emplace_back(
+                std::in_place_type<comp::Executor>, *program);
+    }
 
     outOfOrder_ = makeScheduler(true);
     inOrder_ = makeScheduler(false);
@@ -216,7 +225,11 @@ ExecutionContext::run(const hw::AcceleratorConfig &config,
         // Functional execution happens at issue: operands are final
         // because all producers completed.
         const std::uint32_t w = orderWork_[g];
-        executors_[w].step(orderIndex_[g], *values_[w]);
+        std::visit(
+            [&](auto &executor) {
+                executor.step(orderIndex_[g], *values_[w]);
+            },
+            executors_[w]);
 
         const Instruction &inst =
             programs_[w]->instructions[orderIndex_[g]];
@@ -235,7 +248,11 @@ ExecutionContext::run(const hw::AcceleratorConfig &config,
                                 !inst.srcs.empty()
                             ? inst.srcs[0]
                             : inst.dst;
-                    executors_[w].corruptSlot(victim);
+                    std::visit(
+                        [&](auto &executor) {
+                            executor.corruptSlot(victim);
+                        },
+                        executors_[w]);
                 }
                 for (std::size_t k = 0;
                      k < result.faultsByKind.size(); ++k) {
@@ -275,8 +292,11 @@ ExecutionContext::run(const hw::AcceleratorConfig &config,
         // result of an instruction with such a distant consumer is
         // written back - the "data stored on-chip and reused" effect
         // of Sec. 7.3. Host DMA is off-chip in either mode.
+        // fp32 work items move half the bytes per word
+        // (wordEnergyScale_); deps are intra-program, so the
+        // producer's scale is the same item's.
         result.memoryEnergyJ +=
-            static_cast<double>(words_[g]) *
+            wordEnergyScale_[w] * static_cast<double>(words_[g]) *
             (static_cast<UnitKind>(unitKind_[g]) == UnitKind::Dma
                  ? dram
                  : buffer);
@@ -286,6 +306,7 @@ ExecutionContext::run(const hw::AcceleratorConfig &config,
                 !config.outOfOrder &&
                 g - producer > CostModel::inOrderForwardWindow;
             result.memoryEnergyJ +=
+                wordEnergyScale_[w] *
                 static_cast<double>(words_[producer]) *
                 (spilled ? 2.0 * dram : buffer);
         }
@@ -371,12 +392,16 @@ ExecutionContext::run(const hw::AcceleratorConfig &config,
         }
     }
 
-    // Read back the deltas.
+    // Read back the deltas (widened to double for fp32 work items).
     for (std::size_t w = 0; w < programs_.size(); ++w)
         for (const comp::DeltaBinding &binding : programs_[w]->deltas)
             result.deltas[w].emplace(
                 binding.key,
-                std::get<mat::Vector>(executors_[w].slot(binding.slot)));
+                std::visit(
+                    [&](const auto &executor) {
+                        return executor.deltaAt(binding.slot);
+                    },
+                    executors_[w]));
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <memory>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "hw/accelerator.hpp"
@@ -98,7 +99,15 @@ class ExecutionContext
     std::vector<std::uint64_t> latency_;
     std::vector<double> dynamicNj_;
     std::vector<std::uint64_t> words_;
-    std::vector<comp::Executor> executors_;
+    /** Per-work-item memory-energy scale (0.5 for fp32 programs). */
+    std::vector<double> wordEnergyScale_;
+    /**
+     * One interpreter per work item, instantiated at the precision the
+     * program is tagged with (DESIGN.md §12): fp64 programs run the
+     * double interpreter, fp32 programs the float one.
+     */
+    std::vector<std::variant<comp::Executor, comp::Executor32>>
+        executors_;
     std::unique_ptr<Scheduler> outOfOrder_;
     std::unique_ptr<Scheduler> inOrder_;
 

@@ -187,10 +187,12 @@ ProtocolServer::dispatch(const std::string &line)
         }
         if (op == "metrics")
             return "{\"ok\":true,\"op\":\"metrics\",\"metrics\":" +
-                   Engine::metricsJson() + "}";
+                   Engine::metricsJson() +
+                   ",\"tenants\":" + tenantsJson() + "}";
         if (op == "health")
             return "{\"ok\":true,\"op\":\"health\",\"health\":" +
-                   engine_.healthJson() + "}";
+                   engine_.healthJson() +
+                   ",\"tenants\":" + tenantsJson() + "}";
         return errorResponse("unknown_op",
                              "unsupported op \"" + op + "\"");
     } catch (const std::exception &failure) {
@@ -205,44 +207,77 @@ ProtocolServer::handleSubmit(const json::Value &request)
 {
     std::string app;
     std::string algorithm;
+    std::string precision;
+    std::string tenant;
     std::uint64_t seed = 1;
     std::string error;
     if (!readString(request, "app", "", /*required=*/true, app,
                     &error) ||
         !readString(request, "algorithm", "", /*required=*/false,
                     algorithm, &error) ||
+        !readString(request, "precision", "", /*required=*/false,
+                    precision, &error) ||
+        !readString(request, "tenant", "", /*required=*/false, tenant,
+                    &error) ||
         !readUint(request, "seed", 1, /*required=*/false, seed,
-                  &error))
+                  &error)) {
+        if (!tenant.empty())
+            ++tenants_[tenant].rejects;
         return error;
+    }
+
+    auto reject = [&](const char *type, const std::string &message) {
+        if (!tenant.empty())
+            ++tenants_[tenant].rejects;
+        return errorResponse(type, message);
+    };
+
+    if (!precision.empty()) {
+        comp::Precision requested = comp::Precision::Fp64;
+        if (!comp::parsePrecision(precision.c_str(), requested))
+            return reject("bad_value",
+                          "field \"precision\" must be \"fp64\" or "
+                          "\"fp32\"");
+        if (requested != engine_.precision())
+            return reject(
+                "precision_mismatch",
+                std::string("engine serves ") +
+                    comp::precisionName(engine_.precision()) +
+                    ", request asserted " +
+                    comp::precisionName(requested));
+    }
 
     auto factory = apps_.find(app);
     if (factory == apps_.end())
-        return errorResponse("unknown_app",
-                             "no application \"" + app + "\"");
+        return reject("unknown_app",
+                      "no application \"" + app + "\"");
 
     SubmittedGraph submitted;
     try {
         submitted = factory->second(
             algorithm, static_cast<unsigned>(seed));
     } catch (const std::invalid_argument &failure) {
-        return errorResponse("unknown_algorithm", failure.what());
+        return reject("unknown_algorithm", failure.what());
     }
 
     const std::uint64_t fingerprint =
         graphFingerprint(submitted.graph, submitted.initial);
     auto state = std::make_unique<SessionState>(SessionState{
-        app, fg::FactorGraph(),
+        app, tenant, fg::FactorGraph(),
         engine_.session(submitted.graph, std::move(submitted.initial),
                         submitted.stepScale, /*algorithm_tag=*/0,
                         app)});
     state->graph = std::move(submitted.graph);
 
+    if (!tenant.empty())
+        ++tenants_[tenant].sessions;
     const std::uint64_t id = nextSession_++;
     sessions_[id] = std::move(state);
     return "{\"ok\":true,\"op\":\"submit\",\"session\":" +
            std::to_string(id) + ",\"app\":" + json::quote(app) +
            ",\"fingerprint\":\"" + hexFingerprint(fingerprint) +
-           "\"}";
+           "\",\"precision\":\"" +
+           comp::precisionName(engine_.precision()) + "\"}";
 }
 
 std::string
@@ -266,8 +301,24 @@ ProtocolServer::handleStep(const json::Value &request)
 
     SessionState &state = *it->second;
     std::uint64_t cycles = 0;
-    for (std::uint64_t frame = 0; frame < frames; ++frame)
-        cycles += state.session.step().cycles;
+    std::uint64_t stepped = 0;
+    try {
+        for (std::uint64_t frame = 0; frame < frames; ++frame) {
+            cycles += state.session.step().cycles;
+            ++stepped;
+        }
+    } catch (...) {
+        // Attribute the work done and the rejection before the
+        // dispatch-level handler turns the throw into "internal".
+        if (!state.tenant.empty()) {
+            TenantStats &stats = tenants_[state.tenant];
+            stats.steps += stepped;
+            ++stats.rejects;
+        }
+        throw;
+    }
+    if (!state.tenant.empty())
+        tenants_[state.tenant].steps += stepped;
     return "{\"ok\":true,\"op\":\"step\",\"session\":" +
            std::to_string(id) +
            ",\"frames\":" + std::to_string(frames) +
@@ -313,6 +364,24 @@ ProtocolServer::handleValues(const json::Value &request)
         }
     }
     out += "}}";
+    return out;
+}
+
+std::string
+ProtocolServer::tenantsJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[tenant, stats] : tenants_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += json::quote(tenant) + ":{\"sessions\":" +
+               std::to_string(stats.sessions) +
+               ",\"steps\":" + std::to_string(stats.steps) +
+               ",\"rejects\":" + std::to_string(stats.rejects) + "}";
+    }
+    out += "}";
     return out;
 }
 

@@ -41,9 +41,17 @@ struct SubmittedGraph
  * unknown fields are ignored everywhere, malformed requests yield a
  * typed error response and never tear the server down):
  *
- *   {"op":"submit","app":A[,"algorithm":G][,"seed":N]}
+ *   {"op":"submit","app":A[,"algorithm":G][,"seed":N]
+ *                 [,"precision":P][,"tenant":T]}
  *       -> {"ok":true,"op":"submit","session":S,"app":A,
- *           "fingerprint":"<16 hex>"}
+ *           "fingerprint":"<16 hex>","precision":"fp64"|"fp32"}
+ *          A "precision" field is an assertion, not a request: the
+ *          engine's datapath is fixed at construction, so a value
+ *          that parses but differs from the engine's mode is
+ *          answered with "precision_mismatch" instead of silently
+ *          serving the other width. A "tenant" tag attributes the
+ *          session (and every later step on it) to that tenant in
+ *          the per-tenant counters below.
  *   {"op":"step","session":S[,"frames":N]}
  *       -> {"ok":true,"op":"step","session":S,"frames":N,
  *           "total_frames":T,"cycles":C,"objective":E}
@@ -53,15 +61,22 @@ struct SubmittedGraph
  *          mean bit-identical state)
  *   {"op":"close","session":S}   -> {"ok":true,...}
  *   {"op":"apps"}                -> {"ok":true,"apps":[names]}
- *   {"op":"metrics"}             -> {"ok":true,"metrics":{registry}}
- *   {"op":"health"}              -> {"ok":true,"health":{engine}}
+ *   {"op":"metrics"}             -> {"ok":true,"metrics":{registry},
+ *                                    "tenants":{T:{counters}}}
+ *   {"op":"health"}              -> {"ok":true,"health":{engine},
+ *                                    "tenants":{T:{counters}}}
+ *
+ * Per-tenant counters (tagged submissions only, sorted by tenant):
+ * {"sessions":N,"steps":N,"rejects":N} — sessions opened, frames
+ * stepped, and requests answered {"ok":false,...} on that tenant's
+ * behalf.
  *
  * Every error response is {"ok":false,"error":T,"message":M} with T
  * one of: "oversized", "parse_error", "bad_request" (top level not an
  * object), "missing_field", "bad_type", "bad_value", "unknown_op",
- * "unknown_app", "unknown_algorithm", "unknown_session", "internal"
- * (the request was well-formed but serving it threw — e.g. a frame
- * exhausted the degradation ladder).
+ * "unknown_app", "unknown_algorithm", "unknown_session",
+ * "precision_mismatch", "internal" (the request was well-formed but
+ * serving it threw — e.g. a frame exhausted the degradation ladder).
  *
  * Not thread-safe: one ProtocolServer serves one request stream, the
  * engine underneath is the shared, thread-safe tier.
@@ -99,8 +114,17 @@ class ProtocolServer
     struct SessionState
     {
         std::string app;
+        std::string tenant;    //!< "" when the submit was untagged.
         fg::FactorGraph graph; //!< Kept for objective reporting.
         Session session;
+    };
+
+    /** Serving attribution for one tenant tag. */
+    struct TenantStats
+    {
+        std::uint64_t sessions = 0; //!< Submits accepted.
+        std::uint64_t steps = 0;    //!< Frames stepped.
+        std::uint64_t rejects = 0;  //!< Requests answered ok:false.
     };
 
     std::string dispatch(const std::string &line);
@@ -108,11 +132,13 @@ class ProtocolServer
     std::string handleStep(const json::Value &request);
     std::string handleValues(const json::Value &request);
     std::string handleClose(const json::Value &request);
+    std::string tenantsJson() const;
 
     Engine &engine_;
     ProtocolOptions options_;
     std::map<std::string, AppFactory> apps_;
     std::map<std::uint64_t, std::unique_ptr<SessionState>> sessions_;
+    std::map<std::string, TenantStats> tenants_;
     std::uint64_t nextSession_ = 1;
     std::uint64_t requests_ = 0;
     std::uint64_t errors_ = 0;

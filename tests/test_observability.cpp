@@ -207,7 +207,12 @@ TEST(MetricsRegistryJson, ServedSessionsProduceDerivedRates)
 
     const auto truth = chainTruth();
     const fg::FactorGraph graph = chainGraph(truth);
-    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    // Pinned fp64: exact compile counters — an fp32 engine would also
+    // compile each session's reference fallback.
+    runtime::EngineOptions options;
+    options.precision = comp::Precision::Fp64;
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
+                           options);
     for (int client = 0; client < 3; ++client) {
         runtime::Session session = engine.session(
             graph, chainInitial(truth, 0.01 * (client + 1)));

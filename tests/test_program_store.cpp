@@ -143,9 +143,11 @@ TEST(EncodingFuzz, RandomProgramsRoundTripBitIdentically)
 TEST(EncodingFuzz, VersionOneStreamsDecodeIdentically)
 {
     // The v1 container layout is byte-identical to v2 (v2 only added
-    // opcodes), so a v2 stream without fused instructions re-stamped
-    // as v1 must decode to the very same program.
-    ASSERT_GE(comp::encodingVersion(), 2u);
+    // opcodes), and v3 only appended the precision tag after the
+    // algorithm byte — so a v3 stream without fused instructions,
+    // re-stamped as v1 with the tag stripped, must decode to the very
+    // same (Fp64) program.
+    ASSERT_GE(comp::encodingVersion(), 3u);
     ASSERT_EQ(comp::minEncodingVersion(), 1u);
     std::mt19937 rng(7);
     Values values;
@@ -153,11 +155,21 @@ TEST(EncodingFuzz, VersionOneStreamsDecodeIdentically)
     // No pass pipeline: raw codegen output has no fused (v2) opcodes.
     const Program original = comp::compileGraph(graph, values);
     auto bytes = comp::encodeProgram(original);
-    ASSERT_EQ(bytes[4], 2); // Version field, little-endian.
+    ASSERT_EQ(bytes[4], 3); // Version field, little-endian.
+    // Layout: magic(4) version(4) name(4+len) algorithm(1) precision(1).
+    const std::uint32_t name_len =
+        static_cast<std::uint32_t>(bytes[8]) |
+        static_cast<std::uint32_t>(bytes[9]) << 8 |
+        static_cast<std::uint32_t>(bytes[10]) << 16 |
+        static_cast<std::uint32_t>(bytes[11]) << 24;
+    const std::size_t precision_at = 12 + name_len + 1;
+    ASSERT_EQ(bytes.at(precision_at), 0); // Fp64 tag.
     auto v1 = bytes;
+    v1.erase(v1.begin() + static_cast<std::ptrdiff_t>(precision_at));
     v1[4] = 1;
     const Program decoded = comp::decodeProgram(v1);
-    // Canonical re-encode equals the v2 stream bit for bit.
+    EXPECT_EQ(decoded.precision, comp::Precision::Fp64);
+    // Canonical re-encode equals the v3 stream bit for bit.
     EXPECT_EQ(comp::encodeProgram(decoded), bytes);
 
     comp::Executor exec_a(original);
@@ -167,6 +179,34 @@ TEST(EncodingFuzz, VersionOneStreamsDecodeIdentically)
     ASSERT_EQ(da.size(), db.size());
     for (const auto &[key, delta] : da)
         EXPECT_EQ(mat::maxDifference(delta, db.at(key)), 0.0);
+}
+
+TEST(EncodingFuzz, PrecisionTagRoundTripsAndRejectsBadValues)
+{
+    std::mt19937 rng(9);
+    Values values;
+    FactorGraph graph = randomChain(values, rng);
+    comp::CompileOptions options;
+    options.precision = comp::Precision::Fp32;
+    Program program = comp::compileGraph(graph, values, options);
+    ASSERT_EQ(program.precision, comp::Precision::Fp32);
+
+    auto bytes = comp::encodeProgram(program);
+    const Program decoded = comp::decodeProgram(bytes);
+    EXPECT_EQ(decoded.precision, comp::Precision::Fp32);
+    EXPECT_EQ(comp::encodeProgram(decoded), bytes);
+
+    // Locate and corrupt the precision byte: decoding must throw, not
+    // fabricate a precision.
+    const std::uint32_t name_len =
+        static_cast<std::uint32_t>(bytes[8]) |
+        static_cast<std::uint32_t>(bytes[9]) << 8 |
+        static_cast<std::uint32_t>(bytes[10]) << 16 |
+        static_cast<std::uint32_t>(bytes[11]) << 24;
+    const std::size_t precision_at = 12 + name_len + 1;
+    ASSERT_EQ(bytes.at(precision_at), 1); // Fp32 tag.
+    bytes[precision_at] = 0x7f;
+    EXPECT_THROW(comp::decodeProgram(bytes), std::runtime_error);
 }
 
 // --- Store round trip and validation ladder -------------------------
@@ -353,7 +393,9 @@ TEST(ProgramStore, UnusableDirectoryIsPermanentlyColdNotFatal)
     EXPECT_EQ(store.stats().writeFailures, 1u);
 
     // An Engine over the broken store keeps serving (compiles).
+    // Pinned fp64: one compile exactly (no fp32 reference fallback).
     runtime::EngineOptions options;
+    options.precision = comp::Precision::Fp64;
     options.storeDir = blocker + "/sub";
     runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
                            options);
@@ -408,7 +450,11 @@ TEST(ProgramStore, EngineWarmRestartServesWithZeroCompiles)
     Values values;
     FactorGraph graph = richGraph(values, rng);
 
+    // Pinned fp64: the exact entry/compile counts below are the
+    // single-artifact contract (an fp32 engine adds the salted
+    // program and the reference fallback — test_precision.cpp).
     runtime::EngineOptions options;
+    options.precision = comp::Precision::Fp64;
     options.storeDir = dir;
 
     Values cold_result;
@@ -446,16 +492,20 @@ TEST(ProgramStore, CorruptedEntryDegradesToByteIdenticalCompile)
     Values values;
     FactorGraph graph = richGraph(values, rng);
 
-    // Ground truth: a store-less engine.
+    // Ground truth: a store-less engine. Everything pins fp64 — the
+    // corruption drill relies on exactly one entry in the directory.
+    runtime::EngineOptions fp64;
+    fp64.precision = comp::Precision::Fp64;
     Values baseline;
     {
-        runtime::Engine plain(hw::AcceleratorConfig::minimal(true));
+        runtime::Engine plain(hw::AcceleratorConfig::minimal(true),
+                              fp64);
         runtime::Session session = plain.session(graph, values);
         session.iterate(3);
         baseline = session.values();
     }
 
-    runtime::EngineOptions options;
+    runtime::EngineOptions options = fp64;
     options.storeDir = dir;
     {
         runtime::Engine cold(hw::AcceleratorConfig::minimal(true),

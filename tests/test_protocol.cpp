@@ -30,12 +30,24 @@ using runtime::SubmittedGraph;
 class ProtocolTest : public ::testing::Test
 {
   protected:
-    ProtocolTest()
-        : engine_(hw::AcceleratorConfig::minimal(true)),
-          server_(engine_)
+    /**
+     * Pinned fp64 regardless of ORIANNA_PRECISION: the exact compile
+     * counts and "precision":"fp64" assertions below are the fp64
+     * contract (the fp32 side constructs its own engine).
+     */
+    static runtime::EngineOptions
+    fp64Options()
+    {
+        runtime::EngineOptions options;
+        options.precision = comp::Precision::Fp64;
+        return options;
+    }
+
+    static void
+    registerApps(ProtocolServer &server)
     {
         for (const apps::AppKind kind : apps::allApps()) {
-            server_.registerApp(
+            server.registerApp(
                 apps::appName(kind),
                 [kind](const std::string &algorithm, unsigned seed) {
                     apps::BenchmarkApp app = apps::buildApp(kind, seed);
@@ -49,6 +61,13 @@ class ProtocolTest : public ::testing::Test
                                           chosen->stepScale};
                 });
         }
+    }
+
+    ProtocolTest()
+        : engine_(hw::AcceleratorConfig::minimal(true), fp64Options()),
+          server_(engine_)
+    {
+        registerApps(server_);
     }
 
     /** Handle @p line and parse the response (throws when invalid). */
@@ -287,6 +306,93 @@ TEST_F(ProtocolTest, MetricsAndHealthEmbedEngineState)
         EXPECT_EQ(test::counterValue(metrics->at("metrics"),
                                      "engine.compiles"),
                   compiles_before + 1.0);
+}
+
+TEST_F(ProtocolTest, SubmitReportsAndAssertsPrecision)
+{
+    // The submit response always carries the engine's datapath.
+    const JsonPtr plain = roundTrip(
+        R"({"op":"submit","app":"MobileRobot"})");
+    ASSERT_TRUE(plain->at("ok").boolean);
+    EXPECT_EQ(plain->at("precision").asString(), "fp64");
+
+    // A matching assertion is accepted ("double" is an alias)...
+    const JsonPtr asserted = roundTrip(
+        R"({"op":"submit","app":"MobileRobot","precision":"double"})");
+    EXPECT_TRUE(asserted->at("ok").boolean);
+
+    // ...a well-formed mismatch is a typed error, a malformed value a
+    // bad_value — neither opens a session.
+    const std::size_t open = server_.openSessions();
+    expectError(
+        R"({"op":"submit","app":"MobileRobot","precision":"fp32"})",
+        "precision_mismatch");
+    expectError(
+        R"({"op":"submit","app":"MobileRobot","precision":"fp16"})",
+        "bad_value");
+    EXPECT_EQ(server_.openSessions(), open);
+
+    // Health advertises the same datapath the submits asserted on.
+    const JsonPtr health = roundTrip(R"({"op":"health"})");
+    EXPECT_EQ(health->at("health").at("precision").asString(),
+              "fp64");
+
+    // And symmetrically for an fp32 engine's server.
+    runtime::EngineOptions options;
+    options.precision = comp::Precision::Fp32;
+    runtime::Engine engine32(hw::AcceleratorConfig::minimal(true),
+                             options);
+    ProtocolServer server32(engine32);
+    registerApps(server32);
+    const JsonPtr narrow = parseJson(server32.handle(
+        R"({"op":"submit","app":"MobileRobot","precision":"fp32"})"));
+    ASSERT_TRUE(narrow->at("ok").boolean);
+    EXPECT_EQ(narrow->at("precision").asString(), "fp32");
+    const JsonPtr wide = parseJson(server32.handle(
+        R"({"op":"submit","app":"MobileRobot","precision":"fp64"})"));
+    EXPECT_FALSE(wide->at("ok").boolean);
+    EXPECT_EQ(wide->at("error").asString(), "precision_mismatch");
+}
+
+TEST_F(ProtocolTest, TenantTagsAttributeSessionsStepsAndRejects)
+{
+    // Untagged traffic leaves the tenant map empty.
+    const JsonPtr none = roundTrip(R"({"op":"health"})");
+    EXPECT_TRUE(none->at("tenants").asObject().empty());
+
+    const JsonPtr a1 = roundTrip(
+        R"({"op":"submit","app":"MobileRobot","tenant":"alice"})");
+    ASSERT_TRUE(a1->at("ok").boolean);
+    const std::string a_session = std::to_string(
+        static_cast<std::uint64_t>(numberField(*a1, "session")));
+    roundTrip(R"({"op":"submit","app":"Quadrotor","tenant":"bob"})");
+
+    // alice steps 3 frames; bob's second submit is rejected.
+    EXPECT_TRUE(roundTrip(R"({"op":"step","session":)" + a_session +
+                          R"(,"frames":3})")
+                    ->at("ok")
+                    .boolean);
+    expectError(
+        R"({"op":"submit","app":"NoSuchApp","tenant":"bob"})",
+        "unknown_app");
+
+    for (const char *op : {"health", "metrics"}) {
+        const JsonPtr snap = roundTrip(
+            std::string("{\"op\":\"") + op + "\"}");
+        ASSERT_TRUE(snap->at("ok").boolean) << op;
+        const auto &tenants = snap->at("tenants");
+        EXPECT_EQ(numberField(tenants.at("alice"), "sessions"), 1.0);
+        EXPECT_EQ(numberField(tenants.at("alice"), "steps"), 3.0);
+        EXPECT_EQ(numberField(tenants.at("alice"), "rejects"), 0.0);
+        EXPECT_EQ(numberField(tenants.at("bob"), "sessions"), 1.0);
+        EXPECT_EQ(numberField(tenants.at("bob"), "steps"), 0.0);
+        EXPECT_EQ(numberField(tenants.at("bob"), "rejects"), 1.0);
+    }
+
+    // An untagged submit still goes uncounted alongside tagged ones.
+    roundTrip(R"({"op":"submit","app":"MobileRobot","seed":8})");
+    const JsonPtr after = roundTrip(R"({"op":"health"})");
+    EXPECT_EQ(after->at("tenants").asObject().size(), 2u);
 }
 
 } // namespace

@@ -224,15 +224,20 @@ TEST(Degradation, CorruptFramesFallBackBitIdentical)
     const fg::FactorGraph graph = chainGraph(truth);
     const fg::Values initial = chainInitial(truth);
 
-    // Clean engine: the ground truth for the degraded results.
-    runtime::Engine clean(hw::AcceleratorConfig::minimal(true));
+    // Clean engine: the ground truth for the degraded results. Both
+    // engines pin fp64 — the bit-identity below is the fp64
+    // pass-equivalence contract (the fp32 rung has its own test in
+    // test_precision.cpp).
+    runtime::EngineOptions fp64;
+    fp64.precision = comp::Precision::Fp64;
+    runtime::Engine clean(hw::AcceleratorConfig::minimal(true), fp64);
     runtime::Session clean_session =
         clean.session(graph, initial);
     clean_session.iterate(3);
 
     // Every instruction of every attempt corrupts, so each frame
     // burns the full retry budget and lands on the reference rung.
-    runtime::EngineOptions options;
+    runtime::EngineOptions options = fp64;
     options.faultPlan = hw::FaultPlan::parse("9@corrupt:all:1.0");
     runtime::Engine faulty(hw::AcceleratorConfig::minimal(true),
                            options);
@@ -339,7 +344,11 @@ TEST(Degradation, FaultFreeEngineIsUnchanged)
     const fg::Values initial = chainInitial(truth);
 
     // No fault source: no reference compile, no retries, status ok.
-    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    // Pinned fp64 — an fp32 datapath IS a fault source (DESIGN.md
+    // §12) and would provision the fallback this test rules out.
+    runtime::EngineOptions fp64;
+    fp64.precision = comp::Precision::Fp64;
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true), fp64);
     runtime::Session session = engine.session(graph, initial);
     session.iterate(2);
     EXPECT_FALSE(session.hasFallback());

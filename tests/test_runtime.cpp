@@ -355,7 +355,13 @@ TEST(Engine, SessionsIterateThroughTheSharedProgram)
     const auto truth = chainTruth();
     const fg::FactorGraph graph = chainGraph(truth);
 
-    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    // Exact compile counts are an fp64 contract: an fp32 engine also
+    // compiles the reference fallback (tested in test_precision.cpp),
+    // so pin the datapath against ORIANNA_PRECISION.
+    runtime::EngineOptions options;
+    options.precision = comp::Precision::Fp64;
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
+                           options);
     runtime::Session a = engine.session(graph, chainInitial(truth, 0.02));
     runtime::Session b = engine.session(graph, chainInitial(truth, 0.04));
     EXPECT_EQ(engine.stats().compiles, 1u);
@@ -605,7 +611,12 @@ TEST(Engine, ConcurrentRequestsOfOneGraphCompileOnce)
     const fg::FactorGraph graph = chainGraph(truth);
     const fg::Values shapes = chainInitial(truth, 0.01);
 
-    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    // Pinned fp64: the compile-log fingerprint below is the unsalted
+    // graph fingerprint (an fp32 engine would salt the cache key).
+    runtime::EngineOptions options;
+    options.precision = comp::Precision::Fp64;
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true),
+                           options);
     constexpr std::size_t kThreads = 8;
     std::vector<std::shared_ptr<const comp::Program>> got(kThreads);
     {

@@ -151,8 +151,12 @@ TEST(EngineGroupTest, SingleFlightDedupAcrossReplicas)
 
     constexpr unsigned kReplicas = 4;
     runtime::ServerPool pool(kReplicas);
+    // Pinned fp64: exact compile counts — an fp32 group would also
+    // compile each session's reference fallback.
+    runtime::EngineOptions fp64;
+    fp64.precision = comp::Precision::Fp64;
     runtime::EngineGroup group(hw::AcceleratorConfig::minimal(true),
-                               kReplicas);
+                               fp64, kReplicas);
     runtime::AdmissionController admission(pool, {});
 
     // Every replica opens the same graph at once: the group's shared

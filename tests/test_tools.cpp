@@ -252,8 +252,12 @@ TEST(RuntimeServerTool, ProtocolSessionRoundTrip)
         R"({"op":"values","session":1})" "\n"
         R"({"op":"close","session":1})" "\n"
         R"({"op":"health"})" "\n";
-    const ToolRun result = runCapture(ORIANNA_RUNTIME_SERVER,
-                                      requests, "proto");
+    // --precision fp64 pins the datapath against ORIANNA_PRECISION
+    // in the environment: "compiles":1 below is the fp64 contract
+    // (an fp32 server also compiles the reference fallback).
+    const ToolRun result = runCapture(
+        std::string(ORIANNA_RUNTIME_SERVER) + " --precision fp64",
+        requests, "proto");
     EXPECT_EQ(result.status, 0); // No request errored.
     const auto lines = result.lines();
     ASSERT_EQ(lines.size(), 6u);
@@ -306,8 +310,10 @@ TEST(RuntimeServerTool, WarmRestartServesFromStoreByteIdentically)
     // compiles) and its response lines are byte-identical.
     const std::string dir = tmpPath("warm_cache");
     std::filesystem::remove_all(dir);
-    const std::string command =
-        std::string(ORIANNA_RUNTIME_SERVER) + " --cache-dir " + dir;
+    // Pinned fp64 (see ProtocolSessionRoundTrip): single-artifact
+    // store counts.
+    const std::string command = std::string(ORIANNA_RUNTIME_SERVER) +
+                                " --precision fp64 --cache-dir " + dir;
     const std::string requests =
         R"({"op":"submit","app":"MobileRobot","seed":7})" "\n"
         R"({"op":"step","session":1,"frames":3})" "\n"
@@ -356,7 +362,9 @@ TEST(RuntimeServerTool, ConcurrentStorePopulationSurvivesRestart)
     // warm process serves all three programs without compiling.
     const std::string dir = tmpPath("race_cache");
     std::filesystem::remove_all(dir);
-    const std::string tool = ORIANNA_RUNTIME_SERVER;
+    // Pinned fp64 (see ProtocolSessionRoundTrip): exact store counts.
+    const std::string tool =
+        std::string(ORIANNA_RUNTIME_SERVER) + " --precision fp64";
     const std::string in_a = tmpPath("race_a_stdin.txt");
     const std::string in_b = tmpPath("race_b_stdin.txt");
     {

@@ -79,8 +79,12 @@ usage(const char *argv0)
                  "[--passes LIST] [--list-passes] "
                  "[--dump-ir PREFIX] [--verify-passes] "
                  "[--inject-faults SPEC] [--fallback] [--simd TIER] "
-                 "[--cache-dir DIR] [--no-store]\n"
+                 "[--precision P] [--cache-dir DIR] [--no-store]\n"
                  "  --iterate N and --threads N require N >= 1\n"
+                 "  --precision takes fp64 or fp32 (default: "
+                 "ORIANNA_PRECISION, else fp64); fp32 compiles for "
+                 "the single-precision datapath and provisions the "
+                 "fp64 reference fallback\n"
                  "  --cache-dir DIR reuses compiled programs from the "
                  "persistent store in DIR (created if absent); "
                  "--no-store ignores it\n"
@@ -150,6 +154,13 @@ main(int argc, char **argv)
     bool fallback = false;
     std::string cache_dir;
     bool no_store = false;
+    comp::Precision precision = comp::Precision::Fp64;
+    {
+        // Same resolution order as the Engine: flag > env > fp64.
+        const char *env = std::getenv("ORIANNA_PRECISION");
+        if (env != nullptr)
+            comp::parsePrecision(env, precision);
+    }
     std::size_t iterations = 1;
     unsigned threads = 0; // 0: hardware_concurrency.
     for (int i = 1; i < argc; ++i) {
@@ -193,6 +204,14 @@ main(int argc, char **argv)
             fault_spec = argv[++i];
         } else if (arg == "--fallback") {
             fallback = true;
+        } else if (arg == "--precision" && i + 1 < argc) {
+            if (!comp::parsePrecision(argv[++i], precision)) {
+                std::fprintf(stderr,
+                             "error: --precision: unknown mode "
+                             "\"%s\"\n",
+                             argv[i]);
+                return usage(argv[0]);
+            }
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             cache_dir = argv[++i];
         } else if (arg == "--no-store") {
@@ -222,6 +241,7 @@ main(int argc, char **argv)
         runtime::TraceCollector::setEnabled(true);
     std::printf("simd: %s\n",
                 mat::kernels::simdCapabilityString().c_str());
+    std::printf("precision: %s\n", comp::precisionName(precision));
 
     try {
         fg::PoseGraphData data = fg::loadG2o(input);
@@ -243,6 +263,7 @@ main(int argc, char **argv)
         comp::CompileOptions options;
         options.name = input;
         options.ordering = fg::ordering::minDegree(data.graph);
+        options.precision = precision;
         const comp::PassManager pipeline =
             comp::PassManager::parse(passes_spec);
 
@@ -257,6 +278,10 @@ main(int argc, char **argv)
                 std::make_unique<runtime::ProgramStore>(cache_dir);
             fingerprint =
                 runtime::graphFingerprint(data.graph, data.initial);
+            // Same precision salt the Engine applies, so fp32 and
+            // fp64 artifacts of one graph coexist in one directory.
+            if (precision == comp::Precision::Fp32)
+                fingerprint ^= runtime::Engine::kFp32Salt;
         }
 
         comp::Program program;
@@ -364,9 +389,14 @@ main(int argc, char **argv)
                         std::make_shared<const hw::FaultInjector>(
                             hw::FaultPlan::parse(fault_spec));
                 sopts.policy.fallback = fallback;
-                if (fallback && sopts.injector != nullptr) {
+                if (fallback &&
+                    (sopts.injector != nullptr ||
+                     precision == comp::Precision::Fp32)) {
+                    // The fallback rung is always the fp64 reference.
+                    comp::CompileOptions ref_options = options;
+                    ref_options.precision = comp::Precision::Fp64;
                     comp::Program reference = comp::compileGraph(
-                        data.graph, data.initial, options);
+                        data.graph, data.initial, ref_options);
                     comp::PassManager::parse("dedup,dce")
                         .run(reference, pass_options);
                     sopts.fallback =
@@ -426,6 +456,7 @@ main(int argc, char **argv)
                     engine_options.faultPlan =
                         hw::FaultPlan::parse(fault_spec);
                 engine_options.degradation.fallback = fallback;
+                engine_options.precision = precision;
                 if (!no_store)
                     engine_options.storeDir = cache_dir;
                 runtime::EngineGroup group(
