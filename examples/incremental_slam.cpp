@@ -1,103 +1,79 @@
-// Incremental (iSAM-style) smoothing on a growing pose graph: the
-// square-root-SAM substrate the paper builds on ([10][11]), processed
-// frame by frame. Each update re-eliminates only the ordering suffix
-// the new measurements touch — watch the re-elimination counts stay
-// flat for odometry and jump for loop closures.
+// Incremental (iSAM-style) smoothing on the accelerator path
+// (DESIGN.md §13): a manhattan-world pose graph streamed frame by
+// frame through the AcceleratedSmoother. Each odometry frame
+// re-eliminates only the short ordering suffix the new measurements
+// touch, compiled to an update program and served through the
+// runtime Engine; loop closures reach deeper and relinearize-all
+// frames fall back to the batch reference rung. Watch the session
+// cache amortize compiles across frames that share a suffix shape.
 
-#include <chrono>
 #include <cstdio>
-#include <random>
 
-#include "apps/common.hpp"
-#include "fg/factors.hpp"
+#include "apps/pose_graph.hpp"
 #include "fg/incremental.hpp"
 #include "fg/optimizer.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/incremental.hpp"
 
 using namespace orianna;
-using fg::IncrementalSmoother;
-using lie::Pose;
-using mat::Vector;
 
 int
 main()
 {
-    std::mt19937 rng(5);
-    const std::size_t frames = 60;
+    const apps::PoseGraphScenario scenario =
+        apps::makeManhattanWorld(120, /*seed=*/5);
+    std::printf("scenario %s: %zu frames, %zu loop closures\n",
+                scenario.name.c_str(), scenario.frames.size(),
+                scenario.loopClosureFrames());
 
-    // Ground truth: a loop in the plane, revisiting the start.
-    std::vector<Pose> truth;
-    Pose current = Pose::identity(2);
-    for (std::size_t i = 0; i < frames; ++i) {
-        truth.push_back(current);
-        current = current.oplus(
-            Pose(Vector{6.28 / static_cast<double>(frames)},
-                 Vector{0.5, 0.0}));
-    }
+    runtime::Engine engine(hw::AcceleratorConfig::minimal(true));
+    runtime::AcceleratedSmoother smoother(engine);
 
-    fg::IncrementalParams params;
-    params.relinearizeInterval = 15;
-    IncrementalSmoother smoother(params);
-    smoother.addVariable(0u, truth[0]);
-    smoother.addFactor(std::make_shared<fg::PriorFactor>(
-        0u, truth[0], fg::isotropicSigmas(3, 0.01)));
-    smoother.update();
-
-    double total_ms = 0.0;
-    std::size_t total_eliminations = 0;
-    for (std::size_t i = 1; i < frames; ++i) {
-        const Pose odom = apps::perturbPose(
-            truth[i].ominus(truth[i - 1]), rng, 0.005, 0.02);
-        const Pose guess = smoother.estimate().pose(i - 1).oplus(odom);
-        smoother.addVariable(i, guess);
-        smoother.addFactor(std::make_shared<fg::BetweenFactor>(
-            i - 1, i, odom, fg::isotropicSigmas(3, 0.02)));
-        // A loop closure back to the start at the end of the lap.
-        if (i == frames - 1)
-            smoother.addFactor(std::make_shared<fg::BetweenFactor>(
-                0u, i,
-                apps::perturbPose(truth[i].ominus(truth[0]), rng,
-                                  0.002, 0.005),
-                fg::isotropicSigmas(3, 0.005)));
-
-        const auto start = std::chrono::steady_clock::now();
-        const auto stats = smoother.update();
-        const auto stop = std::chrono::steady_clock::now();
-        const double ms =
-            std::chrono::duration<double, std::milli>(stop - start)
-                .count();
-        total_ms += ms;
-        total_eliminations += stats.eliminatedVariables;
-        if (i % 10 == 0 || i == frames - 1 || stats.relinearized)
-            std::printf("frame %2zu: re-eliminated %2zu/%zu variables"
-                        "%s  (%.2f ms)\n",
-                        i, stats.eliminatedVariables,
+    std::uint64_t total_cycles = 0;
+    for (std::size_t i = 0; i < scenario.frames.size(); ++i) {
+        const apps::PoseGraphFrame &frame = scenario.frames[i];
+        smoother.addVariable(frame.key,
+                             scenario.initial.pose(frame.key));
+        for (const fg::FactorPtr &factor : frame.factors)
+            smoother.addFactor(factor);
+        const fg::UpdateStats stats = smoother.update();
+        total_cycles += smoother.stats().lastCycles;
+        if (i % 20 == 0 || frame.loopClosure || stats.relinearized)
+            std::printf("frame %3zu: suffix %3zu of %3zu%s%s, "
+                        "%llu cycles\n",
+                        i, smoother.stats().lastSuffix,
                         stats.totalVariables,
+                        frame.loopClosure ? " [loop closure]" : "",
                         stats.relinearized ? " [relinearized]" : "",
-                        ms);
+                        static_cast<unsigned long long>(
+                            smoother.stats().lastCycles));
     }
 
-    // Accuracy against truth.
-    double mean_err = 0.0;
+    const runtime::AcceleratedSmootherStats &stats = smoother.stats();
+    const runtime::Engine::Stats engine_stats = engine.stats();
+    std::printf("\n%zu accelerated suffix frames, %zu batch "
+                "(relinearize-all) frames, %zu CPU frames\n",
+                stats.acceleratedFrames, stats.batchFrames,
+                stats.cpuFrames);
+    std::printf("session cache: %zu opened, %zu reused; engine: "
+                "%zu compile(s), %zu cache hit(s)\n",
+                stats.sessionsOpened, stats.sessionReuses,
+                engine_stats.compiles, engine_stats.cacheHits);
+    std::printf("total %llu simulated cycles (%.1f us @167MHz)\n",
+                static_cast<unsigned long long>(total_cycles),
+                static_cast<double>(total_cycles) / 167.0);
+
+    // The incremental answer lands on the batch Gauss-Newton solution
+    // of the same graph.
+    const auto batch =
+        fg::optimize(scenario.graph(), smoother.estimate());
+    double worst = 0.0;
     const fg::Values estimate = smoother.estimate();
-    for (std::size_t i = 0; i < frames; ++i)
-        mean_err += (estimate.pose(i).t() - truth[i].t()).norm();
-    mean_err /= static_cast<double>(frames);
-
-    std::printf("\n%zu frames: mean position error %.3f m, "
-                "%.1f eliminations/frame (batch would be %zu), "
-                "total %.1f ms\n",
-                frames, mean_err,
-                static_cast<double>(total_eliminations) /
-                    static_cast<double>(frames - 1),
-                frames, total_ms);
-
-    // Compare against the full batch solve of the same graph.
-    const auto t0 = std::chrono::steady_clock::now();
-    auto batch = fg::optimize(smoother.graph(), estimate);
-    const auto t1 = std::chrono::steady_clock::now();
-    std::printf("batch re-solve of the final graph: %.1f ms "
-                "(incremental amortizes this across frames)\n",
-                std::chrono::duration<double, std::milli>(t1 - t0)
-                    .count());
+    for (fg::Key key : estimate.keys())
+        worst = std::max(worst, (estimate.pose(key).t() -
+                                 batch.values.pose(key).t())
+                                    .norm());
+    std::printf("max position delta vs batch re-solve: %.2e m\n",
+                worst);
     return 0;
 }

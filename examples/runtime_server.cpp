@@ -41,6 +41,7 @@
 #include <string>
 
 #include "apps/benchmark_apps.hpp"
+#include "apps/pose_graph.hpp"
 #include "fg/factors.hpp"
 #include "matrix/simd.hpp"
 #include "runtime/admission.hpp"
@@ -163,6 +164,52 @@ registerBenchmarkApps(runtime::ProtocolServer &server)
     }
 }
 
+/**
+ * Register the pose-graph corpus scenarios (DESIGN.md §13) as
+ * submittable graph sources. Each submit generates the scenario at
+ * the lite (committed data/g2o) scale for the requested seed and
+ * flattens the frame stream into one batch graph; the "algorithm"
+ * field is unused and must stay empty or "batch".
+ */
+void
+registerPoseGraphApps(runtime::ProtocolServer &server)
+{
+    using Maker = apps::PoseGraphScenario (*)(unsigned seed);
+    static constexpr struct
+    {
+        const char *name;
+        Maker make;
+    } kScenarios[] = {
+        {"Manhattan",
+         [](unsigned seed) {
+             return apps::makeManhattanWorld(120, seed);
+         }},
+        {"Sphere",
+         [](unsigned seed) {
+             return apps::makeSphereWorld(6, 20, seed);
+         }},
+        {"Garage", [](unsigned seed) {
+             return apps::makeGarageWorld(5, 24, seed);
+         }}};
+    for (const auto &entry : kScenarios) {
+        server.registerApp(
+            entry.name,
+            [&entry](const std::string &algorithm, unsigned seed) {
+                if (!algorithm.empty() && algorithm != "batch")
+                    throw std::invalid_argument(
+                        "pose-graph scenario \"" +
+                        std::string(entry.name) +
+                        "\" has no algorithm \"" + algorithm + "\"");
+                const apps::PoseGraphScenario scenario =
+                    entry.make(seed);
+                runtime::SubmittedGraph out;
+                out.graph = scenario.graph();
+                out.initial = scenario.initial;
+                return out;
+            });
+    }
+}
+
 /** The JSON protocol loop: the default server mode. */
 int
 runProtocol(const ServerArgs &args)
@@ -176,6 +223,7 @@ runProtocol(const ServerArgs &args)
 
     runtime::ProtocolServer server(engine);
     registerBenchmarkApps(server);
+    registerPoseGraphApps(server);
 
     // Diagnostics strictly on stderr: stdout is the protocol channel.
     std::fprintf(stderr, "simd: %s\n",

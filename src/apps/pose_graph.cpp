@@ -1,0 +1,298 @@
+#include "apps/pose_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+#include "apps/common.hpp"
+#include "apps/sphere.hpp"
+#include "fg/factors.hpp"
+
+namespace orianna::apps {
+
+fg::FactorGraph
+PoseGraphScenario::graph() const
+{
+    fg::FactorGraph out;
+    for (const PoseGraphFrame &frame : frames)
+        for (const fg::FactorPtr &factor : frame.factors)
+            out.add(factor);
+    return out;
+}
+
+std::size_t
+PoseGraphScenario::loopClosureFrames() const
+{
+    std::size_t n = 0;
+    for (const PoseGraphFrame &frame : frames)
+        n += frame.loopClosure ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+/** Shared scenario assembly from truth + edges (generators only). */
+struct EdgeSpec
+{
+    std::size_t i;
+    std::size_t j;
+    Pose measurement;
+    double sigma;
+};
+
+PoseGraphScenario
+assemble(std::string name, const std::vector<Pose> &truth,
+         const std::vector<EdgeSpec> &edges, double prior_sigma)
+{
+    PoseGraphScenario scenario;
+    scenario.name = std::move(name);
+    scenario.spaceDim = truth.front().spaceDim();
+    const std::size_t dof = truth.front().dof();
+
+    // Edges grouped by their later endpoint: the frame they arrive
+    // in when the dataset is replayed pose by pose.
+    std::map<std::size_t, std::vector<const EdgeSpec *>> by_frame;
+    for (const EdgeSpec &edge : edges)
+        by_frame[std::max(edge.i, edge.j)].push_back(&edge);
+
+    for (std::size_t k = 0; k < truth.size(); ++k) {
+        scenario.truth.insert(k, truth[k]);
+        PoseGraphFrame frame;
+        frame.key = k;
+        if (k == 0) {
+            scenario.initial.insert(0u, truth[0]);
+            frame.factors.push_back(
+                std::make_shared<fg::PriorFactor>(
+                    0u, truth[0],
+                    fg::isotropicSigmas(dof, prior_sigma)));
+        }
+        for (const EdgeSpec *edge : by_frame[k]) {
+            frame.factors.push_back(
+                std::make_shared<fg::BetweenFactor>(
+                    edge->i, edge->j, edge->measurement,
+                    fg::isotropicSigmas(dof, edge->sigma)));
+            if (std::max(edge->i, edge->j) -
+                    std::min(edge->i, edge->j) >
+                1)
+                frame.loopClosure = true;
+            // Dead-reckon the initial guess along the odometry chain.
+            if (edge->j == k && edge->i + 1 == k)
+                scenario.initial.insert(
+                    k, scenario.initial.pose(k - 1).oplus(
+                           edge->measurement));
+        }
+        if (!scenario.initial.exists(k))
+            throw std::logic_error(
+                "pose_graph: pose " + std::to_string(k) +
+                " has no incoming odometry edge");
+        scenario.frames.push_back(std::move(frame));
+    }
+    return scenario;
+}
+
+} // namespace
+
+PoseGraphScenario
+makeManhattanWorld(std::size_t poses, unsigned seed,
+                   double rot_noise, double trans_noise)
+{
+    if (poses < 2)
+        throw std::invalid_argument(
+            "makeManhattanWorld: need at least 2 poses");
+    constexpr double pi = std::numbers::pi;
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> turn(0, 3);
+
+    // Unit-grid random walk with 90-degree turns, staying in a
+    // bounded block so the walk actually revisits intersections.
+    std::vector<Pose> truth;
+    std::vector<int> cell_x;
+    std::vector<int> cell_y;
+    double heading = 0.0;
+    int x = 0;
+    int y = 0;
+    for (std::size_t i = 0; i < poses; ++i) {
+        truth.emplace_back(Vector{heading},
+                           Vector{static_cast<double>(x),
+                                  static_cast<double>(y)});
+        cell_x.push_back(x);
+        cell_y.push_back(y);
+        // Turn at every third intersection on average; bounce off
+        // the walls of a city block sized to the trajectory.
+        const int bound = std::max(
+            3, static_cast<int>(std::sqrt(
+                   static_cast<double>(poses))) /
+                   2);
+        const int t = turn(rng);
+        if (t == 0)
+            heading += pi / 2.0;
+        else if (t == 1)
+            heading -= pi / 2.0;
+        const int dx = static_cast<int>(std::round(std::cos(heading)));
+        const int dy = static_cast<int>(std::round(std::sin(heading)));
+        if (std::abs(x + dx) > bound || std::abs(y + dy) > bound) {
+            heading += pi; // Dead end: turn around.
+            x -= dx;
+            y -= dy;
+        } else {
+            x += dx;
+            y += dy;
+        }
+    }
+
+    auto relative = [&](std::size_t i, std::size_t j) {
+        return truth[j].ominus(truth[i]);
+    };
+    std::vector<EdgeSpec> edges;
+    for (std::size_t i = 0; i + 1 < poses; ++i)
+        edges.push_back({i, i + 1,
+                         perturbPose(relative(i, i + 1), rng,
+                                     rot_noise, trans_noise),
+                         trans_noise});
+
+    // Loop closures: revisiting an intersection seen at least ten
+    // poses ago produces a scan-match edge to the earlier visit.
+    std::map<std::pair<int, int>, std::size_t> last_visit;
+    for (std::size_t i = 0; i < poses; ++i) {
+        const std::pair<int, int> cell{cell_x[i], cell_y[i]};
+        auto it = last_visit.find(cell);
+        if (it != last_visit.end() && i - it->second >= 10)
+            edges.push_back({it->second, i,
+                             perturbPose(relative(it->second, i), rng,
+                                         0.1 * rot_noise,
+                                         0.1 * trans_noise),
+                             0.1 * trans_noise});
+        last_visit[cell] = i;
+    }
+
+    return assemble("manhattan-" + std::to_string(poses), truth,
+                    edges, 1e-3);
+}
+
+PoseGraphScenario
+makeSphereWorld(std::size_t rings, std::size_t per_ring,
+                unsigned seed)
+{
+    const SphereDataset data =
+        makeSphere(rings, per_ring, /*radius=*/5.0, seed);
+    std::vector<EdgeSpec> edges;
+    edges.reserve(data.edges.size());
+    for (const SphereDataset::Edge &edge : data.edges)
+        edges.push_back(
+            {edge.i, edge.j, edge.measurement, edge.sigma});
+    return assemble("sphere-" +
+                        std::to_string(rings * per_ring),
+                    data.truth, edges, 1e-3);
+}
+
+PoseGraphScenario
+makeGarageWorld(std::size_t laps, std::size_t per_lap, unsigned seed,
+                double rot_noise, double trans_noise)
+{
+    if (laps < 2 || per_lap < 4)
+        throw std::invalid_argument(
+            "makeGarageWorld: need >= 2 laps of >= 4 poses");
+    constexpr double pi = std::numbers::pi;
+    std::mt19937 rng(seed);
+
+    // Helical ramp: each lap circles the garage once and climbs one
+    // floor, as in the parking-garage dataset.
+    const double radius = 8.0;
+    const double floor_height = 2.5;
+    std::vector<Pose> truth;
+    for (std::size_t lap = 0; lap < laps; ++lap) {
+        for (std::size_t k = 0; k < per_lap; ++k) {
+            const double frac = static_cast<double>(k) /
+                                static_cast<double>(per_lap);
+            const double azimuth = 2.0 * pi * frac;
+            Vector position{radius * std::cos(azimuth),
+                            radius * std::sin(azimuth),
+                            floor_height *
+                                (static_cast<double>(lap) + frac)};
+            Vector heading{0.0, 0.0, azimuth + pi / 2.0};
+            truth.emplace_back(heading, position);
+        }
+    }
+
+    const std::size_t n = truth.size();
+    auto relative = [&](std::size_t i, std::size_t j) {
+        return truth[j].ominus(truth[i]);
+    };
+    std::vector<EdgeSpec> edges;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        edges.push_back({i, i + 1,
+                         perturbPose(relative(i, i + 1), rng,
+                                     rot_noise, trans_noise),
+                         trans_noise});
+    // Vertical closures: the ramp passes directly over the pose one
+    // lap below.
+    for (std::size_t i = per_lap; i < n; ++i)
+        edges.push_back({i - per_lap, i,
+                         perturbPose(relative(i - per_lap, i), rng,
+                                     0.1 * rot_noise,
+                                     0.1 * trans_noise),
+                         0.1 * trans_noise});
+
+    return assemble("garage-" + std::to_string(n), truth, edges,
+                    1e-3);
+}
+
+PoseGraphScenario
+scenarioFromG2o(const fg::PoseGraphData &data, std::string name)
+{
+    const std::vector<fg::Key> keys = data.initial.keys();
+    if (keys.empty())
+        throw std::invalid_argument(
+            "scenarioFromG2o: dataset has no poses");
+    std::map<fg::Key, std::size_t> order;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        order[keys[i]] = i;
+
+    PoseGraphScenario scenario;
+    scenario.name = std::move(name);
+    scenario.spaceDim = data.initial.pose(keys.front()).spaceDim();
+    scenario.initial = data.initial;
+
+    // Group each factor under its latest endpoint (the frame it
+    // becomes evaluable in when poses arrive in key order).
+    std::vector<std::vector<fg::FactorPtr>> by_frame(keys.size());
+    std::vector<bool> closure(keys.size(), false);
+    for (std::size_t f = 0; f < data.graph.size(); ++f) {
+        const fg::FactorPtr factor = data.graph.factorPtr(f);
+        std::size_t latest = 0;
+        std::size_t earliest = keys.size();
+        for (fg::Key key : factor->keys()) {
+            auto it = order.find(key);
+            if (it == order.end())
+                throw std::invalid_argument(
+                    "scenarioFromG2o: factor references a pose "
+                    "without a vertex record");
+            latest = std::max(latest, it->second);
+            earliest = std::min(earliest, it->second);
+        }
+        by_frame[latest].push_back(factor);
+        if (latest - earliest > 1)
+            closure[latest] = true;
+    }
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        PoseGraphFrame frame;
+        frame.key = keys[i];
+        frame.loopClosure = closure[i];
+        if (i == 0)
+            frame.factors.push_back(
+                std::make_shared<fg::PriorFactor>(
+                    keys[0], data.initial.pose(keys[0]),
+                    fg::isotropicSigmas(
+                        data.initial.dof(keys[0]), 1e-3)));
+        for (fg::FactorPtr &factor : by_frame[i])
+            frame.factors.push_back(std::move(factor));
+        scenario.frames.push_back(std::move(frame));
+    }
+    return scenario;
+}
+
+} // namespace orianna::apps

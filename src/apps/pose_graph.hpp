@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fg/graph.hpp"
+#include "fg/io_g2o.hpp"
+#include "lie/pose.hpp"
+
+namespace orianna::apps {
+
+/**
+ * One frame of a pose-graph stream: the pose that becomes observable
+ * this frame and the measurements that arrive with it. Frame 0
+ * carries the anchoring prior; every later frame carries at least
+ * the odometry edge from the previous pose, plus any loop closures
+ * that close back to earlier poses.
+ */
+struct PoseGraphFrame
+{
+    fg::Key key = 0;
+    std::vector<fg::FactorPtr> factors;
+    /** Any edge reaching back beyond the previous pose. */
+    bool loopClosure = false;
+};
+
+/**
+ * A pose-graph SLAM scenario in streamable form, the corpus the
+ * incremental benchmarks and tests run over (DESIGN.md §13). The
+ * frame decomposition is what distinguishes it from a plain
+ * FactorGraph: it replays the dataset the way a robot produced it,
+ * which is the access pattern incremental smoothing is built for —
+ * odometry frames touch a short ordering suffix, loop-closure
+ * frames reach deep.
+ *
+ * Generated scenarios model the classic published datasets
+ * (manhattan/M3500, sphere2500, parking-garage) at configurable
+ * scale; scenarioFromG2o() derives the same structure from any g2o
+ * file, so real downloaded corpora drop in unchanged.
+ */
+struct PoseGraphScenario
+{
+    std::string name;
+    std::size_t spaceDim = 2; //!< 2 (SE2) or 3 (SE3).
+    fg::Values initial;       //!< Dead-reckoned initial guesses.
+    fg::Values truth;         //!< Ground truth (empty for g2o loads).
+    std::vector<PoseGraphFrame> frames;
+
+    /** All factors of all frames, flattened for a batch solve. */
+    fg::FactorGraph graph() const;
+
+    /** Loop-closure frames (for the bench's odometry/closure split). */
+    std::size_t loopClosureFrames() const;
+};
+
+/**
+ * Manhattan-world SE2 trajectory in the M3500 style [Olson06]: a
+ * unit-grid random walk with 90-degree turns, loop closures whenever
+ * the walk revisits a grid cell it has seen before. Deterministic in
+ * @p seed.
+ */
+PoseGraphScenario makeManhattanWorld(std::size_t poses,
+                                     unsigned seed,
+                                     double rot_noise = 0.01,
+                                     double trans_noise = 0.03);
+
+/**
+ * Sphere SE3 trajectory in the sphere2500 style: ascending rings
+ * with odometry along the scan and scan-match closures to the ring
+ * below (the Fig. 9 dataset, streamed).
+ */
+PoseGraphScenario makeSphereWorld(std::size_t rings,
+                                  std::size_t per_ring,
+                                  unsigned seed);
+
+/**
+ * Parking-garage SE3 trajectory in the parking-garage style: stacked
+ * helical laps with vertical closures between floors.
+ */
+PoseGraphScenario makeGarageWorld(std::size_t laps,
+                                  std::size_t per_lap,
+                                  unsigned seed,
+                                  double rot_noise = 0.005,
+                                  double trans_noise = 0.02);
+
+/**
+ * Derive the frame stream of a loaded g2o dataset: poses in key
+ * order, each edge attached to the frame of its later endpoint, an
+ * anchoring prior on the first pose. Edges that reach further back
+ * than the previous pose mark their frame as a loop closure.
+ */
+PoseGraphScenario scenarioFromG2o(const fg::PoseGraphData &data,
+                                  std::string name);
+
+} // namespace orianna::apps

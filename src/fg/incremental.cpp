@@ -38,15 +38,24 @@ IncrementalSmoother::orderingPosition(Key key) const
 UpdateStats
 IncrementalSmoother::update()
 {
+    // Decide whether this update relinearizes everything. An
+    // interval of 0 means "never relinearize on interval"
+    // (threshold-only, the iSAM fixed-point regime). The interval
+    // trigger only fires when there is new information to fold in;
+    // the threshold trigger fires regardless, so a factor-less
+    // update() can still fold a large tangent solution into the
+    // linearization point.
+    bool relinearize =
+        updates_ == 0 || (params_.relinearizeInterval > 0 &&
+                          updates_ % params_.relinearizeInterval == 0);
     if (pendingFactors_.empty() && updates_ > 0)
-        return {0, ordering_.size(), false};
-
-    // Decide whether this update relinearizes everything.
-    bool relinearize = updates_ == 0 ||
-                       (updates_ % params_.relinearizeInterval) == 0;
+        relinearize = false;
     for (const auto &[key, d] : delta_)
         if (d.maxAbs() > params_.relinearizeThreshold)
             relinearize = true;
+
+    if (pendingFactors_.empty() && updates_ > 0 && !relinearize)
+        return {0, ordering_.size(), false};
 
     // Incorporate the queued factors.
     std::size_t affected_start = ordering_.size();
@@ -156,92 +165,226 @@ IncrementalSmoother::relinearizeAll()
     eliminateFrom(0);
 }
 
-void
-IncrementalSmoother::eliminateFrom(std::size_t start)
+SuffixSchedule
+IncrementalSmoother::buildSchedule(std::size_t start) const
 {
+    SuffixSchedule sched;
+    sched.start = start;
+    for (std::size_t p = start; p < ordering_.size(); ++p) {
+        sched.variables.push_back(ordering_[p]);
+        sched.dofs.push_back(dofs_.at(ordering_[p]));
+    }
+
+    // Alive rows in canonical order: marginal priors first (in their
+    // stored order), then original factor rows by factor index, then
+    // carries by the step that created them. relinearizeAll() builds
+    // rows_ in exactly this order, so a batch elimination gathers
+    // rows the same way — that shared order is what makes an
+    // incremental update bit-identical to a batch solve at the same
+    // linearization point. After an incremental rollback the freshly
+    // linearized factor rows sit behind older carries in rows_, and
+    // the sort restores the batch order.
+    std::vector<std::size_t> alive;
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+        if (rows_[i].consumedStep == SIZE_MAX)
+            alive.push_back(i);
+    auto rank = [this](std::size_t i) {
+        const RowRecord &r = rows_[i];
+        if (r.isPrior)
+            return std::pair<int, std::size_t>(0, i);
+        if (r.createdStep == SIZE_MAX)
+            return std::pair<int, std::size_t>(1, r.row.factorIndex);
+        return std::pair<int, std::size_t>(2, r.createdStep);
+    };
+    std::stable_sort(alive.begin(), alive.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return rank(a) < rank(b);
+                     });
+    sched.inputRows = alive;
+
+    // Symbolic elimination over the (key set, row count) images.
+    struct Sym
+    {
+        std::vector<Key> cols;
+        std::size_t dim = 0;
+        bool consumed = false;
+    };
+    std::vector<Sym> sym;
+    sym.reserve(alive.size());
+    for (std::size_t i : alive) {
+        Sym s;
+        for (const auto &[key, block] : rows_[i].row.blocks)
+            s.cols.push_back(key);
+        s.dim = rows_[i].row.rhs.size();
+        sym.push_back(std::move(s));
+    }
+
     for (std::size_t step = start; step < ordering_.size(); ++step) {
         const Key v = ordering_[step];
-
-        std::vector<std::size_t> touching;
-        for (std::size_t i = 0; i < rows_.size(); ++i)
-            if (rows_[i].consumedStep == SIZE_MAX &&
-                rows_[i].row.blocks.count(v))
-                touching.push_back(i);
-        if (touching.empty())
+        SuffixSchedule::Step plan;
+        for (std::size_t i = 0; i < sym.size(); ++i)
+            if (!sym[i].consumed &&
+                std::find(sym[i].cols.begin(), sym[i].cols.end(), v) !=
+                    sym[i].cols.end())
+                plan.rowRefs.push_back(i);
+        if (plan.rowRefs.empty())
             throw std::runtime_error(
                 "IncrementalSmoother: variable " + std::to_string(v) +
                 " has no adjacent factors");
 
-        std::vector<Key> involved{v};
-        for (std::size_t i : touching)
-            for (const auto &[key, block] : rows_[i].row.blocks)
+        plan.columns.push_back(v);
+        for (std::size_t i : plan.rowRefs)
+            for (Key key : sym[i].cols)
                 if (key != v &&
-                    std::find(involved.begin(), involved.end(), key) ==
-                        involved.end())
-                    involved.push_back(key);
-        std::sort(involved.begin() + 1, involved.end());
+                    std::find(plan.columns.begin(), plan.columns.end(),
+                              key) == plan.columns.end())
+                    plan.columns.push_back(key);
+        std::sort(plan.columns.begin() + 1, plan.columns.end());
+
+        for (Key key : plan.columns)
+            plan.ncols += dofs_.at(key);
+        for (std::size_t i : plan.rowRefs) {
+            plan.nrows += sym[i].dim;
+            sym[i].consumed = true;
+        }
+        const std::size_t dv = dofs_.at(v);
+        if (plan.nrows < dv)
+            throw std::runtime_error(
+                "IncrementalSmoother: variable " + std::to_string(v) +
+                " is underdetermined");
+        if (plan.nrows > dv && plan.columns.size() > 1)
+            plan.kept = std::min(plan.nrows, plan.ncols) - dv;
+        if (plan.kept > 0) {
+            Sym carry;
+            carry.cols.assign(plan.columns.begin() + 1,
+                              plan.columns.end());
+            carry.dim = plan.kept;
+            sym.push_back(std::move(carry));
+        }
+        sched.steps.push_back(std::move(plan));
+    }
+    return sched;
+}
+
+SuffixSolution
+solveSuffixOnCpu(const SuffixSchedule &schedule,
+                 const std::vector<const LinearRow *> &rows)
+{
+    std::map<Key, std::size_t> dof;
+    for (std::size_t i = 0; i < schedule.variables.size(); ++i)
+        dof[schedule.variables[i]] = schedule.dofs[i];
+
+    SuffixSolution sol;
+    std::vector<LinearRow> carries;
+    for (const SuffixSchedule::Step &plan : schedule.steps) {
+        const Key v = plan.columns.front();
+        const std::size_t dv = dof.at(v);
 
         std::map<Key, std::size_t> col_offset;
         std::size_t ncols = 0;
-        for (Key key : involved) {
+        for (Key key : plan.columns) {
             col_offset[key] = ncols;
-            ncols += dofs_.at(key);
+            ncols += dof.at(key);
         }
-        std::size_t nrows = 0;
-        for (std::size_t i : touching)
-            nrows += rows_[i].row.rhs.size();
 
-        Matrix abar(nrows, ncols);
-        Vector bbar(nrows);
+        Matrix abar(plan.nrows, ncols);
+        Vector bbar(plan.nrows);
         std::size_t row_offset = 0;
-        for (std::size_t i : touching) {
-            const LinearRow &lr = rows_[i].row;
+        for (std::size_t ref : plan.rowRefs) {
+            const LinearRow &lr =
+                ref < rows.size() ? *rows[ref]
+                                  : carries[ref - rows.size()];
             for (const auto &[key, block] : lr.blocks)
                 abar.setBlock(row_offset, col_offset.at(key), block);
             bbar.setSegment(row_offset, lr.rhs);
             row_offset += lr.rhs.size();
-            rows_[i].consumedStep = step;
         }
 
         mat::QrResult qr = mat::householderQr(abar, bbar);
-        const std::size_t dv = dofs_.at(v);
-        if (nrows < dv)
-            throw std::runtime_error(
-                "IncrementalSmoother: variable " + std::to_string(v) +
-                " is underdetermined");
 
         Conditional cond;
         cond.key = v;
         cond.rSelf = qr.r.block(0, 0, dv, dv);
         cond.rhs = qr.rhs.segment(0, dv);
-        for (Key key : involved) {
+        for (Key key : plan.columns) {
             if (key == v)
                 continue;
             cond.rParents.emplace(
                 key,
-                qr.r.block(0, col_offset.at(key), dv, dofs_.at(key)));
+                qr.r.block(0, col_offset.at(key), dv, dof.at(key)));
         }
-        if (conditionals_.size() <= step)
-            conditionals_.resize(step + 1);
-        conditionals_[step] = std::move(cond);
+        sol.conditionals.push_back(std::move(cond));
 
-        if (nrows > dv && involved.size() > 1) {
-            const std::size_t kept = std::min(nrows, ncols) - dv;
-            if (kept > 0) {
-                RowRecord fresh;
-                fresh.createdStep = step;
-                for (Key key : involved) {
-                    if (key == v)
-                        continue;
-                    fresh.row.blocks.emplace(
-                        key, qr.r.block(dv, col_offset.at(key), kept,
-                                        dofs_.at(key)));
-                }
-                fresh.row.rhs = qr.rhs.segment(dv, kept);
-                rows_.push_back(std::move(fresh));
+        if (plan.kept > 0) {
+            LinearRow fresh;
+            for (Key key : plan.columns) {
+                if (key == v)
+                    continue;
+                fresh.blocks.emplace(
+                    key, qr.r.block(dv, col_offset.at(key), plan.kept,
+                                    dof.at(key)));
             }
+            fresh.rhs = qr.rhs.segment(dv, plan.kept);
+            carries.push_back(fresh);
+            sol.carries.push_back(std::move(fresh));
         }
     }
+    return sol;
+}
+
+void
+IncrementalSmoother::eliminateFrom(std::size_t start)
+{
+    deviceDeltas_.clear();
+    if (start >= ordering_.size())
+        return;
+
+    SuffixSchedule schedule = buildSchedule(start);
+    std::vector<const LinearRow *> inputs;
+    inputs.reserve(schedule.inputRows.size());
+    for (std::size_t i : schedule.inputRows)
+        inputs.push_back(&rows_[i].row);
+    SuffixSolution solution = solver_
+                                  ? solver_->solve(schedule, inputs)
+                                  : solveSuffixOnCpu(schedule, inputs);
+
+    std::size_t carry_count = 0;
+    for (const SuffixSchedule::Step &plan : schedule.steps)
+        carry_count += plan.kept > 0 ? 1 : 0;
+    if (solution.conditionals.size() != schedule.steps.size() ||
+        solution.carries.size() != carry_count)
+        throw std::runtime_error(
+            "IncrementalSmoother: suffix solver returned a solution "
+            "that does not match the schedule");
+
+    // Integrate: stamp row lifetimes, store conditionals at their
+    // absolute ordering slots, append carry rows.
+    std::vector<std::size_t> carry_created;
+    std::vector<std::size_t> carry_consumed(carry_count, SIZE_MAX);
+    for (std::size_t si = 0; si < schedule.steps.size(); ++si) {
+        const SuffixSchedule::Step &plan = schedule.steps[si];
+        const std::size_t abs_step = schedule.start + si;
+        for (std::size_t ref : plan.rowRefs) {
+            if (ref < schedule.inputRows.size())
+                rows_[schedule.inputRows[ref]].consumedStep = abs_step;
+            else
+                carry_consumed[ref - schedule.inputRows.size()] =
+                    abs_step;
+        }
+        if (conditionals_.size() <= abs_step)
+            conditionals_.resize(abs_step + 1);
+        conditionals_[abs_step] = std::move(solution.conditionals[si]);
+        if (plan.kept > 0)
+            carry_created.push_back(abs_step);
+    }
+    for (std::size_t c = 0; c < solution.carries.size(); ++c) {
+        RowRecord record;
+        record.row = std::move(solution.carries[c]);
+        record.createdStep = carry_created[c];
+        record.consumedStep = carry_consumed[c];
+        rows_.push_back(std::move(record));
+    }
+    deviceDeltas_ = std::move(solution.deltas);
 }
 
 void
@@ -340,6 +483,15 @@ IncrementalSmoother::refreshDelta()
     delta_.clear();
     for (std::size_t i = conditionals_.size(); i-- > 0;) {
         const Conditional &cond = conditionals_[i];
+        // Suffix variables the solver already back-substituted (the
+        // accelerator runs the same parent-subtract / triangular-
+        // solve sequence on-device, so the values are interchangeable
+        // with the host computation below).
+        auto device = deviceDeltas_.find(cond.key);
+        if (device != deviceDeltas_.end()) {
+            delta_.emplace(cond.key, device->second);
+            continue;
+        }
         Vector rhs = cond.rhs;
         for (const auto &[parent, block] : cond.rParents)
             rhs -= block * delta_.at(parent);

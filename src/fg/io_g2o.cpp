@@ -17,16 +17,52 @@ using lie::Pose;
 
 /** sigmas from the information-matrix diagonal. */
 Vector
-sigmasFromInformationDiag(const std::vector<double> &diag)
+sigmasFromInformationDiag(const std::vector<double> &diag,
+                          const std::string &line)
 {
     Vector sigmas(diag.size());
     for (std::size_t i = 0; i < diag.size(); ++i) {
         if (diag[i] <= 0.0)
             throw std::runtime_error(
-                "readG2o: non-positive information diagonal");
+                "readG2o: non-positive information diagonal entry " +
+                std::to_string(diag[i]) + " in record: " + line);
         sigmas[i] = 1.0 / std::sqrt(diag[i]);
     }
     return sigmas;
+}
+
+/**
+ * Real benchmark files carry correlated (off-diagonal) information;
+ * our factors are diagonal-whitened, so those terms are dropped. Warn
+ * once per file so the approximation is visible to the caller.
+ */
+void
+warnOffDiagonal(PoseGraphData &data, bool &warned,
+                const std::string &tag)
+{
+    if (warned)
+        return;
+    warned = true;
+    data.warnings.push_back(
+        "dropped off-diagonal information terms (first on a " + tag +
+        " record); factors keep the diagonal only");
+}
+
+/** Normalize a quaternion to unit length before conversion. */
+Vector
+normalizedQuaternion(const Vector &q, const std::string &line)
+{
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < q.size(); ++i)
+        norm2 += q[i] * q[i];
+    if (!(norm2 > 0.0) || !std::isfinite(norm2))
+        throw std::runtime_error(
+            "readG2o: degenerate quaternion in record: " + line);
+    Vector unit(q.size());
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (std::size_t i = 0; i < q.size(); ++i)
+        unit[i] = q[i] * inv;
+    return unit;
 }
 
 [[noreturn]] void
@@ -41,6 +77,7 @@ PoseGraphData
 readG2o(std::istream &in)
 {
     PoseGraphData data;
+    bool warned_off_diag = false;
     std::string line;
     while (std::getline(in, line)) {
         std::istringstream ls(line);
@@ -60,8 +97,8 @@ readG2o(std::istream &in)
             double x, y, z, qx, qy, qz, qw;
             if (!(ls >> id >> x >> y >> z >> qx >> qy >> qz >> qw))
                 malformed(line);
-            const mat::Matrix r =
-                lie::fromQuaternion(Vector{qx, qy, qz, qw});
+            const mat::Matrix r = lie::fromQuaternion(
+                normalizedQuaternion(Vector{qx, qy, qz, qw}, line));
             data.initial.insert(
                 id, Pose(lie::logSo(r), Vector{x, y, z}));
         } else if (tag == "EDGE_SE2") {
@@ -74,11 +111,15 @@ readG2o(std::istream &in)
             for (double &v : info)
                 if (!(ls >> v))
                     malformed(line);
+            // Off-diagonal of the 3x3 upper triangle: I12 I13 I23.
+            if (info[1] != 0.0 || info[2] != 0.0 || info[4] != 0.0)
+                warnOffDiagonal(data, warned_off_diag, tag);
             // Our pose vector order is [theta; x; y]; g2o order is
             // (x, y, theta), so permute the diagonal.
             data.graph.emplace<BetweenFactor>(
                 i, j, Pose(Vector{dtheta}, Vector{dx, dy}),
-                sigmasFromInformationDiag({info[5], info[0], info[3]}));
+                sigmasFromInformationDiag(
+                    {info[5], info[0], info[3]}, line));
         } else if (tag == "EDGE_SE3:QUAT") {
             std::uint64_t i, j;
             double dx, dy, dz, qx, qy, qz, qw;
@@ -89,16 +130,26 @@ readG2o(std::istream &in)
             for (double &v : info)
                 if (!(ls >> v))
                     malformed(line);
-            const mat::Matrix r =
-                lie::fromQuaternion(Vector{qx, qy, qz, qw});
+            const mat::Matrix r = lie::fromQuaternion(
+                normalizedQuaternion(Vector{qx, qy, qz, qw}, line));
             // g2o tangent order is (x y z, rx ry rz); ours is
             // [phi(3); t(3)]. Upper-triangle diagonal indices of a
             // 6x6: 0, 6, 11, 15, 18, 20.
+            static constexpr std::size_t kDiag6[6] = {0,  6,  11,
+                                                      15, 18, 20};
+            for (std::size_t k = 0; k < 21 && !warned_off_diag; ++k) {
+                bool on_diag = false;
+                for (std::size_t d : kDiag6)
+                    on_diag = on_diag || k == d;
+                if (!on_diag && info[k] != 0.0)
+                    warnOffDiagonal(data, warned_off_diag, tag);
+            }
             data.graph.emplace<BetweenFactor>(
                 i, j, Pose(lie::logSo(r), Vector{dx, dy, dz}),
                 sigmasFromInformationDiag({info[15], info[18],
                                            info[20], info[0], info[6],
-                                           info[11]}));
+                                           info[11]},
+                                          line));
         } else {
             // Benign unsupported record (FIX, VERTEX_XY, EDGE_SE2_XY,
             // ... appear in published benchmark files alongside the

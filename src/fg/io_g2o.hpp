@@ -33,6 +33,13 @@ struct PoseGraphData
      * as FIX or VERTEX_XY (common in published benchmark files) do
      * not abort the load, they are collected here for the caller to
      * surface. Malformed records of a *supported* tag still throw.
+     *
+     * Also one entry (at most, per file) the first time an edge
+     * carries non-trivial off-diagonal information: those correlated
+     * terms are dropped by the diagonal approximation above, and
+     * that loss should be visible rather than silent. Quaternions in
+     * SE3 records are normalized before conversion, so slightly
+     * denormalized real-world files load without drift.
      */
     std::vector<std::string> warnings;
 };

@@ -171,8 +171,16 @@ Engine::program(const fg::FactorGraph &graph, const fg::Values &shapes,
     std::uint64_t key = graphFingerprint(graph, shapes, algorithm_tag);
     if (precision_ == comp::Precision::Fp32)
         key ^= kFp32Salt;
-    return compileCached(key, graph, shapes, algorithm_tag, name,
-                         pipeline_, precision_);
+    const comp::Precision precision = precision_;
+    return compileCached(
+        key, name, pipeline_, &shapes, [&, precision]() {
+            comp::CompileOptions options;
+            options.algorithmTag = algorithm_tag;
+            options.name = name;
+            options.precision = precision;
+            options.ordering = fg::ordering::minDegree(graph);
+            return comp::compileGraph(graph, shapes, options);
+        });
 }
 
 std::shared_ptr<const comp::Program>
@@ -187,18 +195,57 @@ Engine::referenceProgram(const fg::FactorGraph &graph,
     // artifact per graph.
     const std::uint64_t key =
         graphFingerprint(graph, shapes, algorithm_tag) ^ kReferenceSalt;
-    return compileCached(key, graph, shapes, algorithm_tag,
-                         name + " (reference)", referencePipeline_,
-                         comp::Precision::Fp64);
+    return compileCached(
+        key, name + " (reference)", referencePipeline_, &shapes, [&]() {
+            comp::CompileOptions options;
+            options.algorithmTag = algorithm_tag;
+            options.name = name + " (reference)";
+            options.precision = comp::Precision::Fp64;
+            options.ordering = fg::ordering::minDegree(graph);
+            return comp::compileGraph(graph, shapes, options);
+        });
 }
 
 std::shared_ptr<const comp::Program>
-Engine::compileCached(std::uint64_t key, const fg::FactorGraph &graph,
-                      const fg::Values &shapes,
-                      std::uint8_t algorithm_tag,
-                      const std::string &name,
+Engine::updateProgram(const comp::UpdateSpec &spec,
+                      const fg::Values &probe, const std::string &name)
+{
+    std::uint64_t key = comp::updateFingerprint(spec);
+    if (precision_ == comp::Precision::Fp32)
+        key ^= kFp32Salt;
+    const comp::Precision precision = precision_;
+    return compileCached(
+        key, name, pipeline_, &probe, [&, precision]() {
+            comp::UpdateSpec compiled = spec;
+            compiled.precision = precision;
+            compiled.name = name;
+            return comp::compileUpdate(compiled);
+        });
+}
+
+std::shared_ptr<const comp::Program>
+Engine::referenceUpdateProgram(const comp::UpdateSpec &spec,
+                               const fg::Values &probe,
+                               const std::string &name)
+{
+    // Like referenceProgram(): always fp64, cleanup-only pipeline,
+    // shared (unsalted by precision) across engines.
+    const std::uint64_t key =
+        comp::updateFingerprint(spec) ^ kReferenceSalt;
+    return compileCached(
+        key, name + " (reference)", referencePipeline_, &probe, [&]() {
+            comp::UpdateSpec compiled = spec;
+            compiled.precision = comp::Precision::Fp64;
+            compiled.name = name + " (reference)";
+            return comp::compileUpdate(compiled);
+        });
+}
+
+std::shared_ptr<const comp::Program>
+Engine::compileCached(std::uint64_t key, const std::string &name,
                       comp::PassManager &pipeline,
-                      comp::Precision precision)
+                      const fg::Values *probe,
+                      const std::function<comp::Program()> &build)
 {
     Shard &s = shard(key);
 
@@ -286,19 +333,13 @@ Engine::compileCached(std::uint64_t key, const fg::FactorGraph &graph,
     // parallel, requesters of this one wait on the future.
     try {
         const StageTimer compile_timer;
-        comp::CompileOptions options;
-        options.algorithmTag = algorithm_tag;
-        options.name = name;
-        options.precision = precision;
-        options.ordering = fg::ordering::minDegree(graph);
-        auto compiled = std::make_shared<comp::Program>(
-            comp::compileGraph(graph, shapes, options));
+        auto compiled = std::make_shared<comp::Program>(build());
 
         // The codegen output runs through the engine's pass pipeline;
-        // the caller's shapes double as the verification probe (they
-        // bind every variable the program loads).
+        // the caller's probe values double as the verification input
+        // (they bind every variable the program loads).
         comp::PassManager::RunOptions pass_options;
-        pass_options.probe = &shapes;
+        pass_options.probe = probe;
         pass_options.verify = options_.verifyPasses ||
                               comp::PassManager::verifyFromEnv();
         const std::vector<comp::PassStats> pass_stats =
@@ -484,6 +525,29 @@ Engine::session(const fg::FactorGraph &graph, fg::Values initial,
                    std::move(opts));
 }
 
+Session
+Engine::openSession(std::shared_ptr<const comp::Program> program,
+                    fg::Values initial,
+                    std::shared_ptr<const comp::Program> fallback,
+                    double step_scale, bool retract)
+{
+    SessionOptions opts;
+    opts.stepScale = step_scale;
+    opts.policy = options_.degradation;
+    opts.injector = injector_;
+    opts.health = health_;
+    opts.retract = retract;
+    if (options_.degradation.fallback)
+        opts.fallback = std::move(fallback);
+    if (MetricsRegistry::enabled())
+        MetricsRegistry::global()
+            .counter(std::string("engine.sessions.") +
+                     comp::precisionName(precision_))
+            .add();
+    return Session(std::move(program), std::move(initial), config_,
+                   std::move(opts));
+}
+
 /** See engine.hpp: reports the enclosing session span on death. */
 struct SessionTraceHandle
 {
@@ -543,7 +607,7 @@ Session::Session(std::shared_ptr<const comp::Program> program,
                  SessionOptions options)
     : program_(std::move(program)), values_(std::move(initial)),
       config_(std::move(config)), stepScale_(options.stepScale),
-      policy_(options.policy),
+      retract_(options.retract), policy_(options.policy),
       fallbackProgram_(std::move(options.fallback)),
       injector_(std::move(options.injector)),
       health_(std::move(options.health)),
@@ -727,10 +791,12 @@ Session::step()
     const std::uint64_t simulate_end =
         timed ? MetricsRegistry::nowUs() : 0;
 
-    if (stepScale_ != 1.0)
-        for (auto &[key, delta] : frame.deltas[0])
-            delta = delta * stepScale_;
-    values_.retractAll(frame.deltas[0]);
+    if (retract_) {
+        if (stepScale_ != 1.0)
+            for (auto &[key, delta] : frame.deltas[0])
+                delta = delta * stepScale_;
+        values_.retractAll(frame.deltas[0]);
+    }
     const std::uint64_t update_end =
         timed ? MetricsRegistry::nowUs() : 0;
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "compiler/codegen.hpp"
+#include "compiler/incremental_codegen.hpp"
 #include "compiler/pass_manager.hpp"
 #include "runtime/execution_context.hpp"
 
@@ -188,6 +190,9 @@ class Engine
 
     const hw::AcceleratorConfig &config() const { return config_; }
 
+    /** The options this engine was constructed with. */
+    const EngineOptions &engineOptions() const { return options_; }
+
     /** Resolved datapath precision this engine compiles for. */
     comp::Precision precision() const { return precision_; }
 
@@ -227,6 +232,50 @@ class Engine
                      const fg::Values &shapes,
                      std::uint8_t algorithm_tag = 0,
                      const std::string &name = "session");
+
+    /**
+     * Compile (or fetch) the incremental update program for @p spec
+     * (DESIGN.md §13): the suffix re-elimination + back-substitution
+     * of one affected-clique shape, with every numeric payload
+     * streamed per frame. Keyed by updateFingerprint(spec) with the
+     * same precision salting as program(), so the in-memory cache,
+     * the ProgramStore and replica caches all amortize update
+     * compiles across frames and across restarts. @p probe must bind
+     * every input key of comp::updateLayout(spec) (any frame's
+     * streamed values do); it seeds the per-pass equivalence
+     * verifier when that is armed.
+     */
+    std::shared_ptr<const comp::Program>
+    updateProgram(const comp::UpdateSpec &spec,
+                  const fg::Values &probe,
+                  const std::string &name = "update");
+
+    /**
+     * The cleanup-only fp64 twin of updateProgram(): the batch
+     * reference rung relinearize-all frames run on, and the
+     * degradation-ladder fallback of incremental sessions. Shares
+     * the cache under the same reference salt as referenceProgram().
+     */
+    std::shared_ptr<const comp::Program>
+    referenceUpdateProgram(const comp::UpdateSpec &spec,
+                           const fg::Values &probe,
+                           const std::string &name = "update");
+
+    /**
+     * Open a session around an already-compiled program (an update
+     * program, or anything else obtained from this engine), wiring
+     * in the engine's degradation policy, fault injector and health
+     * counters exactly as session() does. @p retract=false opens a
+     * compute-only session: step() leaves the session values
+     * untouched and the caller reads the frame's delta bindings —
+     * the mode incremental update programs need, whose synthetic
+     * keys are not retractable variables.
+     */
+    Session openSession(std::shared_ptr<const comp::Program> program,
+                        fg::Values initial,
+                        std::shared_ptr<const comp::Program> fallback =
+                            nullptr,
+                        double step_scale = 1.0, bool retract = true);
 
     /** The engine's fault injector, or nullptr when faults are off. */
     const hw::FaultInjector *injector() const
@@ -344,13 +393,17 @@ class Engine
 
     Shard &shard(std::uint64_t key) { return shards_[key % kShards]; }
 
-    /** Shared compile-or-fetch path of program()/referenceProgram(). */
+    /**
+     * Shared compile-or-fetch path of every program entry point:
+     * sharded single-flight cache, persistent-store consult, then
+     * @p build (which produces the raw codegen output the pipeline
+     * runs over). @p probe seeds the per-pass verifier; it must bind
+     * every LOADV key of the built program.
+     */
     std::shared_ptr<const comp::Program>
-    compileCached(std::uint64_t key, const fg::FactorGraph &graph,
-                  const fg::Values &shapes,
-                  std::uint8_t algorithm_tag, const std::string &name,
-                  comp::PassManager &pipeline,
-                  comp::Precision precision);
+    compileCached(std::uint64_t key, const std::string &name,
+                  comp::PassManager &pipeline, const fg::Values *probe,
+                  const std::function<comp::Program()> &build);
 
     hw::AcceleratorConfig config_;
     EngineOptions options_;
@@ -381,6 +434,14 @@ struct SessionOptions
     std::shared_ptr<const hw::FaultInjector> injector;
     /** Engine-wide health counters (null = session-local only). */
     std::shared_ptr<EngineHealth> health;
+    /**
+     * Retract each frame's deltas into the session values (the
+     * Gauss-Newton serving mode). False opens a compute-only
+     * session for programs whose delta bindings are raw results
+     * rather than variable updates (incremental update programs);
+     * step scaling is skipped too, the caller owns interpretation.
+     */
+    bool retract = true;
 };
 
 /**
@@ -464,6 +525,7 @@ class Session
     fg::Values values_;
     hw::AcceleratorConfig config_;
     double stepScale_;
+    bool retract_ = true;
     DegradationPolicy policy_;
     std::shared_ptr<const comp::Program> fallbackProgram_;
     std::shared_ptr<const hw::FaultInjector> injector_;

@@ -2,6 +2,7 @@
 // batch elimination at the same linearization point, and tracking of
 // the full nonlinear solution across a growing trajectory.
 
+#include <algorithm>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -186,6 +187,77 @@ TEST(Incremental, RelinearizationTriggersOnThreshold)
         fg::isotropicSigmas(3, 0.05)));
     stats = smoother.update();
     EXPECT_TRUE(stats.relinearized);
+}
+
+TEST(Incremental, RelinearizeIntervalZeroMeansNever)
+{
+    // interval = 0 disables interval-based relinearization entirely
+    // (it used to be a modulo-by-zero). With the threshold also out
+    // of reach, no update after the first may relinearize, and the
+    // run is indistinguishable from a huge interval.
+    const Stream s = makeStream(25, 2, 76);
+    fg::IncrementalParams never;
+    never.relinearizeInterval = 0;
+    never.relinearizeThreshold = 1e9;
+    IncrementalSmoother smoother(never);
+    smoother.addVariable(0u, s.truth[0]);
+    smoother.addFactor(std::make_shared<fg::PriorFactor>(
+        0u, s.truth[0], fg::isotropicSigmas(3, 0.01)));
+    EXPECT_TRUE(smoother.update().relinearized); // Initial batch.
+    for (std::size_t i = 1; i < 25; ++i) {
+        const Pose previous = smoother.estimate().pose(i - 1);
+        smoother.addVariable(i, previous.oplus(s.odometry[i - 1]));
+        smoother.addFactor(std::make_shared<fg::BetweenFactor>(
+            i - 1, i, s.odometry[i - 1],
+            fg::isotropicSigmas(3, 0.02)));
+        EXPECT_FALSE(smoother.update().relinearized)
+            << "frame " << i;
+    }
+
+    fg::IncrementalParams huge;
+    huge.relinearizeInterval = 1000;
+    huge.relinearizeThreshold = 1e9;
+    IncrementalSmoother reference = runStream(s, 25, huge);
+    for (std::size_t i = 0; i < 25; ++i)
+        EXPECT_LT(lie::poseDistance(smoother.estimate().pose(i),
+                                    reference.estimate().pose(i)),
+                  1e-12)
+            << "pose " << i;
+}
+
+TEST(Incremental, FactorlessUpdateRelinearizesOnThreshold)
+{
+    // The threshold check compares the delta of the *previous* solve,
+    // so a factor-less "polish" update is how a large correction gets
+    // folded into the linearization point. update() used to return
+    // early when no factors were pending, skipping that check.
+    const Stream s = makeStream(8, 2, 77);
+    fg::IncrementalParams params;
+    params.relinearizeInterval = 0;
+    params.relinearizeThreshold = 1e-3;
+    IncrementalSmoother smoother = runStream(s, 8, params);
+
+    // Pull the last pose well away from the estimate; the solve here
+    // leaves a delta far above the threshold.
+    smoother.addFactor(std::make_shared<fg::PriorFactor>(
+        7u,
+        smoother.estimate().pose(7).retract(Vector{0.4, 0.5, -0.5}),
+        fg::isotropicSigmas(3, 0.01)));
+    smoother.update();
+
+    const Values before = smoother.estimate();
+    auto stats = smoother.update(); // No pending factors.
+    EXPECT_TRUE(stats.relinearized);
+    EXPECT_EQ(stats.eliminatedVariables, stats.totalVariables);
+    EXPECT_EQ(stats.totalVariables, 8u);
+    // The polish moved the solution (one more Gauss-Newton step at
+    // the refreshed linearization point).
+    double moved = 0.0;
+    for (std::size_t i = 0; i < 8; ++i)
+        moved = std::max(moved,
+                         lie::poseDistance(before.pose(i),
+                                           smoother.estimate().pose(i)));
+    EXPECT_GT(moved, 0.0);
 }
 
 TEST(Incremental, ErrorsRejected)

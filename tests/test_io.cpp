@@ -209,6 +209,109 @@ TEST(G2o, UnsupportedRecordsSkippedWithWarnings)
     EXPECT_TRUE(fg::readG2o(ok).warnings.empty());
 }
 
+TEST(G2o, OffDiagonalInformationWarnsOncePerFile)
+{
+    // Correlated information is dropped (our factors whiten with a
+    // diagonal); the reader must say so, but exactly once per file
+    // no matter how many edges carry off-diagonal terms.
+    std::istringstream in("VERTEX_SE2 0 0 0 0\n"
+                          "VERTEX_SE2 1 1 0 0\n"
+                          "VERTEX_SE2 2 2 0 0\n"
+                          "EDGE_SE2 0 1 1 0 0 100 5 0 100 0 400\n"
+                          "EDGE_SE2 1 2 1 0 0 100 0 -3 100 0 400\n");
+    const auto data = fg::readG2o(in);
+    EXPECT_EQ(data.graph.size(), 2u);
+    ASSERT_EQ(data.warnings.size(), 1u);
+    EXPECT_NE(data.warnings[0].find("off-diagonal"),
+              std::string::npos);
+    EXPECT_NE(data.warnings[0].find("EDGE_SE2"), std::string::npos);
+    // The diagonal survives: sigma = 1/sqrt(info) in [theta; x; y]
+    // order.
+    const auto &edge =
+        dynamic_cast<const fg::BetweenFactor &>(data.graph.factor(0));
+    EXPECT_NEAR(edge.sigmas()[0], 1.0 / 20.0, 1e-12);
+    EXPECT_NEAR(edge.sigmas()[1], 1.0 / 10.0, 1e-12);
+    EXPECT_NEAR(edge.sigmas()[2], 1.0 / 10.0, 1e-12);
+
+    // A purely diagonal file stays silent.
+    std::istringstream clean(
+        "VERTEX_SE2 0 0 0 0\n"
+        "VERTEX_SE2 1 1 0 0\n"
+        "EDGE_SE2 0 1 1 0 0 100 0 0 100 0 400\n");
+    EXPECT_TRUE(fg::readG2o(clean).warnings.empty());
+}
+
+TEST(G2o, NonPositiveInformationDiagnostics)
+{
+    // The error names the offending value and echoes the record, so
+    // a bad line in a 10k-edge file is findable.
+    const std::string line =
+        "EDGE_SE2 0 1 1 0 0 -2.5 0 0 100 0 400";
+    std::istringstream in(line + "\n");
+    try {
+        fg::readG2o(in);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("non-positive information"),
+                  std::string::npos);
+        EXPECT_NE(what.find("-2.5"), std::string::npos);
+        EXPECT_NE(what.find(line), std::string::npos);
+    }
+
+    // Zero is as unusable as negative (sigma would be infinite).
+    std::istringstream zero(
+        "EDGE_SE2 0 1 1 0 0 0 0 0 100 0 400\n");
+    EXPECT_THROW(fg::readG2o(zero), std::runtime_error);
+}
+
+TEST(G2o, DenormalizedQuaternionsNormalized)
+{
+    // Published files carry quaternions that drifted off unit length;
+    // the reader normalizes before converting, both for vertices and
+    // edges, so a scaled quaternion loads as the same rotation.
+    auto se3 = [](const char *quat) {
+        std::string text =
+            std::string("VERTEX_SE3:QUAT 0 1 2 3 ") + quat + "\n";
+        std::istringstream in(text);
+        return fg::readG2o(in).initial.pose(0);
+    };
+    const Pose unit = se3("0 0.707106781186547 0 0.707106781186547");
+    const Pose scaled = se3("0 1.4 0 1.4");
+    EXPECT_LT(lie::poseDistance(unit, scaled), 1e-12);
+    EXPECT_NEAR(unit.phi().norm(), 1.5707963267948966, 1e-9);
+
+    // And the normalized pose round-trips through write/read.
+    FactorGraph graph;
+    Values values;
+    values.insert(0u, scaled);
+    values.insert(1u, scaled.oplus(unit));
+    graph.emplace<fg::BetweenFactor>(
+        0u, 1u, unit, fg::isotropicSigmas(6, 0.1));
+    std::stringstream round;
+    fg::writeG2o(round, graph, values);
+    const auto loaded = fg::readG2o(round);
+    EXPECT_TRUE(loaded.warnings.empty());
+    EXPECT_LT(lie::poseDistance(loaded.initial.pose(0), scaled),
+              1e-9);
+}
+
+TEST(G2o, DegenerateQuaternionsRejected)
+{
+    // An all-zero (or non-finite) quaternion has no direction to
+    // normalize; that is corrupt data, not drift.
+    std::istringstream zero("VERTEX_SE3:QUAT 0 1 2 3 0 0 0 0\n");
+    try {
+        fg::readG2o(zero);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("degenerate quaternion"),
+                  std::string::npos);
+    }
+    std::istringstream nan("VERTEX_SE3:QUAT 0 1 2 3 nan 0 0 1\n");
+    EXPECT_THROW(fg::readG2o(nan), std::runtime_error);
+}
+
 TEST(G2o, NonPoseVariablesRejected)
 {
     FactorGraph graph;
